@@ -1,0 +1,91 @@
+// Ablation A2: quantifier machinery. (a) sequential IncQMatch vs full
+// recomputation as |E−Q| grows (the sequential analogue of Fig. 8(h));
+// (b) cost by quantifier kind at fixed topology (existential vs numeric
+// vs ratio vs universal).
+#include "bench/common/bench_common.h"
+#include "core/qmatch.h"
+
+namespace qgp::bench {
+namespace {
+
+double RunSuite(const Graph& g, const std::vector<Pattern>& suite,
+                const MatchOptions& opts, size_t* answers) {
+  double seconds = 0;
+  for (const Pattern& q : suite) {
+    seconds += TimeSeconds([&] {
+      auto r = QMatch::Evaluate(q, g, opts);
+      if (r.ok() && answers != nullptr) *answers += r->size();
+    });
+  }
+  return seconds;
+}
+
+}  // namespace
+}  // namespace qgp::bench
+
+int main() {
+  using namespace qgp::bench;
+  PrintHeader("Ablation: quantifier machinery",
+              "(a) IncQMatch vs recompute by |E-Q|; (b) cost by "
+              "quantifier kind",
+              "incremental negation flat in |E-Q|; recompute grows");
+  qgp::Graph g = MakePokecLike(4000);
+  PrintGraphLine("pokec-like", g);
+
+  std::printf("\n(a) sequential negation handling, (6,8,30%%):\n");
+  std::printf("%8s  %14s  %14s\n", "|E-Q|", "IncQMatch (s)",
+              "recompute (s)");
+  for (size_t neg : {0, 1, 2, 3}) {
+    std::vector<qgp::Pattern> suite = MakeSuite(
+        g, 2, PatternConfig(6, 8, 30.0, neg), 1201 + neg);
+    if (suite.empty()) {
+      std::printf("%8zu  generation failed\n", neg);
+      continue;
+    }
+    qgp::MatchOptions inc;
+    qgp::MatchOptions recompute;
+    recompute.use_incremental_negation = false;
+    double ti = RunSuite(g, suite, inc, nullptr);
+    double tr = RunSuite(g, suite, recompute, nullptr);
+    std::printf("%8zu  %14.3f  %14.3f\n", neg, ti, tr);
+  }
+
+  std::printf("\n(b) cost by quantifier kind, same topology (5,7):\n");
+  std::vector<qgp::Pattern> base =
+      MakeSuite(g, 2, PatternConfig(5, 7, 50.0, 0), 1301);
+  if (base.empty()) {
+    std::printf("generation failed\n");
+    return 1;
+  }
+  struct Kind {
+    const char* name;
+    qgp::Quantifier quant;
+  };
+  Kind kinds[] = {
+      {"existential (>=1)", qgp::Quantifier()},
+      {"numeric (>=3)", qgp::Quantifier::Numeric(qgp::QuantOp::kGe, 3)},
+      {"ratio (>=50%)", qgp::Quantifier::Ratio(qgp::QuantOp::kGe, 50.0)},
+      {"universal (=100%)", qgp::Quantifier::Universal()},
+  };
+  for (const Kind& k : kinds) {
+    std::vector<qgp::Pattern> suite;
+    for (const qgp::Pattern& b : base) {
+      qgp::Pattern q;
+      for (qgp::PatternNodeId u = 0; u < b.num_nodes(); ++u) {
+        q.AddNode(b.node(u).label, b.node(u).name);
+      }
+      for (qgp::PatternEdgeId e = 0; e < b.num_edges(); ++e) {
+        const qgp::PatternEdge& pe = b.edge(e);
+        qgp::Quantifier quant =
+            pe.quantifier.IsExistential() ? pe.quantifier : k.quant;
+        (void)q.AddEdge(pe.src, pe.dst, pe.label, quant);
+      }
+      (void)q.set_focus(b.focus());
+      suite.push_back(std::move(q));
+    }
+    size_t answers = 0;
+    double t = RunSuite(g, suite, {}, &answers);
+    std::printf("  %-20s  %10.3fs  answers=%zu\n", k.name, t, answers);
+  }
+  return 0;
+}

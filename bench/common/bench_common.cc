@@ -1,0 +1,54 @@
+#include "bench/common/bench_common.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/enum_matcher.h"
+
+namespace qgp::bench {
+
+std::vector<Pattern> MakeSuite(const Graph& g, size_t count,
+                               const PatternGenConfig& config, uint64_t seed,
+                               int max_radius, uint64_t enum_probe_cap) {
+  if (enum_probe_cap == 0) {
+    std::vector<Pattern> suite;
+    for (uint64_t s = seed; suite.size() < count && s < seed + 24; ++s) {
+      for (Pattern& q : GeneratePatternSuite(g, count, config, s)) {
+        if (max_radius > 0 && q.Radius() > max_radius) continue;
+        suite.push_back(std::move(q));
+        if (suite.size() >= count) break;
+      }
+    }
+    return suite;
+  }
+  // Enum-screened mode: gather a wider pool, probe each pattern with the
+  // Enum baseline under the embedding cap, and keep the HARDEST patterns
+  // the baseline can still finish — easy patterns would let fixed
+  // per-fragment costs dominate and wash out the algorithmic contrast
+  // the figures measure.
+  std::vector<std::pair<double, Pattern>> feasible;
+  for (uint64_t s = seed; feasible.size() < count * 3 && s < seed + 24;
+       ++s) {
+    for (Pattern& q : GeneratePatternSuite(g, count * 2, config, s)) {
+      if (max_radius > 0 && q.Radius() > max_radius) continue;
+      MatchOptions probe;
+      probe.max_isomorphisms = enum_probe_cap;
+      WallTimer timer;
+      if (!EnumMatcher::Evaluate(q, g, probe).ok()) continue;
+      double t = timer.ElapsedSeconds();
+      if (t > 20.0) continue;  // keep the whole-suite budget sane
+      feasible.emplace_back(t, std::move(q));
+      if (feasible.size() >= count * 3) break;
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Pattern> suite;
+  for (auto& [t, q] : feasible) {
+    if (suite.size() >= count) break;
+    suite.push_back(std::move(q));
+  }
+  return suite;
+}
+
+}  // namespace qgp::bench

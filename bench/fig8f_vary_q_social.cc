@@ -1,0 +1,33 @@
+// Figure 8(f): varying pattern size |Q| = (|VQ|, |EQ|) from (4,6) to
+// (8,10) on the Pokec substitute, n = 8, pa = 30%, one negated edge.
+#include "bench/common/parallel_runner.h"
+#include "parallel/dpar.h"
+
+int main() {
+  using namespace qgp::bench;
+  PrintHeader("Figure 8(f): varying |Q| (Pokec)",
+              "(|VQ|,|EQ|) from (4,6) to (8,10); n=8, pa=30%, |E-Q|=1",
+              "all algorithms slow with larger |Q|; PQMatch fastest");
+  qgp::Graph g = MakePokecLike(4000);
+  PrintGraphLine("pokec-like", g);
+  qgp::DParConfig dc;
+  dc.num_fragments = 8;
+  dc.d = 2;
+  auto part = qgp::DPar(g, dc);
+  if (!part.ok()) return 1;
+  std::printf("\n");
+  PrintAlgoHeader("|Q|");
+  for (size_t vq : {4, 5, 6, 7, 8}) {
+    size_t eq = vq + 2;
+    std::vector<qgp::Pattern> suite = MakeSuite(g, 2, PatternConfig(vq, eq, 30.0, 1), 401 + vq, /*max_radius=*/2,
+        /*enum_probe_cap=*/400000);
+    if (suite.empty()) {
+      std::printf("   (%zu,%zu)  pattern generation failed\n", vq, eq);
+      continue;
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "(%zu,%zu)", vq, eq);
+    RunAndPrintRow(label, suite, *part);
+  }
+  return 0;
+}

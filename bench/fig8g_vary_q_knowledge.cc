@@ -1,0 +1,33 @@
+// Figure 8(g): varying pattern size |Q| from (3,5) to (7,9) on the YAGO2
+// substitute, n = 8, pa = 30%, one negated edge.
+#include "bench/common/parallel_runner.h"
+#include "parallel/dpar.h"
+
+int main() {
+  using namespace qgp::bench;
+  PrintHeader("Figure 8(g): varying |Q| (YAGO2)",
+              "(|VQ|,|EQ|) from (3,5) to (7,9); n=8, pa=30%, |E-Q|=1",
+              "larger |Q| costs more; sparser YAGO2 cheaper than Pokec");
+  qgp::Graph g = MakeYagoLike(8000);
+  PrintGraphLine("yago2-like", g);
+  qgp::DParConfig dc;
+  dc.num_fragments = 8;
+  dc.d = 2;
+  auto part = qgp::DPar(g, dc);
+  if (!part.ok()) return 1;
+  std::printf("\n");
+  PrintAlgoHeader("|Q|");
+  for (size_t vq : {3, 4, 5, 6, 7}) {
+    size_t eq = vq + 2;
+    std::vector<qgp::Pattern> suite = MakeSuite(g, 2, PatternConfig(vq, eq, 30.0, 1), 503 + vq, /*max_radius=*/2,
+        /*enum_probe_cap=*/400000);
+    if (suite.empty()) {
+      std::printf("   (%zu,%zu)  pattern generation failed\n", vq, eq);
+      continue;
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "(%zu,%zu)", vq, eq);
+    RunAndPrintRow(label, suite, *part);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 8(k): varying pa from 10% to 90% on the YAGO2 substitute;
+// n = 8, (5,7), |E−Q| = 1.
+#include "bench/common/parallel_runner.h"
+#include "parallel/dpar.h"
+
+int main() {
+  using namespace qgp::bench;
+  PrintHeader("Figure 8(k): varying pa (YAGO2)",
+              "pa in {10,30,50,70,90}%; n=8, (5,7), |E-Q|=1",
+              "QMatch family faster with larger pa; PEnum indifferent");
+  qgp::Graph g = MakeYagoLike(8000);
+  PrintGraphLine("yago2-like", g);
+  qgp::DParConfig dc;
+  dc.num_fragments = 8;
+  dc.d = 2;
+  auto part = qgp::DPar(g, dc);
+  if (!part.ok()) return 1;
+  std::vector<qgp::Pattern> base =
+      MakeSuite(g, 2, PatternConfig(5, 7, 30.0, 1), 901, /*max_radius=*/2,
+        /*enum_probe_cap=*/400000);
+  if (base.empty()) {
+    std::printf("pattern generation failed\n");
+    return 1;
+  }
+  std::printf("\n");
+  PrintAlgoHeader("pa%");
+  for (double pa : {10.0, 30.0, 50.0, 70.0, 90.0}) {
+    std::vector<qgp::Pattern> suite;
+    for (const qgp::Pattern& q : base) {
+      suite.push_back(WithRatioPercent(q, pa));
+    }
+    RunAndPrintRow(std::to_string(static_cast<int>(pa)), suite, *part);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) for the graph substrate primitives
+// the matchers lean on: label-sliced adjacency, edge membership, ball
+// extraction, dual simulation, candidate-space construction and base
+// partitioning.
+#include <benchmark/benchmark.h>
+
+#include "bench/common/bench_common.h"
+#include "core/candidate_space.h"
+#include "core/simulation.h"
+#include "graph/graph_algorithms.h"
+#include "parallel/base_partitioner.h"
+
+namespace qgp::bench {
+namespace {
+
+const Graph& SharedGraph() {
+  static const Graph* g = new Graph(MakePokecLike(2000));
+  return *g;
+}
+
+const Pattern& SharedPattern() {
+  static Pattern* p = [] {
+    const Graph& g = SharedGraph();
+    auto* pattern = new Pattern(
+        MakeSuite(g, 1, PatternConfig(5, 7, 30.0, 0), 77).at(0));
+    return pattern;
+  }();
+  return *p;
+}
+
+void BM_OutNeighborsWithLabel(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  Label follow = g.dict().Find("follow");
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.OutNeighborsWithLabel(v, follow).size());
+    v = (v + 1) % static_cast<VertexId>(g.num_vertices() / 2);
+  }
+}
+BENCHMARK(BM_OutNeighborsWithLabel);
+
+void BM_HasEdge(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  Label follow = g.dict().Find("follow");
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.HasEdge(v, (v * 7 + 3) % 1000, follow));
+    v = (v + 1) % 1000;
+  }
+}
+BENCHMARK(BM_HasEdge);
+
+void BM_KHopBall(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  const int d = static_cast<int>(state.range(0));
+  VertexId v = 0;
+  size_t total = 0;
+  for (auto _ : state) {
+    total += KHopBall(g, v, d).size();
+    v = (v + 17) % static_cast<VertexId>(g.num_vertices());
+  }
+  state.counters["avg_ball"] =
+      static_cast<double>(total) /
+      static_cast<double>(state.iterations() ? state.iterations() : 1);
+}
+BENCHMARK(BM_KHopBall)->Arg(1)->Arg(2);
+
+void BM_DualSimulation(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  const Pattern& q = SharedPattern();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DualSimulation(q, g));
+  }
+}
+BENCHMARK(BM_DualSimulation);
+
+void BM_CandidateSpaceBuild(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  const Pattern& q = SharedPattern();
+  MatchOptions opts;
+  for (auto _ : state) {
+    auto cs = CandidateSpace::Build(q, g, opts, nullptr);
+    benchmark::DoNotOptimize(cs.ok());
+  }
+}
+BENCHMARK(BM_CandidateSpaceBuild);
+
+void BM_BasePartition(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto frag = BasePartition(g, n);
+    benchmark::DoNotOptimize(frag.ok());
+  }
+}
+BENCHMARK(BM_BasePartition)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace qgp::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Knowledge discovery (the paper's Q4 / R7): on a YAGO2-like knowledge
+// graph, find professors WITHOUT a PhD who advised at least p students
+// who are themselves professors — a negated-edge QGP — and contrast the
+// incremental (IncQMatch) and recompute-from-scratch strategies.
+//
+//   ./examples/knowledge_discovery [num_scientists] [p]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "core/pattern_parser.h"
+#include "core/qmatch.h"
+#include "gen/knowledge_gen.h"
+
+int main(int argc, char** argv) {
+  size_t num_scientists =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8000;
+  int p = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  qgp::KnowledgeConfig config;
+  config.num_scientists = num_scientists;
+  auto graph = qgp::GenerateKnowledgeGraph(config);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  qgp::Graph g = std::move(graph).value();
+  std::printf("knowledge graph: %zu vertices, %zu edges\n",
+              g.num_vertices(), g.num_edges());
+
+  std::string text =
+      "node xo  scientist\n"
+      "node t   prof_title\n"
+      "node z   scientist\n"
+      "node phd phd_degree\n"
+      "edge xo t   is_a\n"
+      "edge xo z   advisor >=" + std::to_string(p) + "\n"
+      "edge z  t   is_a\n"
+      "edge xo phd has_degree =0\n"
+      "focus xo\n";
+  auto q4 = qgp::PatternParser::Parse(text, g.mutable_dict());
+  if (!q4.ok()) {
+    std::fprintf(stderr, "%s\n", q4.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nquery (Q4 of the paper, p = %d):\n%s\n", p,
+              q4->ToString(&g.dict()).c_str());
+
+  qgp::WallTimer timer;
+  qgp::MatchStats inc_stats;
+  auto answers = qgp::QMatch::Evaluate(*q4, g, {}, &inc_stats);
+  double inc_time = timer.ElapsedSeconds();
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+
+  timer.Restart();
+  qgp::MatchStats naive_stats;
+  qgp::MatchOptions no_inc;
+  no_inc.use_incremental_negation = false;
+  auto answers2 = qgp::QMatch::Evaluate(*q4, g, no_inc, &naive_stats);
+  double naive_time = timer.ElapsedSeconds();
+
+  std::printf("professors without a PhD advising >= %d professor students:"
+              " %zu found\n", p, answers.value().size());
+  std::printf("  QMatch  (IncQMatch):  %.3fs, %llu focus checks\n", inc_time,
+              static_cast<unsigned long long>(
+                  inc_stats.focus_candidates_checked));
+  std::printf("  QMatchn (recompute):  %.3fs, %llu focus checks\n",
+              naive_time,
+              static_cast<unsigned long long>(
+                  naive_stats.focus_candidates_checked));
+  if (answers2.ok() && answers2.value() == answers.value()) {
+    std::printf("  both strategies agree on the answer set.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace qgp {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
+
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void Logger::SetMinLevel(LogLevel level) { g_min_level.store(level); }
+
+LogLevel Logger::min_level() { return g_min_level.load(); }
+
+void Logger::Log(LogLevel level, const char* file, int line,
+                 const std::string& msg) {
+  if (level < min_level()) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), Basename(file),
+               line, msg.c_str());
+}
+
+}  // namespace qgp

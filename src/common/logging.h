@@ -1,0 +1,61 @@
+#ifndef QGP_COMMON_LOGGING_H_
+#define QGP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qgp {
+
+/// Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal thread-safe logger writing to stderr. The global minimum level
+/// defaults to kWarning so library internals stay quiet; benches and
+/// examples raise it explicitly.
+class Logger {
+ public:
+  /// Sets the global minimum severity that will be emitted.
+  static void SetMinLevel(LogLevel level);
+
+  /// Current global minimum severity.
+  static LogLevel min_level();
+
+  /// Emits one formatted line: "[LEVEL] file:line msg".
+  static void Log(LogLevel level, const char* file, int line,
+                  const std::string& msg);
+};
+
+namespace internal_logging {
+
+/// Stream-style builder used by the QGP_LOG macro; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Log(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Stream-style logging: QGP_LOG(kInfo) << "loaded " << n << " edges";
+#define QGP_LOG(severity)                                              \
+  if (::qgp::LogLevel::severity < ::qgp::Logger::min_level()) {        \
+  } else                                                               \
+    ::qgp::internal_logging::LogMessage(::qgp::LogLevel::severity,     \
+                                        __FILE__, __LINE__)            \
+        .stream()
+
+}  // namespace qgp
+
+#endif  // QGP_COMMON_LOGGING_H_

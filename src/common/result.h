@@ -1,0 +1,85 @@
+#ifndef QGP_COMMON_RESULT_H_
+#define QGP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace qgp {
+
+/// Value-or-error wrapper (StatusOr / arrow::Result style). Holds either a
+/// value of type T or a non-OK Status explaining why the value is absent.
+///
+/// Usage:
+///   Result<Graph> r = GraphIo::Load(path);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed Result from a non-OK status. Using an OK status is
+  /// a programming error and is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access to the held value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, or returns its status on failure.
+#define QGP_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto QGP_CONCAT_(_qgp_result_, __LINE__) = (expr); \
+  if (!QGP_CONCAT_(_qgp_result_, __LINE__).ok())     \
+    return QGP_CONCAT_(_qgp_result_, __LINE__).status(); \
+  lhs = std::move(QGP_CONCAT_(_qgp_result_, __LINE__)).value()
+
+#define QGP_CONCAT_(a, b) QGP_CONCAT_IMPL_(a, b)
+#define QGP_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace qgp
+
+#endif  // QGP_COMMON_RESULT_H_

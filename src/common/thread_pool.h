@@ -1,0 +1,58 @@
+#ifndef QGP_COMMON_THREAD_POOL_H_
+#define QGP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qgp {
+
+/// Fixed-size worker pool. Used for intra-fragment parallelism (mQMatch)
+/// and for running per-fragment work in PQMatch's real-thread mode.
+///
+/// Tasks are plain std::function<void()>; Wait() blocks until the queue is
+/// drained and all in-flight tasks have finished.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains and joins. Pending tasks are completed before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Convenience: applies `fn(i)` for i in [0, n) across the pool and waits.
+  /// Chunked statically; `fn` must be thread-safe across distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when work arrives / stop
+  std::condition_variable idle_cv_;   // signalled when a task finishes
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_COMMON_THREAD_POOL_H_

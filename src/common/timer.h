@@ -1,0 +1,32 @@
+#ifndef QGP_COMMON_TIMER_H_
+#define QGP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace qgp {
+
+/// Monotonic wall-clock stopwatch used by benches and the parallel engine
+/// (per-fragment makespan accounting).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_COMMON_TIMER_H_

@@ -1,0 +1,143 @@
+#include "core/candidate_space.h"
+
+#include <algorithm>
+
+#include "core/simulation.h"
+
+namespace qgp {
+
+namespace {
+
+// Existential refinement without full simulation: keep v in C(u) only if
+// every pattern edge at u has at least one endpoint candidate among v's
+// neighbors (by labels alone). One pass; used when simulation is off.
+void DegreeRefine(const Pattern& q, const Graph& g,
+                  std::vector<std::vector<VertexId>>& sets) {
+  for (PatternNodeId u = 0; u < q.num_nodes(); ++u) {
+    std::vector<VertexId>& members = sets[u];
+    size_t kept = 0;
+    for (VertexId v : members) {
+      bool ok = true;
+      for (PatternEdgeId e : q.OutEdgeIds(u)) {
+        if (g.OutDegreeWithLabel(v, q.edge(e).label) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (PatternEdgeId e : q.InEdgeIds(u)) {
+          if (g.InDegreeWithLabel(v, q.edge(e).label) == 0) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) members[kept++] = v;
+    }
+    members.resize(kept);
+  }
+}
+
+}  // namespace
+
+Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
+                                             const Graph& g,
+                                             const MatchOptions& options,
+                                             MatchStats* stats) {
+  if (!pattern.IsPositive()) {
+    return Status::InvalidArgument(
+        "candidate space requires a positive pattern (apply Pi() first)");
+  }
+  CandidateSpace cs;
+  const size_t nq = pattern.num_nodes();
+
+  if (options.use_simulation) {
+    cs.stratified_ = DualSimulation(pattern, g);
+  } else {
+    cs.stratified_.resize(nq);
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      auto span = g.VerticesWithLabel(pattern.node(u).label);
+      cs.stratified_[u].assign(span.begin(), span.end());
+    }
+    DegreeRefine(pattern, g, cs.stratified_);
+  }
+
+  cs.stratified_bits_.assign(nq, DynamicBitset(g.num_vertices()));
+  for (PatternNodeId u = 0; u < nq; ++u) {
+    if (stats != nullptr) {
+      stats->candidates_initial += g.NumVerticesWithLabel(pattern.node(u).label);
+      stats->candidates_pruned +=
+          g.NumVerticesWithLabel(pattern.node(u).label) -
+          cs.stratified_[u].size();
+    }
+    for (VertexId v : cs.stratified_[u]) cs.stratified_bits_[u].Set(v);
+  }
+
+  // Good sets: prune by the quantifier upper bound U(v,e) against fixed
+  // Cπ. Existential edges impose nothing beyond Cπ membership.
+  cs.good_.resize(nq);
+  cs.good_bits_.assign(nq, DynamicBitset(g.num_vertices()));
+  for (PatternNodeId u = 0; u < nq; ++u) {
+    std::vector<PatternEdgeId> quantified;
+    for (PatternEdgeId e : pattern.OutEdgeIds(u)) {
+      if (!pattern.edge(e).quantifier.IsExistential()) quantified.push_back(e);
+    }
+    if (quantified.empty() || !options.use_quantifier_pruning) {
+      cs.good_[u] = cs.stratified_[u];
+    } else {
+      for (VertexId v : cs.stratified_[u]) {
+        bool ok = true;
+        for (PatternEdgeId e : quantified) {
+          const PatternEdge& pe = pattern.edge(e);
+          uint64_t total = g.OutDegreeWithLabel(v, pe.label);
+          std::optional<uint64_t> needed =
+              pe.quantifier.MinCountNeeded(total);
+          if (!needed.has_value()) {
+            ok = false;  // unsatisfiable at this vertex (e.g. =p% non-integer)
+            break;
+          }
+          // U(v,e): children via the edge label that are stratified
+          // candidates of the target node.
+          uint64_t ub = 0;
+          for (const Neighbor& n : g.OutNeighborsWithLabel(v, pe.label)) {
+            if (cs.stratified_bits_[pe.dst].Test(n.v)) ++ub;
+            // Counting can stop once the bound is provably met.
+            if (ub >= *needed) break;
+          }
+          if (ub < *needed) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) cs.good_[u].push_back(v);
+      }
+      if (stats != nullptr) {
+        stats->candidates_pruned +=
+            cs.stratified_[u].size() - cs.good_[u].size();
+      }
+    }
+    for (VertexId v : cs.good_[u]) cs.good_bits_[u].Set(v);
+  }
+  return cs;
+}
+
+std::vector<std::vector<VertexId>> CandidateSpace::RestrictStratifiedToBall(
+    std::span<const VertexId> sorted_ball) const {
+  std::vector<std::vector<VertexId>> local(stratified_.size());
+  for (PatternNodeId u = 0; u < stratified_.size(); ++u) {
+    const std::vector<VertexId>& full = stratified_[u];
+    // Iterate over the smaller side.
+    if (sorted_ball.size() < full.size()) {
+      for (VertexId v : sorted_ball) {
+        if (stratified_bits_[u].Test(v)) local[u].push_back(v);
+      }
+    } else {
+      std::set_intersection(full.begin(), full.end(), sorted_ball.begin(),
+                            sorted_ball.end(),
+                            std::back_inserter(local[u]));
+    }
+  }
+  return local;
+}
+
+}  // namespace qgp

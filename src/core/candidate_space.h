@@ -1,0 +1,71 @@
+#ifndef QGP_CORE_CANDIDATE_SPACE_H_
+#define QGP_CORE_CANDIDATE_SPACE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Global candidate sets for one positive pattern against one graph,
+/// maintaining the distinction the §2.2 semantics forces (DESIGN.md §2):
+///
+///  * `stratified` sets Cπ(u): vertices that may participate in ANY
+///    isomorphism of Qπ — label filter plus (optionally) dual simulation.
+///    Counting |Me(vx, v, Q)| must use these, because a counted child
+///    need not satisfy its own quantifiers.
+///
+///  * `good` sets C(u) ⊆ Cπ(u): vertices that may additionally appear as
+///    h0(u) in an ANSWER isomorphism — those whose quantifier upper bound
+///    U(v,e) = |Me(v) ∩ Cπ(u')| can still reach the threshold of every
+///    quantified out-edge e of u (the §4.1 / Appendix-B pruning rule,
+///    with the ratio threshold evaluated per vertex). Goodness is a
+///    one-shot filter over fixed Cπ — it must NOT cascade, or counts
+///    would be under-estimated and answers lost.
+class CandidateSpace {
+ public:
+  /// Builds both set families. `pattern` must be positive.
+  static Result<CandidateSpace> Build(const Pattern& pattern, const Graph& g,
+                                      const MatchOptions& options,
+                                      MatchStats* stats);
+
+  /// Cπ(u), sorted ascending.
+  const std::vector<VertexId>& stratified(PatternNodeId u) const {
+    return stratified_[u];
+  }
+
+  /// Good candidates for u, sorted ascending.
+  const std::vector<VertexId>& good(PatternNodeId u) const {
+    return good_[u];
+  }
+
+  /// O(1) membership tests.
+  bool InStratified(PatternNodeId u, VertexId v) const {
+    return stratified_bits_[u].Test(v);
+  }
+  bool InGood(PatternNodeId u, VertexId v) const {
+    return good_bits_[u].Test(v);
+  }
+
+  /// Intersects every stratified set with a sorted vertex ball, producing
+  /// the per-focus local sets Lπ(u) used by DMatch.
+  std::vector<std::vector<VertexId>> RestrictStratifiedToBall(
+      std::span<const VertexId> sorted_ball) const;
+
+  size_t num_pattern_nodes() const { return stratified_.size(); }
+
+ private:
+  std::vector<std::vector<VertexId>> stratified_;
+  std::vector<std::vector<VertexId>> good_;
+  std::vector<DynamicBitset> stratified_bits_;
+  std::vector<DynamicBitset> good_bits_;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_CANDIDATE_SPACE_H_

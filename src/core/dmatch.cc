@@ -1,0 +1,330 @@
+#include "core/dmatch.h"
+
+#include <algorithm>
+
+#include "core/generic_matcher.h"
+#include "graph/graph_algorithms.h"
+
+namespace qgp {
+
+namespace {
+
+inline uint64_t PairKey(VertexId a, VertexId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Per-focus verification state: local candidate sets, witness memos and
+// quantifier goodness, evaluated lazily during the answer search.
+class FocusVerifier {
+ public:
+  FocusVerifier(const Pattern& pattern, const Pattern& stratified,
+                const Graph& g, const CandidateSpace& cs,
+                const MatchOptions& options,
+                const std::vector<PatternEdgeId>& edge_to_original,
+                size_t num_original_edges,
+                const std::vector<std::vector<PatternEdgeId>>& quantified_out,
+                const DynamicBitset& pattern_edge_labels, size_t ball_limit,
+                MatchStats* stats)
+      : q_(pattern),
+        strat_(stratified),
+        g_(g),
+        cs_(cs),
+        options_(options),
+        edge_to_original_(edge_to_original),
+        num_original_edges_(num_original_edges),
+        quantified_out_(quantified_out),
+        pattern_edge_labels_(pattern_edge_labels),
+        ball_limit_(ball_limit),
+        stats_(stats) {}
+
+  bool Verify(VertexId vx, int radius, const FocusCache* warm,
+              FocusCache* cache_out) {
+    vx_ = vx;
+    // (1) Neighborhood ball: everything an embedding pinned at vx can
+    // touch lies within `radius` undirected hops of pattern-labeled
+    // edges (§5.1). Hubs can make the ball cover most of G; past the
+    // limit the verifier falls back to global candidate sets, which is
+    // equally sound (the ball only narrows the search).
+    if (warm != nullptr && warm->ball_complete && warm->radius >= radius &&
+        warm->ball_filter_fingerprint == pattern_edge_labels_.Fingerprint() &&
+        !warm->ball.empty()) {
+      ball_ = warm->ball;
+      ball_complete_ = true;
+    } else {
+      ball_ = KHopBallFiltered(g_, vx, radius, pattern_edge_labels_,
+                               ball_limit_, &ball_complete_);
+      if (stats_ != nullptr) ++stats_->balls_built;
+    }
+    // (2) Seed memos (before any early return: Finish reads them).
+    witnessed_.assign(q_.num_edges(), {});
+    failed_.assign(q_.num_edges(), {});
+    if (warm != nullptr && !warm->failed_by_original_edge.empty()) {
+      for (PatternEdgeId e = 0; e < q_.num_edges(); ++e) {
+        PatternEdgeId orig = edge_to_original_[e];
+        if (orig < warm->failed_by_original_edge.size()) {
+          failed_[e] = warm->failed_by_original_edge[orig];
+        }
+      }
+    }
+    good_memo_.assign(q_.num_edges(), {});
+    score_memo_.clear();
+    // (3) Local stratified candidate sets Lπ(u).
+    if (ball_complete_) {
+      local_ = cs_.RestrictStratifiedToBall(ball_);
+    } else {
+      local_.resize(q_.num_nodes());
+      for (PatternNodeId u = 0; u < q_.num_nodes(); ++u) {
+        local_[u] = cs_.stratified(u);
+      }
+    }
+    local_[q_.focus()].assign(1, vx);
+    for (const std::vector<VertexId>& l : local_) {
+      if (l.empty()) return Finish(false, radius, cache_out);
+    }
+
+    // (4) Answer search: an embedding of Qπ pinned at vx whose every node
+    // is quantifier-good.
+    GenericMatcher matcher(strat_, g_, local_);
+    std::pair<PatternNodeId, VertexId> pin{q_.focus(), vx};
+    GenericMatcher::Accept accept = [this](PatternNodeId u, VertexId v) {
+      return IsGood(u, v);
+    };
+    GenericMatcher::Score score = [this](PatternNodeId u, VertexId v) {
+      return Potential(u, v);
+    };
+    GenericMatcher::SearchOptions sopts;
+    sopts.pins = {&pin, 1};
+    sopts.accept = &accept;
+    if (options_.use_potential_ordering) sopts.score = &score;
+    sopts.stats = stats_;
+    bool found = matcher.FindAny(sopts, &witness_);
+    return Finish(found, radius, cache_out);
+  }
+
+ private:
+  bool Finish(bool found, int radius, FocusCache* cache_out) {
+    if (cache_out != nullptr) {
+      cache_out->radius = radius;
+      cache_out->ball_complete = ball_complete_;
+      cache_out->ball_filter_fingerprint =
+          pattern_edge_labels_.Fingerprint();
+      if (ball_complete_) cache_out->ball = std::move(ball_);
+      cache_out->failed_by_original_edge.assign(num_original_edges_, {});
+      for (PatternEdgeId e = 0; e < q_.num_edges(); ++e) {
+        PatternEdgeId orig = edge_to_original_[e];
+        if (orig < num_original_edges_) {
+          auto& dst = cache_out->failed_by_original_edge[orig];
+          for (uint64_t k : failed_[e]) dst.insert(k);
+        }
+      }
+      cache_out->witness = found ? witness_ : std::vector<VertexId>{};
+    }
+    return found;
+  }
+
+  bool InLocal(PatternNodeId u, VertexId v) const {
+    const std::vector<VertexId>& l = local_[u];
+    return std::binary_search(l.begin(), l.end(), v);
+  }
+
+  // Is there an embedding of Qπ with h(xo)=vx, h(u)=v, h(u')=v'? Complete
+  // within the ball because any embedding pinned at vx stays inside it.
+  // A found embedding witnesses a pair for EVERY edge, which the memo
+  // exploits across checks.
+  bool WitnessPair(PatternEdgeId e, VertexId v, VertexId v2) {
+    const uint64_t key = PairKey(v, v2);
+    if (witnessed_[e].count(key) != 0) return true;
+    if (failed_[e].count(key) != 0) return false;
+    if (stats_ != nullptr) ++stats_->witness_searches;
+    const PatternEdge& pe = q_.edge(e);
+    GenericMatcher matcher(strat_, g_, local_);
+    std::pair<PatternNodeId, VertexId> pins[3] = {
+        {q_.focus(), vx_}, {pe.src, v}, {pe.dst, v2}};
+    GenericMatcher::SearchOptions sopts;
+    sopts.pins = pins;
+    sopts.stats = stats_;
+    std::vector<VertexId> h;
+    if (matcher.FindAny(sopts, &h)) {
+      for (PatternEdgeId e2 = 0; e2 < q_.num_edges(); ++e2) {
+        const PatternEdge& pe2 = q_.edge(e2);
+        witnessed_[e2].insert(PairKey(h[pe2.src], h[pe2.dst]));
+      }
+      return true;
+    }
+    failed_[e].insert(key);
+    return false;
+  }
+
+  // Does v satisfy the counting quantifier of edge e = (u, u') given the
+  // focus pin? Counts distinct witnessed children (the §2.2 Me set) with
+  // early stop on monotone thresholds.
+  bool CountSatisfies(PatternEdgeId e, VertexId v) {
+    const PatternEdge& pe = q_.edge(e);
+    const Quantifier& f = pe.quantifier;
+    const uint64_t total = g_.OutDegreeWithLabel(v, pe.label);
+    std::optional<uint64_t> needed = f.MinCountNeeded(total);
+    if (!needed.has_value()) return false;  // unsatisfiable at v
+    std::optional<uint64_t> early;
+    if (options_.early_stop_counting) early = f.EarlyStopCount(total);
+    uint64_t count = 0;
+    for (const Neighbor& n : g_.OutNeighborsWithLabel(v, pe.label)) {
+      if (!InLocal(pe.dst, n.v)) continue;
+      if (WitnessPair(e, v, n.v)) {
+        ++count;
+        if (early.has_value() && count >= *early) return true;
+      }
+    }
+    return f.Eval(count, total);
+  }
+
+  // Quantifier goodness of (u, v), memoized per edge.
+  bool IsGood(PatternNodeId u, VertexId v) {
+    for (PatternEdgeId e : quantified_out_[u]) {
+      auto [it, inserted] = good_memo_[e].try_emplace(v, 0);
+      if (inserted) it->second = CountSatisfies(e, v) ? 1 : -1;
+      if (it->second < 0) return false;
+    }
+    return true;
+  }
+
+  // Appendix-B potential: candidates whose quantifier upper bounds sit
+  // well above their thresholds are tried first.
+  double Potential(PatternNodeId u, VertexId v) {
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    auto it = score_memo_.find(key);
+    if (it != score_memo_.end()) return it->second;
+    double score = 0.0;
+    for (PatternEdgeId e : quantified_out_[u]) {
+      const PatternEdge& pe = q_.edge(e);
+      uint64_t total = g_.OutDegreeWithLabel(v, pe.label);
+      std::optional<uint64_t> needed = pe.quantifier.MinCountNeeded(total);
+      if (!needed.has_value() || *needed == 0) continue;
+      uint64_t ub = 0;
+      for (const Neighbor& n : g_.OutNeighborsWithLabel(v, pe.label)) {
+        if (InLocal(pe.dst, n.v)) ++ub;
+      }
+      score += static_cast<double>(ub) / static_cast<double>(*needed);
+    }
+    score_memo_.emplace(key, score);
+    return score;
+  }
+
+  const Pattern& q_;
+  const Pattern& strat_;
+  const Graph& g_;
+  const CandidateSpace& cs_;
+  const MatchOptions& options_;
+  const std::vector<PatternEdgeId>& edge_to_original_;
+  const size_t num_original_edges_;
+  const std::vector<std::vector<PatternEdgeId>>& quantified_out_;
+  const DynamicBitset& pattern_edge_labels_;
+  const size_t ball_limit_;
+  MatchStats* stats_;
+
+  VertexId vx_ = kInvalidVertex;
+  std::vector<VertexId> ball_;
+  bool ball_complete_ = true;
+  std::vector<std::vector<VertexId>> local_;
+  std::vector<std::unordered_set<uint64_t>> witnessed_;  // per edge
+  std::vector<std::unordered_set<uint64_t>> failed_;     // per edge
+  std::vector<std::unordered_map<VertexId, int8_t>> good_memo_;  // per edge
+  std::unordered_map<uint64_t, double> score_memo_;
+  std::vector<VertexId> witness_;
+};
+
+}  // namespace
+
+Result<PositiveEvaluator> PositiveEvaluator::Create(
+    Pattern positive, const Graph& g, MatchOptions options,
+    const std::vector<PatternEdgeId>* edge_to_original,
+    size_t num_original_edges, const DynamicBitset* ball_label_filter) {
+  if (!positive.IsPositive()) {
+    return Status::InvalidArgument(
+        "PositiveEvaluator requires a positive pattern");
+  }
+  QGP_RETURN_IF_ERROR(positive.Validate(options.max_quantified_per_path));
+  PositiveEvaluator ev;
+  ev.pattern_ = std::move(positive);
+  ev.stratified_ = ev.pattern_.Stratified();
+  ev.g_ = &g;
+  ev.options_ = options;
+  ev.radius_ = ev.pattern_.Radius();
+  if (edge_to_original != nullptr) {
+    ev.edge_to_original_ = *edge_to_original;
+  } else {
+    ev.edge_to_original_.resize(ev.pattern_.num_edges());
+    for (PatternEdgeId e = 0; e < ev.pattern_.num_edges(); ++e) {
+      ev.edge_to_original_[e] = e;
+    }
+  }
+  ev.num_original_edges_ =
+      num_original_edges == 0 ? ev.pattern_.num_edges() : num_original_edges;
+  ev.quantified_out_.resize(ev.pattern_.num_nodes());
+  for (PatternNodeId u = 0; u < ev.pattern_.num_nodes(); ++u) {
+    for (PatternEdgeId e : ev.pattern_.OutEdgeIds(u)) {
+      if (!ev.pattern_.edge(e).quantifier.IsExistential()) {
+        ev.quantified_out_[u].push_back(e);
+      }
+    }
+  }
+  if (ball_label_filter != nullptr) {
+    ev.pattern_edge_labels_ = *ball_label_filter;
+  } else {
+    ev.pattern_edge_labels_.Resize(g.dict().size());
+    for (PatternEdgeId e = 0; e < ev.pattern_.num_edges(); ++e) {
+      Label l = ev.pattern_.edge(e).label;
+      if (l < ev.pattern_edge_labels_.size()) ev.pattern_edge_labels_.Set(l);
+    }
+  }
+  ev.ball_limit_ = options.ball_limit != 0
+                       ? options.ball_limit
+                       : std::max<size_t>(4096, g.num_vertices() / 8);
+  QGP_ASSIGN_OR_RETURN(ev.cs_,
+                       CandidateSpace::Build(ev.pattern_, g, options, nullptr));
+  return ev;
+}
+
+bool PositiveEvaluator::VerifyFocus(VertexId vx, const FocusCache* warm,
+                                    FocusCache* cache_out,
+                                    MatchStats* stats) const {
+  if (!cs_.InGood(pattern_.focus(), vx)) return false;
+  FocusVerifier verifier(pattern_, stratified_, *g_, cs_, options_,
+                         edge_to_original_, num_original_edges_,
+                         quantified_out_, pattern_edge_labels_, ball_limit_,
+                         stats);
+  if (stats != nullptr) ++stats->focus_candidates_checked;
+  return verifier.Verify(vx, radius_, warm, cache_out);
+}
+
+AnswerSet PositiveEvaluator::EvaluateAll(
+    MatchStats* stats,
+    std::unordered_map<VertexId, FocusCache>* caches) const {
+  return EvaluateSubset(FocusCandidates(), stats, caches);
+}
+
+AnswerSet PositiveEvaluator::EvaluateSubset(
+    std::span<const VertexId> focus_subset, MatchStats* stats,
+    std::unordered_map<VertexId, FocusCache>* caches) const {
+  AnswerSet answers;
+  for (VertexId vx : focus_subset) {
+    FocusCache cache;
+    bool is_match =
+        VerifyFocus(vx, nullptr, caches != nullptr ? &cache : nullptr, stats);
+    if (is_match) {
+      answers.push_back(vx);
+      if (caches != nullptr) caches->emplace(vx, std::move(cache));
+    }
+  }
+  Canonicalize(answers);
+  return answers;
+}
+
+Result<AnswerSet> DMatchEvaluate(const Pattern& positive, const Graph& g,
+                                 const MatchOptions& options,
+                                 MatchStats* stats) {
+  QGP_ASSIGN_OR_RETURN(PositiveEvaluator ev,
+                       PositiveEvaluator::Create(positive, g, options));
+  return ev.EvaluateAll(stats, nullptr);
+}
+
+}  // namespace qgp

@@ -1,0 +1,121 @@
+#ifndef QGP_CORE_DMATCH_H_
+#define QGP_CORE_DMATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "core/candidate_space.h"
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Per-focus artifacts cached by DMatch for one verified answer, consumed
+/// by IncQMatch (§4.2). Failed witness pairs are keyed by the ORIGINAL
+/// pattern's edge ids so they can be transferred to Π(Q⁺ᵉ): adding
+/// constraints can only remove embeddings, so a pair with no witness in
+/// Π(Q) has none in Π(Q⁺ᵉ) either.
+struct FocusCache {
+  int radius = 0;
+  /// True when `ball` really covers radius hops; false when the hub
+  /// guard aborted ball extraction (ball is then empty and the
+  /// verification ran on global candidate sets).
+  bool ball_complete = false;
+  /// Fingerprint of the edge-label filter the ball was traversed with;
+  /// a consumer whose filter differs must recompute the ball.
+  uint64_t ball_filter_fingerprint = 0;
+  std::vector<VertexId> ball;  // sorted undirected ball around the focus
+  /// failed[e_orig] = set of (v << 32 | v') pairs proven witness-free.
+  std::vector<std::unordered_set<uint64_t>> failed_by_original_edge;
+  /// The all-good embedding found (by this pattern's node ids).
+  std::vector<VertexId> witness;
+};
+
+/// DMatch (§4.1): evaluates a POSITIVE QGP. The published algorithm
+/// interleaves quantifier counting with the Fig. 4 search; this
+/// implementation factors the same strategy into per-focus phases (see
+/// DESIGN.md §2): ball-restricted candidate space, lazily-counted
+/// quantifier "goodness" with memoized pinned witness searches, early
+/// stop on monotone thresholds, upper-bound pruning, and potential-score
+/// child ordering (Appendix B).
+///
+/// The evaluator is immutable after Create(); VerifyFocus is const and
+/// thread-safe, which is what mQMatch exploits for intra-fragment
+/// parallelism.
+class PositiveEvaluator {
+ public:
+  /// Builds candidate sets for `positive` (which must be positive and
+  /// valid). `edge_to_original` maps this pattern's edges to the ids of
+  /// the original QGP it was derived from (Π / Π(Q⁺ᵉ) mappings); pass
+  /// nullptr for identity. `num_original_edges` sizes the failed-pair
+  /// cache (use the original QGP's edge count). `ball_label_filter`
+  /// (optional) overrides the edge-label set used for ball traversal —
+  /// QMatch passes the ORIGINAL pattern's labels so balls cached during
+  /// the Π(Q) run stay valid for every Π(Q⁺ᵉ) (they must cover the
+  /// positified labels too).
+  static Result<PositiveEvaluator> Create(
+      Pattern positive, const Graph& g, MatchOptions options,
+      const std::vector<PatternEdgeId>* edge_to_original = nullptr,
+      size_t num_original_edges = 0,
+      const DynamicBitset* ball_label_filter = nullptr);
+
+  /// Good focus candidates (the outer-loop domain of Fig. 5).
+  const std::vector<VertexId>& FocusCandidates() const {
+    return cs_.good(pattern_.focus());
+  }
+
+  /// Verifies one focus candidate: true iff vx ∈ P(xo, G).
+  /// `warm` (optional) seeds the ball and failed-pair memo from a prior
+  /// run on a sub-pattern (IncQMatch); `cache_out` (optional) receives
+  /// this verification's artifacts.
+  bool VerifyFocus(VertexId vx, const FocusCache* warm,
+                   FocusCache* cache_out, MatchStats* stats) const;
+
+  /// Evaluates the full answer set; fills `caches` (optional) for every
+  /// answer vertex.
+  AnswerSet EvaluateAll(MatchStats* stats,
+                        std::unordered_map<VertexId, FocusCache>* caches) const;
+
+  /// Evaluates membership for an explicit focus subset (sorted not
+  /// required). Used by PQMatch to restrict to fragment-owned vertices
+  /// and by IncQMatch to restrict to cached answers.
+  AnswerSet EvaluateSubset(std::span<const VertexId> focus_subset,
+                           MatchStats* stats,
+                           std::unordered_map<VertexId, FocusCache>* caches) const;
+
+  const Pattern& pattern() const { return pattern_; }
+  const CandidateSpace& candidate_space() const { return cs_; }
+  int radius() const { return radius_; }
+
+ private:
+  PositiveEvaluator() = default;
+
+  Pattern pattern_;     // with quantifiers
+  Pattern stratified_;  // topology used by searches
+  const Graph* g_ = nullptr;
+  MatchOptions options_;
+  CandidateSpace cs_;
+  int radius_ = 0;
+  std::vector<PatternEdgeId> edge_to_original_;  // identity when underived
+  size_t num_original_edges_ = 0;
+  /// Out-edges with non-existential quantifiers, per pattern node.
+  std::vector<std::vector<PatternEdgeId>> quantified_out_;
+  /// Edge labels the pattern uses (ball traversal filter).
+  DynamicBitset pattern_edge_labels_;
+  size_t ball_limit_ = 0;
+};
+
+/// Convenience wrapper: evaluates a positive QGP end to end.
+Result<AnswerSet> DMatchEvaluate(const Pattern& positive, const Graph& g,
+                                 const MatchOptions& options,
+                                 MatchStats* stats);
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_DMATCH_H_

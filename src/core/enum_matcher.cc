@@ -1,0 +1,116 @@
+#include "core/enum_matcher.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/candidate_space.h"
+#include "core/generic_matcher.h"
+
+namespace qgp {
+
+Result<AnswerSet> EnumMatcher::EvaluatePositive(
+    const Pattern& positive, const Graph& g, const MatchOptions& options,
+    MatchStats* stats, std::span<const VertexId> focus_subset) {
+  if (!positive.IsPositive()) {
+    return Status::InvalidArgument("EvaluatePositive requires positive QGP");
+  }
+  // Plain candidate sets: label + existential degree refinement only.
+  MatchOptions plain = options;
+  plain.use_simulation = false;
+  plain.use_quantifier_pruning = false;
+  QGP_ASSIGN_OR_RETURN(CandidateSpace cs,
+                       CandidateSpace::Build(positive, g, plain, stats));
+
+  Pattern stratified = positive.Stratified();
+  const PatternNodeId xo = positive.focus();
+  std::vector<std::vector<VertexId>> candidate_sets(positive.num_nodes());
+  for (PatternNodeId u = 0; u < positive.num_nodes(); ++u) {
+    candidate_sets[u] = cs.stratified(u);
+  }
+
+  std::vector<VertexId> focus_list;
+  if (focus_subset.empty()) {
+    focus_list = cs.stratified(xo);
+  } else {
+    for (VertexId v : focus_subset) {
+      if (cs.InStratified(xo, v)) focus_list.push_back(v);
+    }
+  }
+
+  AnswerSet answers;
+  // Per focus candidate: enumerate every embedding, then check counters —
+  // the "enumerate first, verify afterwards" discipline of Enum.
+  std::vector<std::vector<VertexId>> embeddings;
+  for (VertexId vx : focus_list) {
+    if (stats != nullptr) ++stats->focus_candidates_checked;
+    embeddings.clear();
+    GenericMatcher matcher(stratified, g, candidate_sets);
+    std::pair<PatternNodeId, VertexId> pin{xo, vx};
+    GenericMatcher::SearchOptions sopts;
+    sopts.pins = {&pin, 1};
+    sopts.stats = stats;
+    sopts.max_isomorphisms = options.max_isomorphisms;
+    bool completed = matcher.Enumerate(
+        sopts, [&](const std::vector<VertexId>& h) {
+          embeddings.push_back(h);
+          return true;
+        });
+    if (!completed) {
+      return Status::Internal(
+          "Enum exceeded the isomorphism cap; raise "
+          "MatchOptions::max_isomorphisms");
+    }
+    if (embeddings.empty()) continue;
+
+    // Me(vx, v, Q) materialized per quantified edge.
+    std::vector<std::unordered_map<VertexId, std::unordered_set<VertexId>>>
+        me(positive.num_edges());
+    for (PatternEdgeId e = 0; e < positive.num_edges(); ++e) {
+      if (positive.edge(e).quantifier.IsExistential()) continue;
+      const PatternEdge& pe = positive.edge(e);
+      for (const std::vector<VertexId>& h : embeddings) {
+        me[e][h[pe.src]].insert(h[pe.dst]);
+      }
+    }
+    for (const std::vector<VertexId>& h0 : embeddings) {
+      bool good = true;
+      for (PatternEdgeId e = 0; e < positive.num_edges() && good; ++e) {
+        const PatternEdge& pe = positive.edge(e);
+        if (pe.quantifier.IsExistential()) continue;
+        uint64_t matched = me[e][h0[pe.src]].size();
+        uint64_t total = g.OutDegreeWithLabel(h0[pe.src], pe.label);
+        if (!pe.quantifier.Eval(matched, total)) good = false;
+      }
+      if (good) {
+        answers.push_back(vx);
+        break;
+      }
+    }
+  }
+  Canonicalize(answers);
+  return answers;
+}
+
+Result<AnswerSet> EnumMatcher::Evaluate(const Pattern& pattern,
+                                        const Graph& g,
+                                        const MatchOptions& options,
+                                        MatchStats* stats) {
+  QGP_RETURN_IF_ERROR(pattern.Validate(options.max_quantified_per_path));
+  auto pi = pattern.Pi();
+  if (!pi.ok()) return pi.status();
+  QGP_ASSIGN_OR_RETURN(
+      AnswerSet answers,
+      EvaluatePositive(pi.value().first, g, options, stats));
+  for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
+    QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
+    auto pi_pos = positified.Pi();
+    if (!pi_pos.ok()) return pi_pos.status();
+    QGP_ASSIGN_OR_RETURN(
+        AnswerSet negative,
+        EvaluatePositive(pi_pos.value().first, g, options, stats));
+    answers = SetDifference(answers, negative);
+  }
+  return answers;
+}
+
+}  // namespace qgp

@@ -1,0 +1,38 @@
+#ifndef QGP_CORE_ENUM_MATCHER_H_
+#define QGP_CORE_ENUM_MATCHER_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// The Enum baseline of §7: a conventional subgraph-isomorphism engine
+/// ([35]-style, built on the same Fig. 4 skeleton as QMatch) that first
+/// enumerates ALL matches of the stratified pattern and only then
+/// verifies counting quantifiers. Negated edges are handled by fully
+/// re-enumerating each positified pattern Π(Q⁺ᵉ).
+///
+/// Enum deliberately skips QMatch's quantifier-aware machinery (upper
+/// bound pruning, early-stopped counting, incremental negation), which is
+/// exactly the contrast Figures 8(a), 8(h)–8(k) measure.
+class EnumMatcher {
+ public:
+  /// Full QGP evaluation.
+  static Result<AnswerSet> Evaluate(const Pattern& pattern, const Graph& g,
+                                    const MatchOptions& options = {},
+                                    MatchStats* stats = nullptr);
+
+  /// Positive-pattern evaluation, optionally restricted to a focus subset
+  /// (PEnum's per-fragment entry point). Empty span = all candidates.
+  static Result<AnswerSet> EvaluatePositive(
+      const Pattern& positive, const Graph& g, const MatchOptions& options,
+      MatchStats* stats, std::span<const VertexId> focus_subset = {});
+};
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_ENUM_MATCHER_H_

@@ -1,0 +1,51 @@
+#include "core/expand.h"
+
+#include <functional>
+
+namespace qgp {
+
+Result<Pattern> ExpandNumericCopies(const Pattern& pattern) {
+  if (!pattern.IsPositive()) {
+    return Status::Unimplemented("copy expansion: pattern must be positive");
+  }
+  // Out-tree check: every non-focus node has exactly one in-edge, the
+  // focus has none, and every node is forward-reachable from the focus.
+  const PatternNodeId root = pattern.focus();
+  for (PatternNodeId u = 0; u < pattern.num_nodes(); ++u) {
+    size_t in_degree = pattern.InEdgeIds(u).size();
+    if (u == root ? in_degree != 0 : in_degree != 1) {
+      return Status::Unimplemented(
+          "copy expansion: stratified pattern must be an out-tree rooted "
+          "at the focus");
+    }
+  }
+  for (PatternEdgeId e = 0; e < pattern.num_edges(); ++e) {
+    const Quantifier& q = pattern.edge(e).quantifier;
+    if (q.kind() != QuantKind::kNumeric || q.op() != QuantOp::kGe) {
+      return Status::Unimplemented(
+          "copy expansion: only numeric >= quantifiers are supported");
+    }
+  }
+
+  Pattern out;
+  // Recursive clone: CopySubtree(u) creates a fresh copy of u and, for
+  // each out-edge with sigma(e) >= p, p copies of the child subtree.
+  std::function<Result<PatternNodeId>(PatternNodeId)> copy_subtree =
+      [&](PatternNodeId u) -> Result<PatternNodeId> {
+    PatternNodeId nu = out.AddNode(pattern.node(u).label, pattern.node(u).name);
+    for (PatternEdgeId e : pattern.OutEdgeIds(u)) {
+      const PatternEdge& pe = pattern.edge(e);
+      uint32_t copies = pe.quantifier.count();
+      for (uint32_t i = 0; i < copies; ++i) {
+        QGP_ASSIGN_OR_RETURN(PatternNodeId child, copy_subtree(pe.dst));
+        QGP_RETURN_IF_ERROR(out.AddEdge(nu, child, pe.label, Quantifier()));
+      }
+    }
+    return nu;
+  };
+  QGP_ASSIGN_OR_RETURN(PatternNodeId new_root, copy_subtree(root));
+  QGP_RETURN_IF_ERROR(out.set_focus(new_root));
+  return out;
+}
+
+}  // namespace qgp

@@ -1,0 +1,94 @@
+#ifndef QGP_CORE_GENERIC_MATCHER_H_
+#define QGP_CORE_GENERIC_MATCHER_H_
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// The generic subgraph-isomorphism search of Fig. 4 ([27]'s skeleton):
+/// SelectNext picks the next pattern node (connectivity-first, smallest
+/// candidate list), IsExtend checks label/edge consistency and injectivity,
+/// and the recursion backtracks through all embeddings.
+///
+/// One engine serves every matcher in the library:
+///  * Enum / NaiveMatcher-style full enumeration (callback per embedding),
+///  * DMatch witness searches (pins + stop at first embedding),
+///  * DMatch answer searches (per-node `accept` predicate = quantifier
+///    goodness, evaluated lazily),
+///  * potential-score child ordering (Appendix B selection rule).
+///
+/// Quantifiers on the pattern are ignored here — callers pass stratified
+/// topology plus whatever candidate sets encode their pruning.
+class GenericMatcher {
+ public:
+  /// Return false to stop the enumeration early.
+  using Callback = std::function<bool(const std::vector<VertexId>&)>;
+  /// Extension predicate: may (u, v) appear in an embedding? Evaluated
+  /// after topological consistency, so expensive predicates run rarely.
+  using Accept = std::function<bool(PatternNodeId, VertexId)>;
+  /// Child-ordering score: higher is tried first.
+  using Score = std::function<double(PatternNodeId, VertexId)>;
+
+  struct SearchOptions {
+    /// Pre-assigned pattern nodes (e.g. the focus, witness pins).
+    std::span<const std::pair<PatternNodeId, VertexId>> pins;
+    const Accept* accept = nullptr;
+    const Score* score = nullptr;
+    MatchStats* stats = nullptr;
+    /// Stop after this many embeddings (0 = unlimited).
+    uint64_t max_isomorphisms = 0;
+  };
+
+  /// `candidates[u]` must be sorted ascending; the engine binary-searches
+  /// them for membership when extending along adjacency lists.
+  GenericMatcher(const Pattern& pattern, const Graph& g,
+                 const std::vector<std::vector<VertexId>>& candidates);
+
+  /// Enumerates embeddings; invokes `cb` for each complete assignment
+  /// (indexed by pattern node). Returns true if the enumeration ran to
+  /// completion, false if it hit max_isomorphisms.
+  bool Enumerate(const SearchOptions& options, const Callback& cb);
+
+  /// Convenience: is there at least one embedding?
+  bool FindAny(const SearchOptions& options,
+               std::vector<VertexId>* found = nullptr);
+
+ private:
+  struct Step {
+    PatternNodeId u = kInvalidPatternId;
+    // Anchor: an edge between u and an earlier-assigned node, used to
+    // iterate adjacency instead of the full candidate list.
+    PatternEdgeId anchor_edge = kInvalidPatternId;
+    bool anchor_outgoing = false;  // true: anchor -> u is (assigned -> u)
+  };
+
+  std::vector<Step> PlanOrder(
+      std::span<const std::pair<PatternNodeId, VertexId>> pins) const;
+
+  bool Consistent(PatternNodeId u, VertexId v) const;
+  bool Extend(size_t depth, const SearchOptions& options, const Callback& cb);
+
+  const Pattern& q_;
+  const Graph& g_;
+  const std::vector<std::vector<VertexId>>& candidates_;
+
+  // Search state (single-threaded per instance).
+  std::vector<Step> plan_;
+  std::vector<VertexId> assignment_;
+  std::vector<char> used_;  // injectivity; indexed by graph vertex
+  uint64_t found_ = 0;
+  bool stopped_ = false;
+  bool overflow_ = false;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_GENERIC_MATCHER_H_

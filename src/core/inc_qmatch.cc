@@ -1,0 +1,22 @@
+#include "core/inc_qmatch.h"
+
+namespace qgp {
+
+AnswerSet IncQMatchEvaluate(
+    const PositiveEvaluator& evaluator, const AnswerSet& cached_answers,
+    const std::unordered_map<VertexId, FocusCache>& caches,
+    MatchStats* stats) {
+  AnswerSet members;
+  for (VertexId vx : cached_answers) {
+    if (stats != nullptr) ++stats->inc_candidates_checked;
+    auto it = caches.find(vx);
+    const FocusCache* warm = it == caches.end() ? nullptr : &it->second;
+    if (evaluator.VerifyFocus(vx, warm, nullptr, stats)) {
+      members.push_back(vx);
+    }
+  }
+  Canonicalize(members);
+  return members;
+}
+
+}  // namespace qgp

@@ -1,0 +1,70 @@
+#ifndef QGP_CORE_MATCH_TYPES_H_
+#define QGP_CORE_MATCH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace qgp {
+
+/// Query answer Q(xo, G): the sorted, duplicate-free vertex set matching
+/// the focus.
+using AnswerSet = std::vector<VertexId>;
+
+/// Knobs shared by the matchers. Defaults reproduce the full QMatch of
+/// §4; the ablation benches toggle individual strategies.
+struct MatchOptions {
+  /// Dual-simulation prefilter on candidate sets (Lemma 13 / [21]).
+  bool use_simulation = true;
+  /// Quantifier upper-bound pruning of candidates (§4.1, Appendix B).
+  bool use_quantifier_pruning = true;
+  /// Potential-score ordering of children during search (Appendix B).
+  bool use_potential_ordering = true;
+  /// Stop counting children once a monotone (>=) quantifier is met.
+  bool early_stop_counting = true;
+  /// Process negated edges incrementally (IncQMatch, §4.2). When false,
+  /// each Π(Q⁺ᵉ) is recomputed from scratch (the QMatchn baseline).
+  bool use_incremental_negation = true;
+  /// The §2.2 path restriction constant l.
+  int max_quantified_per_path = 2;
+  /// Safety cap on enumerated isomorphisms for the enumeration-based
+  /// matchers (0 = unlimited). Exceeding it is an Internal error, never a
+  /// silently-wrong answer.
+  uint64_t max_isomorphisms = 0;
+  /// Per-focus neighborhood ball size cap (hub-explosion guard); when a
+  /// ball exceeds it, DMatch falls back to global candidate sets, which
+  /// is equally correct. 0 = auto: max(4096, |V| / 8).
+  size_t ball_limit = 0;
+};
+
+/// Instrumentation counters. Verification work (the paper's cost measure
+/// for incremental optimality, §4.2) is `search_extensions`.
+struct MatchStats {
+  uint64_t isomorphisms_enumerated = 0;  // complete embeddings seen
+  uint64_t witness_searches = 0;         // pinned-pair searches run
+  uint64_t search_extensions = 0;        // candidate extensions tried
+  uint64_t candidates_initial = 0;       // sum of |C(u)| before pruning
+  uint64_t candidates_pruned = 0;        // removed by filters
+  uint64_t focus_candidates_checked = 0; // DMatch outer loop size
+  uint64_t inc_candidates_checked = 0;   // IncQMatch re-verifications
+  uint64_t balls_built = 0;              // per-focus neighborhoods built
+
+  /// Accumulates `other` into this (for cross-fragment aggregation).
+  void Add(const MatchStats& other);
+
+  std::string ToString() const;
+};
+
+/// Sorts and deduplicates in place, yielding a canonical AnswerSet.
+void Canonicalize(AnswerSet& answers);
+
+/// Set algebra on canonical AnswerSets.
+AnswerSet SetUnion(const AnswerSet& a, const AnswerSet& b);
+AnswerSet SetIntersection(const AnswerSet& a, const AnswerSet& b);
+AnswerSet SetDifference(const AnswerSet& a, const AnswerSet& b);
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_MATCH_TYPES_H_

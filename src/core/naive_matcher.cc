@@ -1,0 +1,184 @@
+#include "core/naive_matcher.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace qgp {
+
+namespace {
+
+constexpr uint64_t kDefaultIsoCap = 5'000'000;
+
+// Exhaustive enumeration of stratified-pattern isomorphisms. Pattern nodes
+// are assigned in a BFS-from-focus order so each step is edge-checked
+// against already-assigned neighbors.
+class Enumerator {
+ public:
+  Enumerator(const Pattern& q, const Graph& g, uint64_t cap)
+      : q_(q), g_(g), cap_(cap) {
+    order_ = BfsOrder();
+    assignment_.assign(q_.num_nodes(), kInvalidVertex);
+    used_.assign(g_.num_vertices(), 0);
+  }
+
+  // Runs the enumeration; returns false if the cap was exceeded.
+  bool Run() {
+    Extend(0);
+    return !overflow_;
+  }
+
+  // All complete isomorphisms found (pattern node -> graph vertex).
+  const std::vector<std::vector<VertexId>>& isomorphisms() const {
+    return isos_;
+  }
+
+ private:
+  std::vector<PatternNodeId> BfsOrder() const {
+    std::vector<PatternNodeId> order;
+    std::vector<char> seen(q_.num_nodes(), 0);
+    // Start from the focus, then append any unreached node (validated
+    // patterns are connected; this is a fallback for test patterns).
+    std::vector<PatternNodeId> queue{q_.focus()};
+    seen[q_.focus()] = 1;
+    size_t head = 0;
+    while (head < queue.size()) {
+      PatternNodeId u = queue[head++];
+      order.push_back(u);
+      auto visit = [&](PatternNodeId w) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          queue.push_back(w);
+        }
+      };
+      for (PatternEdgeId e : q_.OutEdgeIds(u)) visit(q_.edge(e).dst);
+      for (PatternEdgeId e : q_.InEdgeIds(u)) visit(q_.edge(e).src);
+    }
+    for (PatternNodeId u = 0; u < q_.num_nodes(); ++u) {
+      if (!seen[u]) order.push_back(u);
+    }
+    return order;
+  }
+
+  bool EdgesConsistent(PatternNodeId u, VertexId v) const {
+    for (PatternEdgeId e : q_.OutEdgeIds(u)) {
+      // Self-loops: the other endpoint IS u, currently being assigned.
+      if (q_.edge(e).dst == u) {
+        if (!g_.HasEdge(v, v, q_.edge(e).label)) return false;
+        continue;
+      }
+      VertexId w = assignment_[q_.edge(e).dst];
+      if (w != kInvalidVertex && !g_.HasEdge(v, w, q_.edge(e).label)) {
+        return false;
+      }
+    }
+    for (PatternEdgeId e : q_.InEdgeIds(u)) {
+      if (q_.edge(e).src == u) continue;  // handled above
+      VertexId w = assignment_[q_.edge(e).src];
+      if (w != kInvalidVertex && !g_.HasEdge(w, v, q_.edge(e).label)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Extend(size_t depth) {
+    if (overflow_) return;
+    if (depth == order_.size()) {
+      isos_.push_back(assignment_);
+      if (isos_.size() > cap_) overflow_ = true;
+      return;
+    }
+    PatternNodeId u = order_[depth];
+    for (VertexId v : g_.VerticesWithLabel(q_.node(u).label)) {
+      if (used_[v]) continue;
+      if (!EdgesConsistent(u, v)) continue;
+      assignment_[u] = v;
+      used_[v] = 1;
+      Extend(depth + 1);
+      used_[v] = 0;
+      assignment_[u] = kInvalidVertex;
+      if (overflow_) return;
+    }
+  }
+
+  const Pattern& q_;
+  const Graph& g_;
+  uint64_t cap_;
+  std::vector<PatternNodeId> order_;
+  std::vector<VertexId> assignment_;
+  std::vector<char> used_;
+  std::vector<std::vector<VertexId>> isos_;
+  bool overflow_ = false;
+};
+
+}  // namespace
+
+Result<AnswerSet> NaiveMatcher::EvaluatePositive(const Pattern& pattern,
+                                                 const Graph& g,
+                                                 uint64_t max_isomorphisms) {
+  if (!pattern.IsPositive()) {
+    return Status::InvalidArgument(
+        "EvaluatePositive requires a positive pattern");
+  }
+  Pattern stratified = pattern.Stratified();
+  Enumerator enumerator(stratified, g,
+                        max_isomorphisms == 0 ? kDefaultIsoCap
+                                              : max_isomorphisms);
+  if (!enumerator.Run()) {
+    return Status::Internal("naive matcher exceeded the isomorphism cap");
+  }
+
+  // Me(vx, v, Q) materialized per (edge, vx, v).
+  using Key = std::pair<VertexId, VertexId>;  // (vx, v)
+  std::vector<std::map<Key, std::set<VertexId>>> me(pattern.num_edges());
+  const PatternNodeId xo = pattern.focus();
+  for (const std::vector<VertexId>& h : enumerator.isomorphisms()) {
+    for (PatternEdgeId e = 0; e < pattern.num_edges(); ++e) {
+      const PatternEdge& pe = pattern.edge(e);
+      me[e][{h[xo], h[pe.src]}].insert(h[pe.dst]);
+    }
+  }
+
+  AnswerSet answers;
+  for (const std::vector<VertexId>& h0 : enumerator.isomorphisms()) {
+    bool good = true;
+    for (PatternEdgeId e = 0; e < pattern.num_edges() && good; ++e) {
+      const PatternEdge& pe = pattern.edge(e);
+      const Quantifier& f = pe.quantifier;
+      if (f.IsExistential()) continue;  // implied by h0 itself
+      uint64_t matched = me[e][{h0[xo], h0[pe.src]}].size();
+      uint64_t total = g.OutDegreeWithLabel(h0[pe.src], pe.label);
+      if (!f.Eval(matched, total)) good = false;
+    }
+    if (good) answers.push_back(h0[xo]);
+  }
+  Canonicalize(answers);
+  return answers;
+}
+
+Result<AnswerSet> NaiveMatcher::Evaluate(const Pattern& pattern,
+                                         const Graph& g,
+                                         const MatchOptions& options) {
+  QGP_RETURN_IF_ERROR(pattern.Validate(options.max_quantified_per_path));
+  uint64_t cap =
+      options.max_isomorphisms == 0 ? kDefaultIsoCap : options.max_isomorphisms;
+
+  auto pi_result = pattern.Pi();
+  if (!pi_result.ok()) return pi_result.status();
+  const Pattern& pi = pi_result.value().first;
+
+  QGP_ASSIGN_OR_RETURN(AnswerSet answers, EvaluatePositive(pi, g, cap));
+
+  for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
+    QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
+    auto pi_pos = positified.Pi();
+    if (!pi_pos.ok()) return pi_pos.status();
+    QGP_ASSIGN_OR_RETURN(AnswerSet negative,
+                         EvaluatePositive(pi_pos.value().first, g, cap));
+    answers = SetDifference(answers, negative);
+  }
+  return answers;
+}
+
+}  // namespace qgp

@@ -1,0 +1,35 @@
+#ifndef QGP_CORE_NAIVE_MATCHER_H_
+#define QGP_CORE_NAIVE_MATCHER_H_
+
+#include "common/result.h"
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Reference (oracle) implementation of the §2.2 semantics by literal
+/// brute force: enumerate every isomorphism of the stratified pattern,
+/// materialize the Me(vx, v, Q) sets, evaluate every quantifier, and apply
+/// the Π(Q) \ ∪ Π(Q⁺ᵉ) set difference for negation.
+///
+/// Exponential in |Q| and |G|; intended exclusively as ground truth for
+/// the optimized matchers in property tests on small graphs.
+class NaiveMatcher {
+ public:
+  /// Computes Q(xo, G). `options.max_isomorphisms` (default 5M here when
+  /// unset) bounds work; exceeding it returns an Internal error rather
+  /// than a possibly-wrong answer.
+  static Result<AnswerSet> Evaluate(const Pattern& pattern, const Graph& g,
+                                    const MatchOptions& options = {});
+
+  /// Positive-pattern evaluation used internally and by tests that want
+  /// to probe Π(Q) / Π(Q⁺ᵉ) pieces directly. `pattern` must be positive.
+  static Result<AnswerSet> EvaluatePositive(const Pattern& pattern,
+                                            const Graph& g,
+                                            uint64_t max_isomorphisms);
+};
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_NAIVE_MATCHER_H_

@@ -1,0 +1,86 @@
+#include "core/pattern_analysis.h"
+
+#include <deque>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace qgp {
+
+std::string PatternSize::ToString() const {
+  std::ostringstream out;
+  out << '(' << num_nodes << ", " << num_edges << ", " << avg_quantifier
+      << ", " << num_negated << ')';
+  return out.str();
+}
+
+PatternSize ComputePatternSize(const Pattern& q) {
+  PatternSize s;
+  s.num_nodes = q.num_nodes();
+  s.num_edges = q.num_edges();
+  double sum = 0.0;
+  size_t quantified = 0;
+  for (PatternEdgeId e = 0; e < q.num_edges(); ++e) {
+    const Quantifier& f = q.edge(e).quantifier;
+    if (f.IsNegation()) {
+      ++s.num_negated;
+    } else if (!f.IsExistential()) {
+      sum += f.kind() == QuantKind::kRatio ? f.percent()
+                                           : static_cast<double>(f.count());
+      ++quantified;
+    }
+  }
+  s.avg_quantifier = quantified == 0 ? 0.0 : sum / static_cast<double>(quantified);
+  return s;
+}
+
+std::vector<int> FocusDistances(const Pattern& q) {
+  std::vector<int> dist(q.num_nodes(), -1);
+  if (q.focus() == kInvalidPatternId) return dist;
+  std::deque<PatternNodeId> queue{q.focus()};
+  dist[q.focus()] = 0;
+  while (!queue.empty()) {
+    PatternNodeId u = queue.front();
+    queue.pop_front();
+    auto visit = [&](PatternNodeId w) {
+      if (dist[w] < 0) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    };
+    for (PatternEdgeId e : q.OutEdgeIds(u)) visit(q.edge(e).dst);
+    for (PatternEdgeId e : q.InEdgeIds(u)) visit(q.edge(e).src);
+  }
+  return dist;
+}
+
+size_t NumQuantifiedEdges(const Pattern& q) {
+  size_t count = 0;
+  for (PatternEdgeId e = 0; e < q.num_edges(); ++e) {
+    const Quantifier& f = q.edge(e).quantifier;
+    if (!f.IsExistential() && !f.IsNegation()) ++count;
+  }
+  return count;
+}
+
+bool PatternsShareEdge(const Pattern& a, const Pattern& b) {
+  using EdgeKey = std::tuple<std::string, std::string, Label>;
+  std::set<EdgeKey> edges_a;
+  for (PatternEdgeId e = 0; e < a.num_edges(); ++e) {
+    const PatternEdge& pe = a.edge(e);
+    const std::string& sn = a.node(pe.src).name;
+    const std::string& dn = a.node(pe.dst).name;
+    if (sn.empty() || dn.empty()) continue;
+    edges_a.emplace(sn, dn, pe.label);
+  }
+  for (PatternEdgeId e = 0; e < b.num_edges(); ++e) {
+    const PatternEdge& pe = b.edge(e);
+    const std::string& sn = b.node(pe.src).name;
+    const std::string& dn = b.node(pe.dst).name;
+    if (sn.empty() || dn.empty()) continue;
+    if (edges_a.count({sn, dn, pe.label}) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace qgp

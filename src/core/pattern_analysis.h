@@ -1,0 +1,40 @@
+#ifndef QGP_CORE_PATTERN_ANALYSIS_H_
+#define QGP_CORE_PATTERN_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace qgp {
+
+/// Size descriptor |Q| = (|VQ|, |EQ|, pa, |E−Q|) as reported in §7.
+struct PatternSize {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double avg_quantifier = 0.0;  // pa: mean p over non-existential positive
+                                // quantifiers (ratio p% and numeric p mixed
+                                // as in the paper's notation)
+  size_t num_negated = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes the §7 size descriptor.
+PatternSize ComputePatternSize(const Pattern& q);
+
+/// Undirected hop distance from the focus to each node (-1 unreachable;
+/// cannot happen for validated patterns).
+std::vector<int> FocusDistances(const Pattern& q);
+
+/// Number of non-existential, non-negated quantifiers.
+size_t NumQuantifiedEdges(const Pattern& q);
+
+/// True iff patterns `a` and `b` share an edge, where edges correspond
+/// when their endpoint *names* and label agree. Used to validate QGARs
+/// (§6 requires Q1 and Q2 not to overlap). Unnamed nodes never match.
+bool PatternsShareEdge(const Pattern& a, const Pattern& b);
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_PATTERN_ANALYSIS_H_

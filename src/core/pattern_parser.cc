@@ -1,0 +1,136 @@
+#include "core/pattern_parser.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace qgp {
+
+Result<Quantifier> PatternParser::ParseQuantifier(std::string_view token) {
+  QuantOp op;
+  std::string_view rest;
+  if (StartsWith(token, ">=")) {
+    op = QuantOp::kGe;
+    rest = token.substr(2);
+  } else if (StartsWith(token, ">")) {
+    op = QuantOp::kGt;
+    rest = token.substr(1);
+  } else if (StartsWith(token, "=")) {
+    op = QuantOp::kEq;
+    rest = token.substr(1);
+  } else {
+    return Status::InvalidArgument("bad quantifier '" + std::string(token) +
+                                   "': must start with >=, > or =");
+  }
+  bool ratio = !rest.empty() && rest.back() == '%';
+  if (ratio) rest.remove_suffix(1);
+  if (ratio) {
+    double p = 0;
+    if (!ParseDouble(rest, &p)) {
+      return Status::InvalidArgument("bad ratio in quantifier '" +
+                                     std::string(token) + "'");
+    }
+    Quantifier q = Quantifier::Ratio(op, p);
+    QGP_RETURN_IF_ERROR(q.Validate());
+    return q;
+  }
+  int64_t p = 0;
+  if (!ParseInt64(rest, &p) || p < 0) {
+    return Status::InvalidArgument("bad count in quantifier '" +
+                                   std::string(token) + "'");
+  }
+  if (p == 0) {
+    if (op != QuantOp::kEq) {
+      return Status::InvalidArgument(
+          "count 0 only allowed as '=0' (negated edge)");
+    }
+    return Quantifier::Negation();
+  }
+  Quantifier q = Quantifier::Numeric(op, static_cast<uint32_t>(p));
+  QGP_RETURN_IF_ERROR(q.Validate());
+  return q;
+}
+
+Result<Pattern> PatternParser::Parse(std::string_view text,
+                                     LabelDict& dict) {
+  Pattern pattern;
+  std::unordered_map<std::string, PatternNodeId> names;
+  bool focus_seen = false;
+  size_t line_no = 0;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> tok = SplitWhitespace(sv);
+    auto err = [&](const std::string& what) {
+      return Status::InvalidArgument("pattern line " +
+                                     std::to_string(line_no) + ": " + what);
+    };
+    if (tok[0] == "node") {
+      if (tok.size() != 3) return err("expected 'node <name> <label>'");
+      if (names.count(tok[1]) != 0) {
+        return err("duplicate node name '" + tok[1] + "'");
+      }
+      names.emplace(tok[1], pattern.AddNode(dict.Intern(tok[2]), tok[1]));
+    } else if (tok[0] == "edge") {
+      if (tok.size() != 4 && tok.size() != 5) {
+        return err("expected 'edge <src> <dst> <label> [<quantifier>]'");
+      }
+      auto si = names.find(tok[1]);
+      auto di = names.find(tok[2]);
+      if (si == names.end() || di == names.end()) {
+        return err("edge references undeclared node");
+      }
+      Quantifier q;
+      if (tok.size() == 5) {
+        QGP_ASSIGN_OR_RETURN(q, ParseQuantifier(tok[4]));
+      }
+      QGP_RETURN_IF_ERROR(pattern.AddEdge(si->second, di->second,
+                                          dict.Intern(tok[3]), q));
+    } else if (tok[0] == "focus") {
+      if (tok.size() != 2) return err("expected 'focus <name>'");
+      auto it = names.find(tok[1]);
+      if (it == names.end()) return err("focus references undeclared node");
+      QGP_RETURN_IF_ERROR(pattern.set_focus(it->second));
+      focus_seen = true;
+    } else {
+      return err("unknown record '" + tok[0] + "'");
+    }
+  }
+  if (pattern.num_nodes() == 0) {
+    return Status::InvalidArgument("pattern text declares no nodes");
+  }
+  if (!focus_seen) {
+    return Status::InvalidArgument("pattern text has no 'focus' record");
+  }
+  return pattern;
+}
+
+std::string PatternParser::Serialize(const Pattern& pattern,
+                                     const LabelDict& dict) {
+  std::ostringstream out;
+  auto node_name = [&](PatternNodeId u) {
+    const std::string& n = pattern.node(u).name;
+    return n.empty() ? "n" + std::to_string(u) : n;
+  };
+  for (PatternNodeId u = 0; u < pattern.num_nodes(); ++u) {
+    out << "node " << node_name(u) << ' '
+        << dict.Name(pattern.node(u).label) << '\n';
+  }
+  for (PatternEdgeId e = 0; e < pattern.num_edges(); ++e) {
+    const PatternEdge& pe = pattern.edge(e);
+    out << "edge " << node_name(pe.src) << ' ' << node_name(pe.dst) << ' '
+        << dict.Name(pe.label);
+    if (!pe.quantifier.IsExistential()) {
+      out << ' ' << pe.quantifier.ToString();
+    }
+    out << '\n';
+  }
+  out << "focus " << node_name(pattern.focus()) << '\n';
+  return out.str();
+}
+
+}  // namespace qgp

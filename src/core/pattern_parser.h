@@ -1,0 +1,50 @@
+#ifndef QGP_CORE_PATTERN_PARSER_H_
+#define QGP_CORE_PATTERN_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/pattern.h"
+#include "graph/label_dict.h"
+
+namespace qgp {
+
+/// Line-oriented text syntax for QGPs:
+///
+///   # Q2 from the paper (Fig. 1)
+///   node xo person
+///   node z  person
+///   node r  redmi_2a
+///   edge xo z follow =100%
+///   edge z  r recom
+///   focus xo
+///
+/// Records:
+///   node <name> <node-label>
+///   edge <src-name> <dst-name> <edge-label> [<quantifier>]
+///   focus <name>
+///
+/// Quantifiers: ">=N", "=N", ">N" (numeric), ">=P%", "=P%", ">P%" (ratio),
+/// "=0" (negated edge). Omitted means existential (">=1").
+///
+/// Labels are interned into the caller's LabelDict — pass the dictionary
+/// of the graph the pattern will be matched against so label ids agree.
+class PatternParser {
+ public:
+  /// Parses the textual form. Fails with InvalidArgument/Corruption on
+  /// malformed input (unknown record, duplicate node name, missing focus).
+  static Result<Pattern> Parse(std::string_view text, LabelDict& dict);
+
+  /// Parses a single quantifier token ("=0", ">=80%", ...).
+  static Result<Quantifier> ParseQuantifier(std::string_view token);
+
+  /// Inverse of Parse: renders a pattern in the same syntax. Node names
+  /// fall back to "n<i>" when empty.
+  static std::string Serialize(const Pattern& pattern,
+                               const LabelDict& dict);
+};
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_PATTERN_PARSER_H_

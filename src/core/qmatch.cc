@@ -1,0 +1,148 @@
+#include "core/qmatch.h"
+
+#include <unordered_map>
+
+#include "core/dmatch.h"
+
+namespace qgp {
+
+namespace {
+
+// Parallel map over focus candidates: verification is per-candidate
+// independent (PositiveEvaluator::VerifyFocus is const), so candidates
+// are verified across the pool and results merged deterministically.
+AnswerSet VerifyAcross(const PositiveEvaluator& ev,
+                       std::span<const VertexId> subset,
+                       const std::unordered_map<VertexId, FocusCache>* warm,
+                       std::unordered_map<VertexId, FocusCache>* caches,
+                       MatchStats* stats, ThreadPool* pool) {
+  AnswerSet answers;
+  if (pool == nullptr || subset.size() <= 1) {
+    for (VertexId vx : subset) {
+      const FocusCache* w = nullptr;
+      if (warm != nullptr) {
+        auto it = warm->find(vx);
+        if (it != warm->end()) w = &it->second;
+      }
+      FocusCache cache;
+      if (ev.VerifyFocus(vx, w, caches != nullptr ? &cache : nullptr,
+                         stats)) {
+        answers.push_back(vx);
+        if (caches != nullptr) caches->emplace(vx, std::move(cache));
+      }
+    }
+    Canonicalize(answers);
+    return answers;
+  }
+  std::vector<char> is_match(subset.size(), 0);
+  std::vector<FocusCache> cache_vec(caches != nullptr ? subset.size() : 0);
+  std::vector<MatchStats> stats_vec(stats != nullptr ? subset.size() : 0);
+  pool->ParallelFor(subset.size(), [&](size_t i) {
+    const FocusCache* w = nullptr;
+    if (warm != nullptr) {
+      auto it = warm->find(subset[i]);
+      if (it != warm->end()) w = &it->second;
+    }
+    is_match[i] = ev.VerifyFocus(
+        subset[i], w, caches != nullptr ? &cache_vec[i] : nullptr,
+        stats != nullptr ? &stats_vec[i] : nullptr);
+  });
+  for (size_t i = 0; i < subset.size(); ++i) {
+    if (stats != nullptr) stats->Add(stats_vec[i]);
+    if (is_match[i]) {
+      answers.push_back(subset[i]);
+      if (caches != nullptr) caches->emplace(subset[i], std::move(cache_vec[i]));
+    }
+  }
+  Canonicalize(answers);
+  return answers;
+}
+
+Result<AnswerSet> EvaluateImpl(const Pattern& pattern, const Graph& g,
+                               std::span<const VertexId> focus_subset,
+                               const MatchOptions& options, MatchStats* stats,
+                               ThreadPool* pool) {
+  QGP_RETURN_IF_ERROR(pattern.Validate(options.max_quantified_per_path));
+  auto pi = pattern.Pi();
+  if (!pi.ok()) return pi.status();
+  Pattern& pi_pattern = pi.value().first;
+  SubPattern& pi_map = pi.value().second;
+
+  // Ball traversal filter over the ORIGINAL pattern's edge labels
+  // (negated edges included), so balls cached while evaluating Π(Q)
+  // remain valid for every positified Π(Q⁺ᵉ).
+  DynamicBitset ball_labels(g.dict().size());
+  for (PatternEdgeId e = 0; e < pattern.num_edges(); ++e) {
+    Label l = pattern.edge(e).label;
+    if (l < ball_labels.size()) ball_labels.Set(l);
+  }
+
+  QGP_ASSIGN_OR_RETURN(
+      PositiveEvaluator ev0,
+      PositiveEvaluator::Create(std::move(pi_pattern), g, options,
+                                &pi_map.edge_to_original,
+                                pattern.num_edges(), &ball_labels));
+
+  const std::vector<PatternEdgeId> negated = pattern.NegatedEdgeIds();
+  const bool want_caches =
+      !negated.empty() && options.use_incremental_negation;
+  std::unordered_map<VertexId, FocusCache> caches;
+
+  std::vector<VertexId> default_subset;
+  if (focus_subset.empty()) default_subset = ev0.FocusCandidates();
+  std::span<const VertexId> subset =
+      focus_subset.empty() ? std::span<const VertexId>(default_subset)
+                           : focus_subset;
+  AnswerSet answers = VerifyAcross(ev0, subset, nullptr,
+                                   want_caches ? &caches : nullptr, stats,
+                                   pool);
+
+  for (PatternEdgeId e : negated) {
+    if (answers.empty()) break;  // nothing left to subtract from
+    QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
+    auto pi_pos = positified.Pi();
+    if (!pi_pos.ok()) return pi_pos.status();
+    QGP_ASSIGN_OR_RETURN(
+        PositiveEvaluator ev_e,
+        PositiveEvaluator::Create(std::move(pi_pos.value().first), g, options,
+                                  &pi_pos.value().second.edge_to_original,
+                                  pattern.num_edges(), &ball_labels));
+    AnswerSet negative;
+    if (options.use_incremental_negation) {
+      // IncQMatch: only cached answers are re-verified, with warm caches.
+      if (stats != nullptr) stats->inc_candidates_checked += answers.size();
+      negative = VerifyAcross(ev_e, answers, &caches, nullptr, stats, pool);
+    } else {
+      // QMatchn: full recomputation of Π(Q⁺ᵉ)(xo, G).
+      negative = VerifyAcross(ev_e, ev_e.FocusCandidates(), nullptr, nullptr,
+                              stats, pool);
+    }
+    answers = SetDifference(answers, negative);
+  }
+  return answers;
+}
+
+}  // namespace
+
+Result<AnswerSet> QMatch::Evaluate(const Pattern& pattern, const Graph& g,
+                                   const MatchOptions& options,
+                                   MatchStats* stats, ThreadPool* pool) {
+  return EvaluateImpl(pattern, g, {}, options, stats, pool);
+}
+
+Result<AnswerSet> QMatch::EvaluateSubset(const Pattern& pattern,
+                                         const Graph& g,
+                                         std::span<const VertexId> focus_subset,
+                                         const MatchOptions& options,
+                                         MatchStats* stats, ThreadPool* pool) {
+  return EvaluateImpl(pattern, g, focus_subset, options, stats, pool);
+}
+
+Result<AnswerSet> QMatchNaiveEvaluate(const Pattern& pattern, const Graph& g,
+                                      MatchOptions options,
+                                      MatchStats* stats) {
+  options.use_incremental_negation = false;
+  return QMatch::Evaluate(pattern, g, options, stats);
+}
+
+}  // namespace qgp

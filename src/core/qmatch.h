@@ -1,0 +1,51 @@
+#ifndef QGP_CORE_QMATCH_H_
+#define QGP_CORE_QMATCH_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// QMatch (Fig. 5, §4): the paper's quantified matching algorithm.
+///
+///   1. Π(Q)(xo, G) is computed by DMatch (dynamic candidate pruning,
+///      lazy counter verification, potential ordering).
+///   2. Each negated edge e is positified and Π(Q⁺ᵉ)(xo, G) evaluated —
+///      incrementally via IncQMatch over the cached Π(Q) artifacts when
+///      options.use_incremental_negation is set (QMatch), or from scratch
+///      (the QMatchn baseline of §7) when it is not.
+///   3. Q(xo, G) = Π(Q)(xo, G) \ ∪e Π(Q⁺ᵉ)(xo, G).
+///
+/// Passing a ThreadPool parallelizes focus-candidate verification across
+/// its workers (the paper's mQMatch intra-fragment parallelism): focus
+/// verifications are independent, so this is a plain parallel map.
+class QMatch {
+ public:
+  /// Computes Q(xo, G).
+  static Result<AnswerSet> Evaluate(const Pattern& pattern, const Graph& g,
+                                    const MatchOptions& options = {},
+                                    MatchStats* stats = nullptr,
+                                    ThreadPool* pool = nullptr);
+
+  /// Same, restricted to an explicit focus-candidate subset — PQMatch's
+  /// per-fragment entry point (fragments own disjoint candidate sets).
+  static Result<AnswerSet> EvaluateSubset(
+      const Pattern& pattern, const Graph& g,
+      std::span<const VertexId> focus_subset, const MatchOptions& options,
+      MatchStats* stats, ThreadPool* pool = nullptr);
+};
+
+/// QMatchn: QMatch without incremental negation (recomputes every
+/// Π(Q⁺ᵉ) with DMatch). Equivalent answers, more work — the §7 baseline.
+Result<AnswerSet> QMatchNaiveEvaluate(const Pattern& pattern, const Graph& g,
+                                      MatchOptions options = {},
+                                      MatchStats* stats = nullptr);
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_QMATCH_H_

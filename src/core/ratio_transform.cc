@@ -1,0 +1,34 @@
+#include "core/ratio_transform.h"
+
+namespace qgp {
+
+NumericForm ToNumericAt(const Quantifier& q, uint64_t total) {
+  NumericForm out;
+  std::optional<uint64_t> needed = q.MinCountNeeded(total);
+  if (!needed.has_value()) return out;  // unsatisfiable
+  out.satisfiable = true;
+  out.min_count = *needed;
+  out.exact = q.op() == QuantOp::kEq && !q.IsNegation();
+  // A required count above the child total is unsatisfiable too.
+  if (out.min_count > total) out.satisfiable = false;
+  return out;
+}
+
+Pattern NormalizeGtQuantifiers(const Pattern& pattern) {
+  Pattern out;
+  for (PatternNodeId u = 0; u < pattern.num_nodes(); ++u) {
+    out.AddNode(pattern.node(u).label, pattern.node(u).name);
+  }
+  for (PatternEdgeId e = 0; e < pattern.num_edges(); ++e) {
+    const PatternEdge& pe = pattern.edge(e);
+    Quantifier q = pe.quantifier;
+    if (q.kind() == QuantKind::kNumeric && q.op() == QuantOp::kGt) {
+      q = Quantifier::Numeric(QuantOp::kGe, q.count() + 1);
+    }
+    (void)out.AddEdge(pe.src, pe.dst, pe.label, q);
+  }
+  (void)out.set_focus(pattern.focus());
+  return out;
+}
+
+}  // namespace qgp

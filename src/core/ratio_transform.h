@@ -1,0 +1,35 @@
+#ifndef QGP_CORE_RATIO_TRANSFORM_H_
+#define QGP_CORE_RATIO_TRANSFORM_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Result of rewriting a ratio quantifier to its numeric equivalent at a
+/// concrete vertex (§4.1 "Ratio aggregates"): given |Me(v)| = total, the
+/// check `count/total ⊙ p%` becomes a numeric condition on count.
+struct NumericForm {
+  /// False when no count can satisfy the quantifier at this vertex
+  /// (e.g. `= 40%` of 3 children).
+  bool satisfiable = false;
+  /// Smallest satisfying count (the paper's p'; computed with a ceiling
+  /// for `>=` — DESIGN.md deviation 1).
+  uint64_t min_count = 0;
+  /// For `=` forms the count must equal min_count exactly.
+  bool exact = false;
+};
+
+/// Rewrites `q` (any kind) at a vertex with `total` label-children.
+NumericForm ToNumericAt(const Quantifier& q, uint64_t total);
+
+/// Normalizes `σ(e) > p` to `σ(e) >= p+1` on numeric quantifiers (§4.1's
+/// extension rule); ratio and other forms pass through unchanged.
+Pattern NormalizeGtQuantifiers(const Pattern& pattern);
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_RATIO_TRANSFORM_H_

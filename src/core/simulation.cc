@@ -1,0 +1,76 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+
+#include "common/bitset.h"
+
+namespace qgp {
+
+std::vector<std::vector<VertexId>> DualSimulation(const Pattern& pattern,
+                                                  const Graph& g) {
+  const size_t nq = pattern.num_nodes();
+  // Membership bitmaps per pattern node.
+  std::vector<DynamicBitset> in_sim(nq, DynamicBitset(g.num_vertices()));
+  std::vector<std::vector<VertexId>> sim(nq);
+  for (PatternNodeId u = 0; u < nq; ++u) {
+    for (VertexId v : g.VerticesWithLabel(pattern.node(u).label)) {
+      in_sim[u].Set(v);
+      sim[u].push_back(v);
+    }
+  }
+
+  // Fixpoint refinement. Patterns are tiny, graphs are the big dimension,
+  // so a simple "recheck all members of dirty nodes" loop converges fast.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      std::vector<VertexId>& members = sim[u];
+      size_t kept = 0;
+      for (size_t i = 0; i < members.size(); ++i) {
+        VertexId v = members[i];
+        bool ok = true;
+        for (PatternEdgeId e : pattern.OutEdgeIds(u)) {
+          const PatternEdge& pe = pattern.edge(e);
+          bool found = false;
+          for (const Neighbor& n : g.OutNeighborsWithLabel(v, pe.label)) {
+            if (in_sim[pe.dst].Test(n.v)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          for (PatternEdgeId e : pattern.InEdgeIds(u)) {
+            const PatternEdge& pe = pattern.edge(e);
+            bool found = false;
+            for (const Neighbor& n : g.InNeighborsWithLabel(v, pe.label)) {
+              if (in_sim[pe.src].Test(n.v)) {
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          members[kept++] = v;
+        } else {
+          in_sim[u].Clear(v);
+          changed = true;
+        }
+      }
+      members.resize(kept);
+    }
+  }
+  return sim;
+}
+
+}  // namespace qgp

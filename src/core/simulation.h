@@ -1,0 +1,29 @@
+#ifndef QGP_CORE_SIMULATION_H_
+#define QGP_CORE_SIMULATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Dual graph simulation of a pattern's stratified topology in G
+/// ([21], used by QMatch as a candidate prefilter per Lemma 13).
+///
+/// v simulates pattern node u iff L(v) = LQ(u), for every pattern edge
+/// (u,u') some child v' of v via the edge label simulates u', and for
+/// every pattern edge (u'',u) some parent v'' of v via the edge label
+/// simulates u''. Dual simulation is implied by subgraph isomorphism, so
+/// filtering candidate sets to sim(u) is sound and strictly tightens the
+/// upper bounds U(v,e) used by the pruning rules.
+///
+/// Returns, for each pattern node u, the sorted vertex set sim(u).
+/// Quantifiers on `pattern` are ignored (the relation is about Qπ).
+std::vector<std::vector<VertexId>> DualSimulation(const Pattern& pattern,
+                                                  const Graph& g);
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_SIMULATION_H_

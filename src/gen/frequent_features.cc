@@ -1,0 +1,67 @@
+#include "gen/frequent_features.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace qgp {
+
+std::vector<EdgeFeature> MineEdgeFeatures(const Graph& g, size_t top_k) {
+  std::map<std::tuple<Label, Label, Label>, uint64_t> counts;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Label sl = g.vertex_label(v);
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      ++counts[{sl, n.label, g.vertex_label(n.v)}];
+    }
+  }
+  std::vector<EdgeFeature> features;
+  features.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    features.push_back(EdgeFeature{std::get<0>(key), std::get<1>(key),
+                                   std::get<2>(key), count});
+  }
+  std::sort(features.begin(), features.end(),
+            [](const EdgeFeature& a, const EdgeFeature& b) {
+              return a.count > b.count;
+            });
+  if (features.size() > top_k) features.resize(top_k);
+  return features;
+}
+
+std::vector<PathFeature> MinePathFeatures(const Graph& g, size_t length,
+                                          size_t top_k, size_t samples,
+                                          uint64_t seed) {
+  std::vector<PathFeature> out;
+  if (g.num_vertices() == 0 || length == 0 || length > 3) return out;
+  Rng rng(seed);
+  std::map<std::pair<std::vector<Label>, std::vector<Label>>, uint64_t>
+      counts;
+  for (size_t s = 0; s < samples; ++s) {
+    VertexId v = static_cast<VertexId>(rng.NextUint64(g.num_vertices()));
+    std::vector<Label> nodes{g.vertex_label(v)};
+    std::vector<Label> edges;
+    for (size_t step = 0; step < length; ++step) {
+      std::span<const Neighbor> adj = g.OutNeighbors(v);
+      if (adj.empty()) break;
+      const Neighbor& n = adj[rng.NextUint64(adj.size())];
+      edges.push_back(n.label);
+      nodes.push_back(g.vertex_label(n.v));
+      v = n.v;
+    }
+    if (edges.size() == length) ++counts[{nodes, edges}];
+  }
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    out.push_back(PathFeature{key.first, key.second, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PathFeature& a, const PathFeature& b) {
+              return a.count > b.count;
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+}  // namespace qgp

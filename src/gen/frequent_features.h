@@ -1,0 +1,41 @@
+#ifndef QGP_GEN_FREQUENT_FEATURES_H_
+#define QGP_GEN_FREQUENT_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// A frequent single-edge feature: a (source label, edge label, target
+/// label) triple with its occurrence count. The §7 pattern generator
+/// seeds stratified patterns from the top features, and the QGAR miner
+/// uses them as candidate consequent edges.
+struct EdgeFeature {
+  Label src_label = kInvalidLabel;
+  Label edge_label = kInvalidLabel;
+  Label dst_label = kInvalidLabel;
+  uint64_t count = 0;
+};
+
+/// A frequent labeled path of up to 3 edges (node label sequence plus
+/// edge label sequence), estimated by random-walk sampling.
+struct PathFeature {
+  std::vector<Label> node_labels;  // length k+1
+  std::vector<Label> edge_labels;  // length k
+  uint64_t count = 0;
+};
+
+/// Exact edge-feature counts via one CSR scan, descending by count.
+std::vector<EdgeFeature> MineEdgeFeatures(const Graph& g, size_t top_k);
+
+/// Path features of `length` in {1,2,3}, estimated from `samples` random
+/// walks (deterministic under `seed`), descending by sampled count.
+std::vector<PathFeature> MinePathFeatures(const Graph& g, size_t length,
+                                          size_t top_k, size_t samples,
+                                          uint64_t seed);
+
+}  // namespace qgp
+
+#endif  // QGP_GEN_FREQUENT_FEATURES_H_

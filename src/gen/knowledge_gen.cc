@@ -1,0 +1,106 @@
+#include "gen/knowledge_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+
+Result<Graph> GenerateKnowledgeGraph(const KnowledgeConfig& config) {
+  if (config.num_scientists == 0) {
+    return Status::InvalidArgument("knowledge graph needs >= 1 scientist");
+  }
+  if (config.num_universities == 0 || config.num_prizes == 0 ||
+      config.num_countries == 0) {
+    return Status::InvalidArgument("entity pools must be non-empty");
+  }
+  Rng rng(config.seed);
+  GraphBuilder b;
+  const Label scientist = b.InternLabel("scientist");
+  const Label university = b.InternLabel("university");
+  const Label prize = b.InternLabel("prize");
+  const Label prof_title = b.InternLabel("prof_title");
+  const Label phd_degree = b.InternLabel("phd_degree");
+  const Label advisor = b.InternLabel("advisor");
+  const Label is_a = b.InternLabel("is_a");
+  const Label has_degree = b.InternLabel("has_degree");
+  const Label citizen_of = b.InternLabel("citizen_of");
+  const Label won = b.InternLabel("won");
+  const Label graduated_from = b.InternLabel("graduated_from");
+  const Label works_at = b.InternLabel("works_at");
+  const Label located_in = b.InternLabel("located_in");
+
+  const size_t n = config.num_scientists;
+  std::vector<VertexId> people(n);
+  for (size_t i = 0; i < n; ++i) people[i] = b.AddVertexWithLabel(scientist);
+  std::vector<VertexId> universities(config.num_universities);
+  for (auto& v : universities) v = b.AddVertexWithLabel(university);
+  std::vector<VertexId> prizes(config.num_prizes);
+  for (auto& v : prizes) v = b.AddVertexWithLabel(prize);
+  const VertexId the_prof = b.AddVertexWithLabel(prof_title);
+  const VertexId the_phd = b.AddVertexWithLabel(phd_degree);
+  std::vector<VertexId> countries(config.num_countries);
+  for (size_t c = 0; c < config.num_countries; ++c) {
+    countries[c] =
+        b.AddVertexWithLabel(b.InternLabel("country" + std::to_string(c)));
+  }
+
+  // Universities live in countries (Zipf: a few countries host most).
+  for (VertexId u : universities) {
+    QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+        u, countries[rng.NextZipf(countries.size(), 1.0)], located_in));
+  }
+
+  std::vector<char> is_prof(n, 0), has_phd(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const VertexId p = people[i];
+    is_prof[i] = rng.NextBool(config.professor_frac);
+    has_phd[i] =
+        rng.NextBool(is_prof[i] ? config.phd_frac_prof : config.phd_frac_other);
+    if (is_prof[i]) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(p, the_prof, is_a));
+    }
+    if (has_phd[i]) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(p, the_phd, has_degree));
+    }
+    QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+        p, countries[rng.NextZipf(countries.size(), 1.0)], citizen_of));
+    QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+        p, universities[rng.NextZipf(universities.size(), 1.1)],
+        graduated_from));
+    if (is_prof[i]) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+          p, universities[rng.NextZipf(universities.size(), 1.1)], works_at));
+    }
+    if (rng.NextBool(config.prize_winner_frac)) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+          p, prizes[rng.NextZipf(prizes.size(), 1.0)], won));
+      if (rng.NextBool(config.second_prize_frac)) {
+        QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+            p, prizes[rng.NextUint64(prizes.size())], won));
+      }
+    }
+  }
+
+  // Advisor lineages: professors advise later-generation scientists.
+  // advisor(x, z) reads "x advised z" (the paper's Q4 orientation).
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_prof[i]) continue;
+    size_t students = rng.NextZipf(
+        static_cast<uint64_t>(std::max(1.0, 2 * config.avg_students)), 1.2);
+    for (size_t s = 0; s < students; ++s) {
+      // Students come from the "younger" half relative to the advisor
+      // where possible, keeping lineages roughly acyclic.
+      size_t lo = std::min(i + 1, n - 1);
+      size_t target = lo + rng.NextUint64(n - lo);
+      if (target == i) continue;
+      QGP_RETURN_IF_ERROR(
+          b.AddEdgeWithLabel(people[i], people[target], advisor));
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace qgp

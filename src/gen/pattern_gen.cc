@@ -1,0 +1,225 @@
+#include "gen/pattern_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace qgp {
+
+namespace {
+
+// One sampled instance edge (graph vertices + edge label).
+struct InstanceEdge {
+  VertexId src;
+  VertexId dst;
+  Label label;
+};
+
+// Grows a connected instance subgraph of `want_nodes` vertices around a
+// random seed by repeatedly following a random incident edge (either
+// direction) from a random chosen vertex, then adds induced extra edges
+// up to `want_edges`. Returns false when the region is too small.
+bool SampleInstance(const Graph& g, size_t want_nodes, size_t want_edges,
+                    Rng& rng, std::vector<VertexId>* nodes,
+                    std::vector<InstanceEdge>* edges) {
+  if (g.num_vertices() == 0) return false;
+  // Prefer a well-connected seed: best of a few random probes.
+  VertexId seed = static_cast<VertexId>(rng.NextUint64(g.num_vertices()));
+  for (int probe = 0; probe < 4; ++probe) {
+    VertexId v = static_cast<VertexId>(rng.NextUint64(g.num_vertices()));
+    if (g.OutDegree(v) + g.InDegree(v) >
+        g.OutDegree(seed) + g.InDegree(seed)) {
+      seed = v;
+    }
+  }
+  nodes->clear();
+  edges->clear();
+  nodes->push_back(seed);
+  std::set<VertexId> chosen{seed};
+  std::set<std::tuple<VertexId, VertexId, Label>> edge_set;
+
+  size_t stall = 0;
+  while (chosen.size() < want_nodes && stall < 64) {
+    VertexId v = (*nodes)[rng.NextUint64(nodes->size())];
+    std::span<const Neighbor> out = g.OutNeighbors(v);
+    std::span<const Neighbor> in = g.InNeighbors(v);
+    size_t total = out.size() + in.size();
+    if (total == 0) {
+      ++stall;
+      continue;
+    }
+    size_t pick = rng.NextUint64(total);
+    bool outgoing = pick < out.size();
+    const Neighbor& n = outgoing ? out[pick] : in[pick - out.size()];
+    if (chosen.count(n.v) != 0) {
+      ++stall;
+      continue;
+    }
+    chosen.insert(n.v);
+    nodes->push_back(n.v);
+    InstanceEdge e = outgoing ? InstanceEdge{v, n.v, n.label}
+                              : InstanceEdge{n.v, v, n.label};
+    if (edge_set.insert({e.src, e.dst, e.label}).second) edges->push_back(e);
+    stall = 0;
+  }
+  if (chosen.size() < want_nodes) return false;
+
+  // Extra edges: any induced edges among chosen vertices.
+  std::vector<InstanceEdge> extras;
+  for (VertexId v : *nodes) {
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      if (chosen.count(n.v) == 0) continue;
+      if (edge_set.count({v, n.v, n.label}) != 0) continue;
+      extras.push_back(InstanceEdge{v, n.v, n.label});
+    }
+  }
+  rng.Shuffle(extras);
+  for (const InstanceEdge& e : extras) {
+    if (edges->size() >= want_edges) break;
+    if (edge_set.insert({e.src, e.dst, e.label}).second) edges->push_back(e);
+  }
+  return edges->size() >= std::min(want_edges, want_nodes - 1);
+}
+
+}  // namespace
+
+Result<Pattern> GeneratePattern(const Graph& g,
+                                const std::vector<EdgeFeature>& features,
+                                const PatternGenConfig& config, Rng& rng) {
+  if (config.num_nodes < 2) {
+    return Status::InvalidArgument("pattern generator needs >= 2 nodes");
+  }
+  Status last_error = Status::Internal("pattern generation failed");
+  for (size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+    std::vector<VertexId> inst_nodes;
+    std::vector<InstanceEdge> inst_edges;
+    if (!SampleInstance(g, config.num_nodes, config.num_edges, rng,
+                        &inst_nodes, &inst_edges)) {
+      continue;
+    }
+    Pattern q;
+    std::map<VertexId, PatternNodeId> to_pattern;
+    for (size_t i = 0; i < inst_nodes.size(); ++i) {
+      to_pattern[inst_nodes[i]] =
+          q.AddNode(g.vertex_label(inst_nodes[i]), "n" + std::to_string(i));
+    }
+    (void)q.set_focus(to_pattern[inst_nodes[0]]);
+    for (const InstanceEdge& e : inst_edges) {
+      QGP_RETURN_IF_ERROR(
+          q.AddEdge(to_pattern[e.src], to_pattern[e.dst], e.label));
+    }
+
+    // Quantifiers: prefer edges leaving the focus (star-like workloads,
+    // §7), then any other positive edge; never exceed the path budget.
+    Quantifier quant =
+        config.kind == QuantKind::kRatio
+            ? Quantifier::Ratio(config.op, config.percent)
+            : Quantifier::Numeric(config.op, config.count);
+    std::vector<PatternEdgeId> order;
+    for (PatternEdgeId e : q.OutEdgeIds(q.focus())) order.push_back(e);
+    for (PatternEdgeId e = 0; e < q.num_edges(); ++e) {
+      if (q.edge(e).src != q.focus()) order.push_back(e);
+    }
+    size_t placed = 0;
+    for (PatternEdgeId e : order) {
+      if (placed >= config.num_quantified) break;
+      Pattern trial = q;
+      // Rebuild with the quantifier on edge e.
+      Pattern next;
+      for (PatternNodeId u = 0; u < q.num_nodes(); ++u) {
+        next.AddNode(q.node(u).label, q.node(u).name);
+      }
+      for (PatternEdgeId e2 = 0; e2 < q.num_edges(); ++e2) {
+        const PatternEdge& pe = q.edge(e2);
+        QGP_RETURN_IF_ERROR(next.AddEdge(pe.src, pe.dst, pe.label,
+                                         e2 == e ? quant : pe.quantifier));
+      }
+      (void)next.set_focus(q.focus());
+      if (next.Validate(config.max_quantified_per_path).ok()) {
+        q = std::move(next);
+        ++placed;
+      }
+    }
+    if (placed < std::min(config.num_quantified, q.num_edges())) continue;
+
+    // Negated edges.
+    size_t negated = 0;
+    for (size_t k = 0; k < config.num_negated * 4 && negated < config.num_negated;
+         ++k) {
+      Pattern trial = q;
+      bool fresh_node = rng.NextBool(0.6) && !features.empty();
+      if (fresh_node) {
+        // Attach a new node to the focus via a frequent feature whose
+        // source label matches the focus (Q3-style negation).
+        std::vector<const EdgeFeature*> applicable;
+        for (const EdgeFeature& f : features) {
+          if (f.src_label == q.node(q.focus()).label) {
+            applicable.push_back(&f);
+          }
+        }
+        if (applicable.empty()) continue;
+        const EdgeFeature& f =
+            *applicable[rng.NextUint64(applicable.size())];
+        PatternNodeId w = trial.AddNode(
+            f.dst_label, "neg" + std::to_string(negated));
+        QGP_RETURN_IF_ERROR(trial.AddEdge(trial.focus(), w, f.edge_label,
+                                          Quantifier::Negation()));
+      } else {
+        // Negate a random existing existential edge.
+        std::vector<PatternEdgeId> candidates;
+        for (PatternEdgeId e = 0; e < q.num_edges(); ++e) {
+          if (q.edge(e).quantifier.IsExistential()) candidates.push_back(e);
+        }
+        if (candidates.empty()) continue;
+        PatternEdgeId e = candidates[rng.NextUint64(candidates.size())];
+        Pattern next;
+        for (PatternNodeId u = 0; u < q.num_nodes(); ++u) {
+          next.AddNode(q.node(u).label, q.node(u).name);
+        }
+        for (PatternEdgeId e2 = 0; e2 < q.num_edges(); ++e2) {
+          const PatternEdge& pe = q.edge(e2);
+          QGP_RETURN_IF_ERROR(next.AddEdge(
+              pe.src, pe.dst, pe.label,
+              e2 == e ? Quantifier::Negation() : pe.quantifier));
+        }
+        (void)next.set_focus(q.focus());
+        trial = std::move(next);
+      }
+      Status vs = trial.Validate(config.max_quantified_per_path);
+      if (!vs.ok()) {
+        last_error = vs;
+        continue;
+      }
+      // Π(Q) must keep at least two nodes to stay a meaningful pattern.
+      auto pi = trial.Pi();
+      if (!pi.ok() || pi.value().first.num_nodes() < 2) continue;
+      q = std::move(trial);
+      ++negated;
+    }
+    if (negated < config.num_negated) continue;
+
+    Status vs = q.Validate(config.max_quantified_per_path);
+    if (!vs.ok()) {
+      last_error = vs;
+      continue;
+    }
+    return q;
+  }
+  return last_error;
+}
+
+std::vector<Pattern> GeneratePatternSuite(const Graph& g, size_t count,
+                                          const PatternGenConfig& config,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EdgeFeature> features = MineEdgeFeatures(g, 24);
+  std::vector<Pattern> suite;
+  for (size_t i = 0; i < count * 4 && suite.size() < count; ++i) {
+    Result<Pattern> p = GeneratePattern(g, features, config, rng);
+    if (p.ok()) suite.push_back(std::move(p).value());
+  }
+  return suite;
+}
+
+}  // namespace qgp

@@ -1,0 +1,54 @@
+#ifndef QGP_GEN_PATTERN_GEN_H_
+#define QGP_GEN_PATTERN_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/pattern.h"
+#include "gen/frequent_features.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Workload generator replicating §7's methodology: stratified patterns
+/// are grown from actual graph instances (so Π(Q) has witnesses), sized
+/// by (|VQ|, |EQ|); positive quantifiers σ(e) >= p% are placed on edges
+/// near the focus; |E−Q| negated edges are then attached.
+struct PatternGenConfig {
+  size_t num_nodes = 5;
+  size_t num_edges = 7;
+
+  /// Quantifier placement.
+  size_t num_quantified = 2;
+  QuantKind kind = QuantKind::kRatio;  // kRatio (p%) or kNumeric (p)
+  QuantOp op = QuantOp::kGe;
+  double percent = 30.0;  // pa for ratio quantifiers
+  uint32_t count = 2;     // p for numeric quantifiers
+
+  /// Negated edges. Each either attaches a fresh node to the focus via a
+  /// frequent edge feature (Q3-style, exercising IncQMatch's ΔE with new
+  /// nodes) or negates an existing edge, chosen at random.
+  size_t num_negated = 1;
+
+  int max_quantified_per_path = 2;
+  size_t max_attempts = 64;
+};
+
+/// Generates one pattern. `features` should come from MineEdgeFeatures on
+/// the same graph (used for negated-edge labels); may be empty, in which
+/// case negated edges reuse labels present in the sampled instance.
+Result<Pattern> GeneratePattern(const Graph& g,
+                                const std::vector<EdgeFeature>& features,
+                                const PatternGenConfig& config, Rng& rng);
+
+/// Generates up to `count` patterns (best effort: graphs with tiny label
+/// diversity may yield fewer). Deterministic under `seed`.
+std::vector<Pattern> GeneratePatternSuite(const Graph& g, size_t count,
+                                          const PatternGenConfig& config,
+                                          uint64_t seed);
+
+}  // namespace qgp
+
+#endif  // QGP_GEN_PATTERN_GEN_H_

@@ -1,0 +1,131 @@
+#include "gen/social_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+
+Result<Graph> GenerateSocialGraph(const SocialConfig& config) {
+  if (config.num_users == 0) {
+    return Status::InvalidArgument("social graph needs >= 1 user");
+  }
+  if (config.num_products == 0 || config.num_albums == 0 ||
+      config.num_clubs == 0 || config.num_hobbies == 0 ||
+      config.num_cities == 0) {
+    return Status::InvalidArgument("entity pools must be non-empty");
+  }
+  Rng rng(config.seed);
+  GraphBuilder b;
+  const Label person = b.InternLabel("person");
+  const Label product = b.InternLabel("product");
+  const Label album = b.InternLabel("album");
+  const Label club = b.InternLabel("club");
+  const Label hobby = b.InternLabel("hobby");
+  const Label city = b.InternLabel("city");
+  const Label follow = b.InternLabel("follow");
+  const Label like = b.InternLabel("like");
+  const Label recom = b.InternLabel("recom");
+  const Label bad_rating = b.InternLabel("bad_rating");
+  const Label in_club = b.InternLabel("in");
+  const Label lives_in = b.InternLabel("lives_in");
+  const Label has_hobby = b.InternLabel("has_hobby");
+  const Label buy = b.InternLabel("buy");
+  const Label post = b.InternLabel("post");
+
+  const size_t n = config.num_users;
+  std::vector<VertexId> users(n);
+  for (size_t i = 0; i < n; ++i) users[i] = b.AddVertexWithLabel(person);
+  std::vector<VertexId> products(config.num_products);
+  for (auto& v : products) v = b.AddVertexWithLabel(product);
+  std::vector<VertexId> albums(config.num_albums);
+  for (auto& v : albums) v = b.AddVertexWithLabel(album);
+  std::vector<VertexId> clubs(config.num_clubs);
+  for (auto& v : clubs) v = b.AddVertexWithLabel(club);
+  std::vector<VertexId> hobbies(config.num_hobbies);
+  for (auto& v : hobbies) v = b.AddVertexWithLabel(hobby);
+  std::vector<VertexId> cities(config.num_cities);
+  for (auto& v : cities) v = b.AddVertexWithLabel(city);
+
+  const size_t csize = std::max<size_t>(2, config.community_size);
+  const size_t num_comm = (n + csize - 1) / csize;
+  auto community_of = [&](size_t user) { return user / csize; };
+  auto community_begin = [&](size_t c) { return c * csize; };
+  auto community_end = [&](size_t c) { return std::min(n, (c + 1) * csize); };
+
+  // Community favourites.
+  std::vector<VertexId> fav_product(num_comm), fav_album(num_comm),
+      fav_hobby(num_comm), home_city(num_comm), home_club(num_comm);
+  for (size_t c = 0; c < num_comm; ++c) {
+    fav_product[c] = products[rng.NextUint64(products.size())];
+    fav_album[c] = albums[rng.NextUint64(albums.size())];
+    fav_hobby[c] = hobbies[rng.NextUint64(hobbies.size())];
+    home_city[c] = cities[rng.NextUint64(cities.size())];
+    home_club[c] = clubs[rng.NextUint64(clubs.size())];
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = community_of(i);
+    const size_t cb = community_begin(c), ce = community_end(c);
+    const VertexId u = users[i];
+
+    // Follows: Zipf out-degree, mostly intra-community, popularity-skewed
+    // targets (low ranks inside the community are "influencers").
+    size_t degree = 1 + rng.NextZipf(static_cast<uint64_t>(
+                                         std::max(1.0, 2 * config.avg_follows)),
+                                     1.3);
+    for (size_t k = 0; k < degree; ++k) {
+      size_t target;
+      if (rng.NextBool(config.intra_community) && ce - cb > 1) {
+        target = cb + rng.NextZipf(ce - cb, 1.1);
+      } else {
+        target = rng.NextZipf(n, 1.05);
+      }
+      if (target == i) target = (target + 1) % n;
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(u, users[target], follow));
+    }
+
+    // Community-correlated behaviour.
+    bool recommends = rng.NextBool(config.recom_favorite);
+    if (recommends) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(u, fav_product[c], recom));
+      if (rng.NextBool(config.buy_if_recom)) {
+        QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(u, fav_product[c], buy));
+      }
+    }
+    if (rng.NextBool(config.like_favorite)) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(u, fav_album[c], like));
+    }
+    if (rng.NextBool(config.random_recom)) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+          u, products[rng.NextUint64(products.size())], recom));
+    }
+    if (rng.NextBool(config.bad_rating_prob)) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+          u, products[rng.NextUint64(products.size())], bad_rating));
+    }
+    if (rng.NextBool(config.club_member)) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(u, home_club[c], in_club));
+    } else if (rng.NextBool(0.3)) {
+      QGP_RETURN_IF_ERROR(
+          b.AddEdgeWithLabel(u, clubs[rng.NextUint64(clubs.size())], in_club));
+    }
+    QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+        u,
+        rng.NextBool(0.85) ? home_city[c]
+                           : cities[rng.NextUint64(cities.size())],
+        lives_in));
+    QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(
+        u,
+        rng.NextBool(0.6) ? fav_hobby[c]
+                          : hobbies[rng.NextUint64(hobbies.size())],
+        has_hobby));
+    if (rng.NextBool(config.post_prob)) {
+      QGP_RETURN_IF_ERROR(b.AddEdgeWithLabel(u, fav_product[c], post));
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace qgp

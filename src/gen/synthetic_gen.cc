@@ -1,0 +1,88 @@
+#include "gen/synthetic_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+
+Result<Graph> GenerateSynthetic(const SyntheticConfig& config) {
+  if (config.num_vertices == 0) {
+    return Status::InvalidArgument("synthetic graph needs >= 1 vertex");
+  }
+  if (config.num_node_labels == 0 || config.num_edge_labels == 0) {
+    return Status::InvalidArgument("label alphabets must be non-empty");
+  }
+  Rng rng(config.seed);
+  GraphBuilder builder;
+
+  std::vector<Label> node_labels(config.num_node_labels);
+  for (size_t i = 0; i < config.num_node_labels; ++i) {
+    node_labels[i] = builder.InternLabel("nl" + std::to_string(i));
+  }
+  std::vector<Label> edge_labels(config.num_edge_labels);
+  for (size_t i = 0; i < config.num_edge_labels; ++i) {
+    edge_labels[i] = builder.InternLabel("el" + std::to_string(i));
+  }
+  auto pick_node_label = [&]() {
+    if (config.label_zipf <= 0) {
+      return node_labels[rng.NextUint64(node_labels.size())];
+    }
+    return node_labels[rng.NextZipf(node_labels.size(), config.label_zipf)];
+  };
+  auto pick_edge_label = [&]() {
+    if (config.label_zipf <= 0) {
+      return edge_labels[rng.NextUint64(edge_labels.size())];
+    }
+    return edge_labels[rng.NextZipf(edge_labels.size(), config.label_zipf)];
+  };
+
+  const size_t n = config.num_vertices;
+  for (size_t i = 0; i < n; ++i) builder.AddVertexWithLabel(pick_node_label());
+
+  const size_t m = config.num_edges;
+  if (config.model == SyntheticConfig::Model::kSmallWorld) {
+    // Ring lattice: each vertex points at its k clockwise successors,
+    // each edge rewired to a uniform target with probability rewire_prob.
+    size_t k = std::max<size_t>(1, m / n);
+    size_t emitted = 0;
+    for (size_t i = 0; i < n && emitted < m; ++i) {
+      for (size_t j = 1; j <= k && emitted < m; ++j) {
+        VertexId src = static_cast<VertexId>(i);
+        VertexId dst = static_cast<VertexId>((i + j) % n);
+        if (rng.NextBool(config.rewire_prob)) {
+          dst = static_cast<VertexId>(rng.NextUint64(n));
+        }
+        if (dst == src) dst = static_cast<VertexId>((dst + 1) % n);
+        QGP_RETURN_IF_ERROR(
+            builder.AddEdgeWithLabel(src, dst, pick_edge_label()));
+        ++emitted;
+      }
+    }
+    // Top up (rounding may have left a remainder).
+    while (emitted < m) {
+      VertexId src = static_cast<VertexId>(rng.NextUint64(n));
+      VertexId dst = static_cast<VertexId>(rng.NextUint64(n));
+      if (src == dst) continue;
+      QGP_RETURN_IF_ERROR(
+          builder.AddEdgeWithLabel(src, dst, pick_edge_label()));
+      ++emitted;
+    }
+  } else {
+    // Preferential attachment flavored with Zipf target sampling: low
+    // vertex ids accumulate high in-degree, yielding scale-free skew.
+    for (size_t i = 0; i < m; ++i) {
+      VertexId src = static_cast<VertexId>(rng.NextUint64(n));
+      VertexId dst =
+          static_cast<VertexId>(rng.NextZipf(n, config.zipf_exponent));
+      if (src == dst) dst = static_cast<VertexId>((dst + 1) % n);
+      QGP_RETURN_IF_ERROR(
+          builder.AddEdgeWithLabel(src, dst, pick_edge_label()));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace qgp

@@ -1,0 +1,42 @@
+#ifndef QGP_GEN_SYNTHETIC_GEN_H_
+#define QGP_GEN_SYNTHETIC_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// GTgraph-style synthetic generator (§7: "based on GTgraph following the
+/// small-world model"), with labels drawn from an alphabet of
+/// `num_node_labels` / `num_edge_labels` (the paper uses |L| = 30).
+struct SyntheticConfig {
+  size_t num_vertices = 10000;
+  size_t num_edges = 20000;
+  size_t num_node_labels = 30;
+  size_t num_edge_labels = 10;
+
+  enum class Model {
+    kSmallWorld,  // Watts–Strogatz ring lattice with rewiring
+    kPowerLaw,    // preferential attachment (scale-free degrees)
+  };
+  Model model = Model::kSmallWorld;
+
+  /// Small-world rewiring probability.
+  double rewire_prob = 0.1;
+  /// Power-law skew for preferential attachment target sampling.
+  double zipf_exponent = 1.2;
+  /// Zipf skew of label frequencies (0 = uniform labels).
+  double label_zipf = 0.8;
+
+  uint64_t seed = 42;
+};
+
+/// Generates a labeled directed graph per `config`. Node labels are
+/// "nl<i>", edge labels "el<i>".
+Result<Graph> GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace qgp
+
+#endif  // QGP_GEN_SYNTHETIC_GEN_H_

@@ -1,0 +1,110 @@
+#ifndef QGP_GRAPH_GRAPH_H_
+#define QGP_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/label_dict.h"
+#include "graph/types.h"
+
+namespace qgp {
+
+/// Immutable labeled directed graph G = (V, E, L) (paper §2.1), stored as
+/// CSR with both out- and in-adjacency, each sorted by (label, endpoint).
+/// Every vertex carries exactly one node label; every edge one edge label.
+/// Parallel edges with distinct labels are allowed; exact duplicates are
+/// removed at build time.
+///
+/// Construction goes through GraphBuilder; a Graph is immutable afterwards,
+/// which is what makes the matchers and the partitioner trivially
+/// shareable across threads.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
+  /// Number of vertices / directed edges.
+  size_t num_vertices() const { return vertex_labels_.size(); }
+  size_t num_edges() const { return out_nbrs_.size(); }
+
+  /// Node label of `v`. Precondition: v < num_vertices().
+  Label vertex_label(VertexId v) const { return vertex_labels_[v]; }
+
+  /// All out-neighbors of `v`, sorted by (label, dst).
+  std::span<const Neighbor> OutNeighbors(VertexId v) const {
+    return {out_nbrs_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// All in-neighbors of `v`, sorted by (label, src).
+  std::span<const Neighbor> InNeighbors(VertexId v) const {
+    return {in_nbrs_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// Out-neighbors of `v` reached via an edge labeled `label`; this is the
+  /// paper's Me(v) for a pattern edge e with LQ(e) = label.
+  std::span<const Neighbor> OutNeighborsWithLabel(VertexId v,
+                                                  Label label) const;
+
+  /// In-neighbors of `v` via edges labeled `label`.
+  std::span<const Neighbor> InNeighborsWithLabel(VertexId v,
+                                                 Label label) const;
+
+  /// Degree helpers.
+  size_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+  size_t OutDegreeWithLabel(VertexId v, Label label) const {
+    return OutNeighborsWithLabel(v, label).size();
+  }
+  size_t InDegreeWithLabel(VertexId v, Label label) const {
+    return InNeighborsWithLabel(v, label).size();
+  }
+
+  /// True iff edge (src, dst) with `label` exists. O(log deg).
+  bool HasEdge(VertexId src, VertexId dst, Label label) const;
+
+  /// Vertices carrying node label `label`, ascending. Empty span for
+  /// labels that no vertex carries.
+  std::span<const VertexId> VerticesWithLabel(Label label) const;
+
+  /// Number of vertices with node label `label`.
+  size_t NumVerticesWithLabel(Label label) const {
+    return VerticesWithLabel(label).size();
+  }
+
+  /// Label dictionary shared by node and edge labels.
+  const LabelDict& dict() const { return dict_; }
+  LabelDict& mutable_dict() { return dict_; }
+
+  /// Approximate resident bytes (CSR arrays only), for partition sizing.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  LabelDict dict_;
+  std::vector<Label> vertex_labels_;
+
+  std::vector<uint64_t> out_offsets_;  // size V+1
+  std::vector<Neighbor> out_nbrs_;     // sorted by (label, v) per vertex
+  std::vector<uint64_t> in_offsets_;   // size V+1
+  std::vector<Neighbor> in_nbrs_;      // sorted by (label, v) per vertex
+
+  // Vertices grouped by node label: label_offsets_ indexes label_sorted_.
+  std::vector<uint64_t> label_offsets_;  // size num_labels+1
+  std::vector<VertexId> label_sorted_;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_GRAPH_GRAPH_H_

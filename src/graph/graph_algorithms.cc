@@ -1,0 +1,179 @@
+#include "graph/graph_algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bitset.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+
+std::vector<VertexId> KHopBall(const Graph& g, VertexId src, int depth) {
+  std::vector<VertexId> ball;
+  if (src >= g.num_vertices()) return ball;
+  DynamicBitset visited(g.num_vertices());
+  visited.Set(src);
+  ball.push_back(src);
+  std::vector<VertexId> frontier{src};
+  for (int hop = 0; hop < depth && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (const Neighbor& n : g.OutNeighbors(v)) {
+        if (visited.TestAndSet(n.v)) {
+          ball.push_back(n.v);
+          next.push_back(n.v);
+        }
+      }
+      for (const Neighbor& n : g.InNeighbors(v)) {
+        if (visited.TestAndSet(n.v)) {
+          ball.push_back(n.v);
+          next.push_back(n.v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+std::vector<VertexId> KHopBallFiltered(const Graph& g, VertexId src,
+                                       int depth,
+                                       const DynamicBitset& edge_labels,
+                                       size_t max_size, bool* complete) {
+  *complete = true;
+  std::vector<VertexId> ball;
+  if (src >= g.num_vertices()) return ball;
+  DynamicBitset visited(g.num_vertices());
+  visited.Set(src);
+  ball.push_back(src);
+  std::vector<VertexId> frontier{src};
+  bool overflow = false;
+  for (int hop = 0; hop < depth && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      auto expand = [&](std::span<const Neighbor> nbrs) {
+        for (const Neighbor& n : nbrs) {
+          if (n.label < edge_labels.size() && !edge_labels.Test(n.label)) {
+            continue;
+          }
+          if (visited.TestAndSet(n.v)) {
+            ball.push_back(n.v);
+            next.push_back(n.v);
+            if (ball.size() > max_size) {
+              overflow = true;
+              return;
+            }
+          }
+        }
+      };
+      expand(g.OutNeighbors(v));
+      if (!overflow) expand(g.InNeighbors(v));
+      if (overflow) {
+        *complete = false;
+        return ball;  // partial; caller falls back to global sets
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+BallSize KHopBallSize(const Graph& g, VertexId src, int depth) {
+  std::vector<VertexId> ball = KHopBall(g, src, depth);
+  BallSize size;
+  size.num_vertices = ball.size();
+  DynamicBitset member(g.num_vertices());
+  for (VertexId v : ball) member.Set(v);
+  for (VertexId v : ball) {
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      if (member.Test(n.v)) ++size.num_edges;
+    }
+  }
+  return size;
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId src,
+                                   bool undirected) {
+  std::vector<uint32_t> dist(g.num_vertices(), UINT32_MAX);
+  if (src >= g.num_vertices()) return dist;
+  dist[src] = 0;
+  std::deque<VertexId> queue{src};
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    uint32_t d = dist[v] + 1;
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      if (dist[n.v] == UINT32_MAX) {
+        dist[n.v] = d;
+        queue.push_back(n.v);
+      }
+    }
+    if (undirected) {
+      for (const Neighbor& n : g.InNeighbors(v)) {
+        if (dist[n.v] == UINT32_MAX) {
+          dist[n.v] = d;
+          queue.push_back(n.v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+Components ConnectedComponents(const Graph& g) {
+  Components result;
+  result.component_of.assign(g.num_vertices(), UINT32_MAX);
+  uint32_t next_id = 0;
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    if (result.component_of[root] != UINT32_MAX) continue;
+    result.component_of[root] = next_id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](VertexId w) {
+        if (result.component_of[w] == UINT32_MAX) {
+          result.component_of[w] = next_id;
+          stack.push_back(w);
+        }
+      };
+      for (const Neighbor& n : g.OutNeighbors(v)) visit(n.v);
+      for (const Neighbor& n : g.InNeighbors(v)) visit(n.v);
+    }
+    ++next_id;
+  }
+  result.count = next_id;
+  return result;
+}
+
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& g, std::span<const VertexId> vertices) {
+  InducedSubgraph out;
+  GraphBuilder builder(g.dict());
+  out.global_to_local.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    if (v >= g.num_vertices()) {
+      return Status::InvalidArgument("induced subgraph vertex out of range");
+    }
+    if (out.global_to_local.count(v) != 0) continue;
+    VertexId local = builder.AddVertexWithLabel(g.vertex_label(v));
+    out.global_to_local.emplace(v, local);
+    out.local_to_global.push_back(v);
+  }
+  for (VertexId v : out.local_to_global) {
+    VertexId local_src = out.global_to_local[v];
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      auto it = out.global_to_local.find(n.v);
+      if (it == out.global_to_local.end()) continue;
+      QGP_RETURN_IF_ERROR(
+          builder.AddEdgeWithLabel(local_src, it->second, n.label));
+    }
+  }
+  QGP_ASSIGN_OR_RETURN(out.graph, std::move(builder).Build());
+  return out;
+}
+
+}  // namespace qgp

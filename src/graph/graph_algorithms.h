@@ -1,0 +1,67 @@
+#ifndef QGP_GRAPH_GRAPH_ALGORITHMS_H_
+#define QGP_GRAPH_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Vertices within `depth` hops of `src`, treating edges as undirected
+/// (the paper's Nd(v); §5.2 — verification of a focus candidate may walk
+/// pattern edges in either direction, hence undirected). The result is
+/// sorted ascending and includes `src`.
+std::vector<VertexId> KHopBall(const Graph& g, VertexId src, int depth);
+
+/// Ball variant used by DMatch's per-focus locality: only edges whose
+/// label is set in `edge_labels` are traversed (an embedding can only
+/// walk pattern edge labels), and expansion aborts once more than
+/// `max_size` vertices are visited (hub explosion guard). On abort,
+/// *complete is set to false and the caller must fall back to global
+/// candidate sets — the ball is an optimization, not a semantic need.
+std::vector<VertexId> KHopBallFiltered(const Graph& g, VertexId src,
+                                       int depth,
+                                       const DynamicBitset& edge_labels,
+                                       size_t max_size, bool* complete);
+
+/// |KHopBall| plus the number of edges among ball members — the paper's
+/// |Nd(v)| counts the induced subgraph size (nodes + edges).
+struct BallSize {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t total() const { return num_vertices + num_edges; }
+};
+BallSize KHopBallSize(const Graph& g, VertexId src, int depth);
+
+/// BFS hop distance from `src` to every vertex (UINT32_MAX when
+/// unreachable), optionally treating edges as undirected.
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId src,
+                                   bool undirected);
+
+/// Undirected connected components; returns component id per vertex and
+/// the component count.
+struct Components {
+  std::vector<uint32_t> component_of;
+  size_t count = 0;
+};
+Components ConnectedComponents(const Graph& g);
+
+/// Subgraph of `g` induced by `vertices` (global ids, need not be sorted;
+/// duplicates ignored): keeps every edge of `g` whose endpoints are both
+/// selected. `local_to_global[i]` maps the new id i back to `g`.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<VertexId> local_to_global;
+  std::unordered_map<VertexId, VertexId> global_to_local;
+};
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& g, std::span<const VertexId> vertices);
+
+}  // namespace qgp
+
+#endif  // QGP_GRAPH_GRAPH_ALGORITHMS_H_

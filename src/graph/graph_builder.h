@@ -1,0 +1,64 @@
+#ifndef QGP_GRAPH_GRAPH_BUILDER_H_
+#define QGP_GRAPH_GRAPH_BUILDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace qgp {
+
+/// Mutable staging area for constructing a Graph. Vertices are appended
+/// (dense ids in insertion order); edges may arrive in any order and are
+/// sorted/deduplicated by Build().
+///
+///   GraphBuilder b;
+///   VertexId alice = b.AddVertex("person");
+///   VertexId bob = b.AddVertex("person");
+///   b.AddEdge(alice, bob, "follow");
+///   Graph g = std::move(b).Build().value();
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Creates a builder that shares label ids with an existing dictionary
+  /// (e.g. to build a fragment of a partitioned graph).
+  explicit GraphBuilder(LabelDict dict) : dict_(std::move(dict)) {}
+
+  /// Appends a vertex with an interned label name; returns its id.
+  VertexId AddVertex(std::string_view label_name);
+
+  /// Appends a vertex with an already-interned label id.
+  VertexId AddVertexWithLabel(Label label);
+
+  /// Records a directed edge; endpoints must already exist.
+  Status AddEdge(VertexId src, VertexId dst, std::string_view label_name);
+
+  /// Records a directed edge with an interned edge label.
+  Status AddEdgeWithLabel(VertexId src, VertexId dst, Label label);
+
+  /// Interns a label without creating a vertex (for edge labels known
+  /// ahead of time).
+  Label InternLabel(std::string_view name) { return dict_.Intern(name); }
+
+  /// Number of staged vertices / edges (pre-dedup).
+  size_t num_vertices() const { return vertex_labels_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable Graph: builds CSR out/in adjacency sorted
+  /// by (label, endpoint), the label→vertices index, and drops exact
+  /// duplicate edges. The builder is consumed.
+  Result<Graph> Build() &&;
+
+ private:
+  LabelDict dict_;
+  std::vector<Label> vertex_labels_;
+  std::vector<EdgeTriple> edges_;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_GRAPH_GRAPH_BUILDER_H_

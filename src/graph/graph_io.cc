@@ -1,0 +1,203 @@
+#include "graph/graph_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+
+Result<Graph> GraphIo::Read(std::istream& in) {
+  GraphBuilder builder;
+  std::unordered_map<int64_t, VertexId> id_map;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> tok = SplitWhitespace(sv);
+    auto err = [&](const std::string& what) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                what);
+    };
+    if (tok[0] == "v") {
+      if (tok.size() != 3) return err("expected 'v <id> <label>'");
+      int64_t file_id = 0;
+      if (!ParseInt64(tok[1], &file_id) || file_id < 0) {
+        return err("bad vertex id '" + tok[1] + "'");
+      }
+      if (id_map.count(file_id) != 0) {
+        return err("duplicate vertex id " + tok[1]);
+      }
+      id_map.emplace(file_id, builder.AddVertex(tok[2]));
+    } else if (tok[0] == "e") {
+      if (tok.size() != 4) return err("expected 'e <src> <dst> <label>'");
+      int64_t s = 0, d = 0;
+      if (!ParseInt64(tok[1], &s) || !ParseInt64(tok[2], &d)) {
+        return err("bad edge endpoint");
+      }
+      auto si = id_map.find(s), di = id_map.find(d);
+      if (si == id_map.end() || di == id_map.end()) {
+        return err("edge references undeclared vertex");
+      }
+      QGP_RETURN_IF_ERROR(builder.AddEdge(si->second, di->second, tok[3]));
+    } else {
+      return err("unknown record type '" + tok[0] + "'");
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GraphIo::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return Read(in);
+}
+
+Status GraphIo::Write(const Graph& g, std::ostream& out) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "v " << v << ' ' << g.dict().Name(g.vertex_label(v)) << '\n';
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      out << "e " << v << ' ' << n.v << ' ' << g.dict().Name(n.label)
+          << '\n';
+    }
+  }
+  if (!out) return Status::IoError("stream write failure");
+  return Status::Ok();
+}
+
+Status GraphIo::WriteFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  return Write(g, out);
+}
+
+namespace {
+
+constexpr char kBinaryMagic[6] = {'Q', 'G', 'P', 'B', '1', '\n'};
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 4);
+}
+
+bool GetU64(std::istream& in, uint64_t* v) {
+  unsigned char buf[8];
+  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
+  *v = 0;
+  for (int i = 7; i >= 0; --i) *v = (*v << 8) | buf[i];
+  return true;
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = 0;
+  for (int i = 3; i >= 0; --i) *v = (*v << 8) | buf[i];
+  return true;
+}
+
+}  // namespace
+
+Status GraphIo::WriteBinary(const Graph& g, std::ostream& out) {
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  // Label dictionary.
+  PutU64(out, g.dict().size());
+  for (Label l = 0; l < g.dict().size(); ++l) {
+    const std::string& name = g.dict().Name(l);
+    PutU64(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  // Vertices.
+  PutU64(out, g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    PutU32(out, g.vertex_label(v));
+  }
+  // Edges.
+  PutU64(out, g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      PutU32(out, v);
+      PutU32(out, n.v);
+      PutU32(out, n.label);
+    }
+  }
+  if (!out) return Status::IoError("binary stream write failure");
+  return Status::Ok();
+}
+
+Result<Graph> GraphIo::ReadBinary(std::istream& in) {
+  char magic[sizeof(kBinaryMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("bad binary graph magic");
+  }
+  uint64_t num_labels = 0;
+  if (!GetU64(in, &num_labels) || num_labels > (1ULL << 32)) {
+    return Status::Corruption("bad label count");
+  }
+  LabelDict dict;
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    uint64_t len = 0;
+    if (!GetU64(in, &len) || len > (1ULL << 24)) {
+      return Status::Corruption("bad label length");
+    }
+    std::string name(len, '\0');
+    if (!in.read(name.data(), static_cast<std::streamsize>(len))) {
+      return Status::Corruption("truncated label string");
+    }
+    if (dict.Intern(name) != i) {
+      return Status::Corruption("duplicate label string in dictionary");
+    }
+  }
+  GraphBuilder builder(std::move(dict));
+  uint64_t num_vertices = 0;
+  if (!GetU64(in, &num_vertices) || num_vertices > (1ULL << 32)) {
+    return Status::Corruption("bad vertex count");
+  }
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    uint32_t label = 0;
+    if (!GetU32(in, &label)) return Status::Corruption("truncated vertices");
+    if (label >= num_labels) return Status::Corruption("vertex label oob");
+    builder.AddVertexWithLabel(label);
+  }
+  uint64_t num_edges = 0;
+  if (!GetU64(in, &num_edges)) return Status::Corruption("bad edge count");
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint32_t src = 0, dst = 0, label = 0;
+    if (!GetU32(in, &src) || !GetU32(in, &dst) || !GetU32(in, &label)) {
+      return Status::Corruption("truncated edges");
+    }
+    if (label >= num_labels) return Status::Corruption("edge label oob");
+    QGP_RETURN_IF_ERROR(builder.AddEdgeWithLabel(src, dst, label));
+  }
+  return std::move(builder).Build();
+}
+
+Status GraphIo::WriteBinaryFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  return WriteBinary(g, out);
+}
+
+Result<Graph> GraphIo::ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return ReadBinary(in);
+}
+
+}  // namespace qgp

@@ -1,0 +1,50 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qgp {
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++s.node_label_counts[g.vertex_label(v)];
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(v));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(v));
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      ++s.edge_label_counts[n.label];
+    }
+  }
+  s.num_node_labels = s.node_label_counts.size();
+  s.num_edge_labels = s.edge_label_counts.size();
+  s.avg_out_degree =
+      s.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  return s;
+}
+
+std::string FormatGraphStats(const Graph& g, const GraphStats& stats) {
+  std::ostringstream out;
+  out << "|V|=" << stats.num_vertices << " |E|=" << stats.num_edges
+      << " node-labels=" << stats.num_node_labels
+      << " edge-labels=" << stats.num_edge_labels
+      << " avg-deg=" << stats.avg_out_degree
+      << " max-out=" << stats.max_out_degree
+      << " max-in=" << stats.max_in_degree << "\n";
+  out << "top node labels:";
+  std::vector<std::pair<size_t, Label>> by_count;
+  for (const auto& [label, count] : stats.node_label_counts) {
+    by_count.emplace_back(count, label);
+  }
+  std::sort(by_count.rbegin(), by_count.rend());
+  for (size_t i = 0; i < by_count.size() && i < 8; ++i) {
+    out << ' ' << g.dict().Name(by_count[i].second) << '='
+        << by_count[i].first;
+  }
+  return out.str();
+}
+
+}  // namespace qgp

@@ -1,0 +1,38 @@
+#ifndef QGP_GRAPH_GRAPH_STATS_H_
+#define QGP_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// Summary statistics used by the workload generators, the QGAR miner's
+/// frequency thresholds, and the bench reports.
+struct GraphStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t num_node_labels = 0;  // distinct labels carried by >=1 vertex
+  size_t num_edge_labels = 0;  // distinct labels carried by >=1 edge
+  double avg_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  /// vertex count per node label id.
+  std::map<Label, size_t> node_label_counts;
+  /// edge count per edge label id.
+  std::map<Label, size_t> edge_label_counts;
+};
+
+/// Computes summary statistics in one pass over the CSR.
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// Renders stats as a short human-readable block (label names resolved
+/// through g.dict()).
+std::string FormatGraphStats(const Graph& g, const GraphStats& stats);
+
+}  // namespace qgp
+
+#endif  // QGP_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,28 @@
+#include "graph/label_dict.h"
+
+namespace qgp {
+
+namespace {
+const std::string kInvalidName = "<invalid>";
+}  // namespace
+
+Label LabelDict::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  Label id = static_cast<Label>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Label LabelDict::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelDict::Name(Label label) const {
+  if (label >= names_.size()) return kInvalidName;
+  return names_[label];
+}
+
+}  // namespace qgp

@@ -1,0 +1,44 @@
+#ifndef QGP_GRAPH_LABEL_DICT_H_
+#define QGP_GRAPH_LABEL_DICT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace qgp {
+
+/// Bidirectional interning of label strings ("follow", "prof", ...) to
+/// dense Label ids. Shared by a Graph and the Patterns queried against it
+/// so label comparison is integer equality.
+class LabelDict {
+ public:
+  LabelDict() = default;
+
+  /// Interns `name`, returning its id (existing or freshly assigned).
+  Label Intern(std::string_view name);
+
+  /// Looks up an existing label; returns kInvalidLabel when absent.
+  Label Find(std::string_view name) const;
+
+  /// True iff `name` has been interned.
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidLabel;
+  }
+
+  /// The string for `label`; "<invalid>" for out-of-range ids.
+  const std::string& Name(Label label) const;
+
+  /// Number of interned labels.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Label> ids_;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_GRAPH_LABEL_DICT_H_

@@ -1,0 +1,48 @@
+#include "parallel/base_partitioner.h"
+
+#include <deque>
+
+namespace qgp {
+
+Result<std::vector<uint32_t>> BasePartition(const Graph& g, size_t n) {
+  if (n == 0) return Status::InvalidArgument("need >= 1 fragment");
+  const size_t nv = g.num_vertices();
+  std::vector<uint32_t> frag(nv, UINT32_MAX);
+  if (nv == 0) return frag;
+  const size_t cap = (nv + n - 1) / n;
+
+  uint32_t current = 0;
+  size_t filled = 0;
+  std::deque<VertexId> queue;
+  VertexId scan = 0;
+  auto next_seed = [&]() -> VertexId {
+    while (scan < nv && frag[scan] != UINT32_MAX) ++scan;
+    return scan < nv ? scan : kInvalidVertex;
+  };
+  while (true) {
+    if (queue.empty()) {
+      VertexId seed = next_seed();
+      if (seed == kInvalidVertex) break;
+      queue.push_back(seed);
+    }
+    VertexId v = queue.front();
+    queue.pop_front();
+    if (frag[v] != UINT32_MAX) continue;
+    if (filled >= cap && current + 1 < n) {
+      ++current;
+      filled = 0;
+      // The BFS frontier carries over: the next region continues from
+      // the same growth boundary, keeping regions contiguous.
+    }
+    frag[v] = current;
+    ++filled;
+    auto visit = [&](VertexId w) {
+      if (frag[w] == UINT32_MAX) queue.push_back(w);
+    };
+    for (const Neighbor& nb : g.OutNeighbors(v)) visit(nb.v);
+    for (const Neighbor& nb : g.InNeighbors(v)) visit(nb.v);
+  }
+  return frag;
+}
+
+}  // namespace qgp

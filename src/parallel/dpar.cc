@@ -1,0 +1,252 @@
+#include "parallel/dpar.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bitset.h"
+#include "common/timer.h"
+#include "parallel/base_partitioner.h"
+#include "parallel/mkp.h"
+
+namespace qgp {
+
+namespace {
+
+// Builds the d-hop preserving partition on top of an existing base
+// region assignment (shared by DPar and DParExtend).
+Result<Partition> BuildFromBase(const Graph& g,
+                                std::vector<uint32_t> base_region, int d,
+                                size_t n, double balance_factor,
+                                DParTimings* timings) {
+  WallTimer phase_timer;
+  if (n == 0) return Status::InvalidArgument("need >= 1 fragment");
+  if (d < 0) return Status::InvalidArgument("d must be >= 0");
+  if (balance_factor < 1.0) {
+    return Status::InvalidArgument("balance factor must be >= 1");
+  }
+  const size_t nv = g.num_vertices();
+
+  // --- Border detection: border(v) <=> some vertex of another region is
+  // within d undirected hops <=> dist(v, boundary vertices) <= d-1, where
+  // boundary vertices have a direct foreign neighbor. One multi-source
+  // BFS truncated at depth d-1.
+  std::vector<char> border(nv, 0);
+  if (d >= 1) {
+    std::deque<VertexId> queue;
+    std::vector<uint32_t> dist(nv, UINT32_MAX);
+    for (VertexId v = 0; v < nv; ++v) {
+      bool boundary = false;
+      for (const Neighbor& nb : g.OutNeighbors(v)) {
+        if (base_region[nb.v] != base_region[v]) {
+          boundary = true;
+          break;
+        }
+      }
+      if (!boundary) {
+        for (const Neighbor& nb : g.InNeighbors(v)) {
+          if (base_region[nb.v] != base_region[v]) {
+            boundary = true;
+            break;
+          }
+        }
+      }
+      if (boundary) {
+        dist[v] = 0;
+        border[v] = 1;
+        queue.push_back(v);
+      }
+    }
+    const uint32_t limit = static_cast<uint32_t>(d - 1);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      if (dist[v] >= limit) continue;
+      auto visit = [&](VertexId w) {
+        if (dist[w] == UINT32_MAX) {
+          dist[w] = dist[v] + 1;
+          border[w] = 1;
+          queue.push_back(w);
+        }
+      };
+      for (const Neighbor& nb : g.OutNeighbors(v)) visit(nb.v);
+      for (const Neighbor& nb : g.InNeighbors(v)) visit(nb.v);
+    }
+  }
+
+  if (timings != nullptr) {
+    timings->border_detect_seconds = phase_timer.ElapsedSeconds();
+    timings->ball_seconds.assign(n, 0.0);
+    timings->materialize_seconds.assign(n, 0.0);
+  }
+
+  // --- Base fragment sizes (vertices + induced edges).
+  std::vector<uint64_t> est_size(n, 0);
+  for (VertexId v = 0; v < nv; ++v) est_size[base_region[v]] += 1;
+  for (VertexId v = 0; v < nv; ++v) {
+    for (const Neighbor& nb : g.OutNeighbors(v)) {
+      if (base_region[nb.v] == base_region[v]) ++est_size[base_region[v]];
+    }
+  }
+
+  // --- Balls for border nodes.
+  std::vector<VertexId> border_nodes;
+  for (VertexId v = 0; v < nv; ++v) {
+    if (border[v]) border_nodes.push_back(v);
+  }
+  std::vector<std::vector<VertexId>> balls(border_nodes.size());
+  std::vector<MkpItem> items(border_nodes.size());
+  DynamicBitset member(nv);
+  for (size_t i = 0; i < border_nodes.size(); ++i) {
+    phase_timer.Restart();
+    balls[i] = KHopBall(g, border_nodes[i], d);
+    uint64_t edges = 0;
+    for (VertexId v : balls[i]) member.Set(v);
+    for (VertexId v : balls[i]) {
+      for (const Neighbor& nb : g.OutNeighbors(v)) {
+        if (member.Test(nb.v)) ++edges;
+      }
+    }
+    for (VertexId v : balls[i]) member.Clear(v);
+    items[i] = MkpItem{balls[i].size() + edges, i};
+    if (timings != nullptr) {
+      // Ball work is done by the border node's home worker.
+      timings->ball_seconds[base_region[border_nodes[i]]] +=
+          phase_timer.ElapsedSeconds();
+    }
+  }
+  phase_timer.Restart();
+
+  // --- MKP assignment of balls to fragments.
+  const uint64_t graph_size = nv + g.num_edges();
+  const uint64_t cap = static_cast<uint64_t>(
+      balance_factor * static_cast<double>(graph_size) /
+      static_cast<double>(n));
+  std::vector<uint64_t> capacities(n);
+  for (size_t i = 0; i < n; ++i) {
+    capacities[i] = cap > est_size[i] ? cap - est_size[i] : 0;
+  }
+  MkpAssignment assignment = SolveMkpGreedy(items, capacities);
+
+  std::vector<int32_t> owner_of_border(border_nodes.size(), -1);
+  for (size_t i = 0; i < border_nodes.size(); ++i) {
+    int32_t bin = assignment.item_to_bin[i];
+    if (bin >= 0) {
+      owner_of_border[i] = bin;
+      est_size[bin] += items[i].weight;
+    }
+  }
+  // Completion step: unassigned balls go to the fragment minimizing the
+  // resulting max-min spread.
+  for (size_t i = 0; i < border_nodes.size(); ++i) {
+    if (owner_of_border[i] >= 0) continue;
+    size_t best = 0;
+    uint64_t best_spread = UINT64_MAX;
+    for (size_t bin = 0; bin < n; ++bin) {
+      uint64_t trial = est_size[bin] + items[i].weight;
+      uint64_t mx = trial, mn = trial;
+      for (size_t k = 0; k < n; ++k) {
+        uint64_t s = k == bin ? trial : est_size[k];
+        mx = std::max(mx, s);
+        mn = std::min(mn, s);
+      }
+      if (mx - mn < best_spread) {
+        best_spread = mx - mn;
+        best = bin;
+      }
+    }
+    owner_of_border[i] = static_cast<int32_t>(best);
+    est_size[best] += items[i].weight;
+  }
+
+  if (timings != nullptr) {
+    timings->mkp_seconds = phase_timer.ElapsedSeconds();
+  }
+
+  // --- Materialize fragments.
+  std::vector<std::vector<VertexId>> node_sets(n);
+  std::vector<std::vector<VertexId>> owned(n);
+  for (VertexId v = 0; v < nv; ++v) {
+    node_sets[base_region[v]].push_back(v);
+    if (!border[v]) owned[base_region[v]].push_back(v);
+  }
+  for (size_t i = 0; i < border_nodes.size(); ++i) {
+    const size_t bin = static_cast<size_t>(owner_of_border[i]);
+    owned[bin].push_back(border_nodes[i]);
+    node_sets[bin].insert(node_sets[bin].end(), balls[i].begin(),
+                          balls[i].end());
+  }
+
+  Partition partition;
+  partition.d = d;
+  partition.num_border_nodes = border_nodes.size();
+  partition.base_region = std::move(base_region);
+  partition.fragments.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    phase_timer.Restart();
+    std::sort(node_sets[i].begin(), node_sets[i].end());
+    node_sets[i].erase(std::unique(node_sets[i].begin(), node_sets[i].end()),
+                       node_sets[i].end());
+    QGP_ASSIGN_OR_RETURN(partition.fragments[i].sub,
+                         ExtractInducedSubgraph(g, node_sets[i]));
+    if (timings != nullptr) {
+      timings->materialize_seconds[i] = phase_timer.ElapsedSeconds();
+    }
+    std::sort(owned[i].begin(), owned[i].end());
+    partition.fragments[i].owned_global = owned[i];
+    partition.fragments[i].owned_local.reserve(owned[i].size());
+    for (VertexId v : owned[i]) {
+      partition.fragments[i].owned_local.push_back(
+          partition.fragments[i].sub.global_to_local.at(v));
+    }
+  }
+  return partition;
+}
+
+}  // namespace
+
+double DParTimings::ParallelSeconds() const {
+  auto vec_max = [](const std::vector<double>& v) {
+    double m = 0;
+    for (double x : v) m = std::max(m, x);
+    return m;
+  };
+  return base_partition_seconds + border_detect_seconds + mkp_seconds +
+         vec_max(ball_seconds) + vec_max(materialize_seconds);
+}
+
+double DParTimings::SequentialSeconds() const {
+  auto vec_sum = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return s;
+  };
+  return base_partition_seconds + border_detect_seconds + mkp_seconds +
+         vec_sum(ball_seconds) + vec_sum(materialize_seconds);
+}
+
+Result<Partition> DPar(const Graph& g, const DParConfig& config,
+                       DParTimings* timings) {
+  WallTimer base_timer;
+  QGP_ASSIGN_OR_RETURN(std::vector<uint32_t> base,
+                       BasePartition(g, config.num_fragments));
+  if (timings != nullptr) {
+    timings->base_partition_seconds = base_timer.ElapsedSeconds();
+  }
+  return BuildFromBase(g, std::move(base), config.d, config.num_fragments,
+                       config.balance_factor, timings);
+}
+
+Result<Partition> DParExtend(const Graph& g, const Partition& partition,
+                             int new_d, double balance_factor) {
+  if (new_d <= partition.d) {
+    return Status::InvalidArgument("DParExtend requires new_d > current d");
+  }
+  if (partition.base_region.size() != g.num_vertices()) {
+    return Status::InvalidArgument(
+        "partition lacks a base region assignment for this graph");
+  }
+  return BuildFromBase(g, partition.base_region, new_d,
+                       partition.fragments.size(), balance_factor, nullptr);
+}
+
+}  // namespace qgp

@@ -1,0 +1,69 @@
+#ifndef QGP_PARALLEL_DPAR_H_
+#define QGP_PARALLEL_DPAR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "parallel/partition.h"
+
+namespace qgp {
+
+/// DPar configuration (§5.2).
+struct DParConfig {
+  /// Number of fragments / workers n.
+  size_t num_fragments = 4;
+  /// Hop-preservation depth d. All QGPs with radius <= d can then be
+  /// evaluated with zero inter-fragment communication.
+  int d = 2;
+  /// The balance constant c: fragment capacity is c * |G| / n
+  /// (|G| = nodes + edges). Must satisfy c >= 1 for feasibility.
+  double balance_factor = 1.6;
+};
+
+/// Phase timing decomposition of one DPar run, used to report the
+/// simulated parallel partition time of Figures 8(d)/8(e): ball
+/// extraction and fragment materialization are per-fragment
+/// parallelizable (their makespans count), the base partition, border
+/// BFS and MKP assignment are coordinator work (their sums count).
+struct DParTimings {
+  double base_partition_seconds = 0;
+  double border_detect_seconds = 0;
+  double mkp_seconds = 0;
+  std::vector<double> ball_seconds;         // per base region
+  std::vector<double> materialize_seconds;  // per fragment
+
+  /// Coordinator time + the two parallel-phase makespans.
+  double ParallelSeconds() const;
+  /// Everything summed (the 1-worker time).
+  double SequentialSeconds() const;
+};
+
+/// DPar (Lemma 8): builds a complete, balanced, d-hop preserving
+/// partition.
+///
+///   1. Base partition: BFS region growing (METIS stand-in).
+///   2. Border detection: a vertex is a border node iff some vertex of a
+///      different base region lies within d undirected hops — computed
+///      with one multi-source BFS from all region-boundary vertices.
+///   3. Ball assignment: each border node's Nd(v) becomes a unit-value
+///      MKP item with weight |Nd(v)|; bins are fragments with remaining
+///      capacity c|G|/n − |Fi|. Greedy worst-fit packing (the ε = 1 PTAS
+///      regime) assigns most balls; leftovers go to the fragment that
+///      minimizes the resulting |Fmax| − |Fmin| (the completion step), so
+///      the partition is always complete.
+///   4. Fragment materialization: induced subgraph over base region ∪
+///      assigned balls; ownership = internal nodes of the region plus
+///      assigned border nodes.
+Result<Partition> DPar(const Graph& g, const DParConfig& config,
+                       DParTimings* timings = nullptr);
+
+/// Incremental radius extension (§5.2 Remark): widens an existing
+/// partition from its current d to `new_d` > d by recomputing border
+/// balls at the larger radius, reusing the base regions. Equivalent to
+/// DPar at new_d; cheaper because the base partition is not rebuilt.
+Result<Partition> DParExtend(const Graph& g, const Partition& partition,
+                             int new_d, double balance_factor = 1.6);
+
+}  // namespace qgp
+
+#endif  // QGP_PARALLEL_DPAR_H_

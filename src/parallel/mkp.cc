@@ -1,0 +1,37 @@
+#include "parallel/mkp.h"
+
+#include <algorithm>
+
+namespace qgp {
+
+MkpAssignment SolveMkpGreedy(const std::vector<MkpItem>& items,
+                             const std::vector<uint64_t>& capacities) {
+  MkpAssignment out;
+  out.item_to_bin.assign(items.size(), -1);
+  if (capacities.empty()) return out;
+
+  // Lightest items first: with unit values this maximizes the count.
+  std::vector<size_t> order(items.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return items[a].weight < items[b].weight;
+  });
+
+  // Worst-fit placement (bin with the most remaining capacity) keeps the
+  // bins level, which doubles as DPar's balance heuristic. Bin counts are
+  // small (the processor count), so a linear scan per item is fine.
+  std::vector<uint64_t> remaining = capacities;
+  for (size_t idx : order) {
+    size_t best = 0;
+    for (size_t bin = 1; bin < remaining.size(); ++bin) {
+      if (remaining[bin] > remaining[best]) best = bin;
+    }
+    if (remaining[best] < items[idx].weight) continue;  // nothing fits
+    remaining[best] -= items[idx].weight;
+    out.item_to_bin[idx] = static_cast<int32_t>(best);
+    ++out.assigned_count;
+  }
+  return out;
+}
+
+}  // namespace qgp

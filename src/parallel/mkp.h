@@ -1,0 +1,33 @@
+#ifndef QGP_PARALLEL_MKP_H_
+#define QGP_PARALLEL_MKP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qgp {
+
+/// One Multiple-Knapsack item (a border node's d-hop ball): unit value,
+/// weight |Nd(v)|.
+struct MkpItem {
+  uint64_t weight = 0;
+  uint64_t id = 0;  // caller payload (border-node index)
+};
+
+/// Assignment result: for each item (input order), the chosen bin or -1.
+struct MkpAssignment {
+  std::vector<int32_t> item_to_bin;
+  uint64_t assigned_count = 0;
+};
+
+/// Greedy MKP with unit values: items are packed lightest-first (unit
+/// values make small items strictly better for count maximization) into
+/// the bin with the most remaining capacity that fits. This is the ε = 1
+/// regime of [13]'s PTAS that the proof of Lemma 8 instantiates; it runs
+/// in O(items · log bins) and achieves the 1+ε count guarantee DPar
+/// needs for its balance bound.
+MkpAssignment SolveMkpGreedy(const std::vector<MkpItem>& items,
+                             const std::vector<uint64_t>& capacities);
+
+}  // namespace qgp
+
+#endif  // QGP_PARALLEL_MKP_H_

@@ -1,0 +1,77 @@
+#include "parallel/partition.h"
+
+#include <algorithm>
+
+#include "common/bitset.h"
+
+namespace qgp {
+
+double Partition::Skew() const {
+  if (fragments.empty()) return 1.0;
+  size_t min_size = SIZE_MAX, max_size = 0;
+  for (const Fragment& f : fragments) {
+    min_size = std::min(min_size, f.SizeCost());
+    max_size = std::max(max_size, f.SizeCost());
+  }
+  if (max_size == 0) return 1.0;
+  return static_cast<double>(min_size) / static_cast<double>(max_size);
+}
+
+double Partition::ReplicationFactor(const Graph& g) const {
+  size_t total = 0;
+  for (const Fragment& f : fragments) total += f.SizeCost();
+  size_t base = g.num_vertices() + g.num_edges();
+  return base == 0 ? 0.0
+                   : static_cast<double>(total) / static_cast<double>(base);
+}
+
+Status Partition::Validate(const Graph& g) const {
+  // (1) Unique ownership covering all of V.
+  std::vector<uint32_t> owner(g.num_vertices(), UINT32_MAX);
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    for (VertexId v : fragments[i].owned_global) {
+      if (v >= g.num_vertices()) {
+        return Status::Corruption("owned vertex out of range");
+      }
+      if (owner[v] != UINT32_MAX) {
+        return Status::Corruption("vertex " + std::to_string(v) +
+                                  " owned by two fragments");
+      }
+      owner[v] = static_cast<uint32_t>(i);
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (owner[v] == UINT32_MAX) {
+      return Status::Corruption("vertex " + std::to_string(v) +
+                                " owned by no fragment");
+    }
+  }
+  // (2) d-hop preservation per owned vertex.
+  for (const Fragment& f : fragments) {
+    for (VertexId v : f.owned_global) {
+      std::vector<VertexId> ball = KHopBall(g, v, d);
+      for (VertexId w : ball) {
+        if (f.sub.global_to_local.count(w) == 0) {
+          return Status::Corruption(
+              "ball of owned vertex " + std::to_string(v) +
+              " misses vertex " + std::to_string(w));
+        }
+      }
+      // Induced edges among ball members must exist locally.
+      for (VertexId w : ball) {
+        VertexId lw = f.sub.global_to_local.at(w);
+        for (const Neighbor& n : g.OutNeighbors(w)) {
+          auto it = f.sub.global_to_local.find(n.v);
+          if (it == f.sub.global_to_local.end()) continue;
+          if (!std::binary_search(ball.begin(), ball.end(), n.v)) continue;
+          if (!f.sub.graph.HasEdge(lw, it->second, n.label)) {
+            return Status::Corruption("ball edge missing in fragment");
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace qgp

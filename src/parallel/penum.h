@@ -1,0 +1,23 @@
+#ifndef QGP_PARALLEL_PENUM_H_
+#define QGP_PARALLEL_PENUM_H_
+
+#include "common/result.h"
+#include "core/pattern.h"
+#include "parallel/pqmatch.h"
+
+namespace qgp {
+
+/// PEnum (§7): the parallel enumerate-then-verify baseline ([37]-style).
+/// Each worker runs the Enum matcher on its fragment over owned focus
+/// candidates; negated edges re-enumerate each positified pattern from
+/// scratch. Same answers as PQMatch, no quantifier-aware optimizations.
+class PEnum {
+ public:
+  static Result<ParallelRunResult> Evaluate(const Pattern& pattern,
+                                            const Partition& partition,
+                                            const ParallelConfig& config);
+};
+
+}  // namespace qgp
+
+#endif  // QGP_PARALLEL_PENUM_H_

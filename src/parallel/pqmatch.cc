@@ -1,0 +1,77 @@
+#include "parallel/pqmatch.h"
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/qmatch.h"
+
+namespace qgp {
+
+Result<ParallelRunResult> PQMatch::Evaluate(const Pattern& pattern,
+                                            const Partition& partition,
+                                            const ParallelConfig& config) {
+  QGP_RETURN_IF_ERROR(
+      pattern.Validate(config.match.max_quantified_per_path));
+  if (pattern.Radius() > partition.d) {
+    return Status::InvalidArgument(
+        "pattern radius " + std::to_string(pattern.Radius()) +
+        " exceeds the partition's hop preservation d = " +
+        std::to_string(partition.d) +
+        "; re-partition with DParExtend first");
+  }
+  const size_t n = partition.fragments.size();
+  ParallelRunResult result;
+  std::vector<AnswerSet> local_answers(n);
+  std::vector<MatchStats> local_stats(n);
+  std::vector<Status> local_status(n, Status::Ok());
+
+  WorkerSet workers(n, config.mode);
+  WorkerSet::Report report = workers.Run([&](size_t i) {
+    const Fragment& f = partition.fragments[i];
+    if (f.owned_local.empty()) return;
+    // mQMatch intra-fragment threads. In simulated mode workers run one
+    // at a time, so each worker's pool has the whole machine and its
+    // wall time honestly reflects b-way intra parallelism.
+    std::unique_ptr<ThreadPool> pool;
+    if (config.threads_per_worker > 1) {
+      pool = std::make_unique<ThreadPool>(config.threads_per_worker);
+    }
+    Result<AnswerSet> local = QMatch::EvaluateSubset(
+        pattern, f.sub.graph, f.owned_local, config.match, &local_stats[i],
+        pool.get());
+    if (!local.ok()) {
+      local_status[i] = local.status();
+      return;
+    }
+    // Map local answers back to global ids.
+    for (VertexId lv : local.value()) {
+      local_answers[i].push_back(f.sub.local_to_global[lv]);
+    }
+  });
+
+  for (size_t i = 0; i < n; ++i) {
+    QGP_RETURN_IF_ERROR(local_status[i]);
+  }
+
+  // Coordinator: union of per-fragment answers (owned sets are disjoint,
+  // so this is concatenation + sort).
+  WallTimer assemble;
+  for (size_t i = 0; i < n; ++i) {
+    result.answers.insert(result.answers.end(), local_answers[i].begin(),
+                          local_answers[i].end());
+    result.stats.Add(local_stats[i]);
+  }
+  Canonicalize(result.answers);
+  result.coordinator_seconds = assemble.ElapsedSeconds();
+
+  result.fragment_seconds = report.worker_seconds;
+  result.total_work_seconds = report.total_work_seconds;
+  double base = config.mode == ExecutionMode::kSimulated
+                    ? report.makespan_seconds
+                    : report.wall_seconds;
+  result.parallel_seconds = base + result.coordinator_seconds;
+  return result;
+}
+
+}  // namespace qgp

@@ -1,0 +1,47 @@
+#ifndef QGP_PARALLEL_PQMATCH_H_
+#define QGP_PARALLEL_PQMATCH_H_
+
+#include "common/result.h"
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "parallel/partition.h"
+#include "parallel/worker_set.h"
+
+namespace qgp {
+
+/// Parallel execution knobs shared by PQMatch and PEnum.
+struct ParallelConfig {
+  ExecutionMode mode = ExecutionMode::kSimulated;
+  /// Intra-fragment threads b (mQMatch). Works in both modes: in
+  /// simulated mode workers run sequentially, so each worker's pool has
+  /// the machine to itself and per-worker times reflect b honestly.
+  size_t threads_per_worker = 1;
+  MatchOptions match;
+};
+
+/// Outcome of a parallel run, with the timing decomposition Theorem 7
+/// speaks about: per-fragment work, the makespan (the parallel time), and
+/// the coordinator's O(n) assembly cost.
+struct ParallelRunResult {
+  AnswerSet answers;  // global vertex ids
+  std::vector<double> fragment_seconds;
+  double parallel_seconds = 0;     // makespan + coordinator
+  double total_work_seconds = 0;   // Σ fragment time
+  double coordinator_seconds = 0;  // union / assembly
+  MatchStats stats;                // aggregated over fragments
+};
+
+/// PQMatch (Fig. 6): evaluates a QGP over a d-hop preserving partition.
+/// Each worker runs QMatch on its fragment restricted to owned focus
+/// candidates (zero communication, Lemma 9); the coordinator unions the
+/// per-fragment answers. Requires pattern.Radius() <= partition.d.
+class PQMatch {
+ public:
+  static Result<ParallelRunResult> Evaluate(const Pattern& pattern,
+                                            const Partition& partition,
+                                            const ParallelConfig& config);
+};
+
+}  // namespace qgp
+
+#endif  // QGP_PARALLEL_PQMATCH_H_

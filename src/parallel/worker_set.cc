@@ -1,0 +1,39 @@
+#include "parallel/worker_set.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace qgp {
+
+WorkerSet::Report WorkerSet::Run(const std::function<void(size_t)>& fn) const {
+  Report report;
+  report.worker_seconds.assign(num_workers_, 0.0);
+  WallTimer wall;
+  if (mode_ == ExecutionMode::kSimulated) {
+    for (size_t i = 0; i < num_workers_; ++i) {
+      WallTimer t;
+      fn(i);
+      report.worker_seconds[i] = t.ElapsedSeconds();
+    }
+  } else {
+    ThreadPool pool(num_workers_);
+    for (size_t i = 0; i < num_workers_; ++i) {
+      pool.Submit([&, i] {
+        WallTimer t;
+        fn(i);
+        report.worker_seconds[i] = t.ElapsedSeconds();
+      });
+    }
+    pool.Wait();
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+  for (double s : report.worker_seconds) {
+    report.makespan_seconds = std::max(report.makespan_seconds, s);
+    report.total_work_seconds += s;
+  }
+  return report;
+}
+
+}  // namespace qgp

@@ -1,0 +1,49 @@
+#ifndef QGP_PARALLEL_WORKER_SET_H_
+#define QGP_PARALLEL_WORKER_SET_H_
+
+#include <functional>
+#include <vector>
+
+namespace qgp {
+
+/// How the n logical workers of PQMatch/PEnum execute (DESIGN.md §3).
+enum class ExecutionMode {
+  /// Workers run sequentially; each fragment's work is timed and the
+  /// reported parallel time is the makespan (max worker time plus the
+  /// coordinator's assembly cost). This reproduces the paper's n-machine
+  /// scaling curves faithfully on hosts with fewer cores, and is the
+  /// default for the vary-n benches.
+  kSimulated,
+  /// Workers run on real threads; parallel time is wall-clock.
+  kThreads,
+};
+
+/// Runs one task per logical worker and reports per-worker timings.
+class WorkerSet {
+ public:
+  WorkerSet(size_t num_workers, ExecutionMode mode)
+      : num_workers_(num_workers), mode_(mode) {}
+
+  struct Report {
+    std::vector<double> worker_seconds;  // per worker
+    double makespan_seconds = 0;         // max worker time (simulated
+                                         // parallel time)
+    double wall_seconds = 0;             // actual elapsed time
+    double total_work_seconds = 0;       // sum of worker times
+  };
+
+  /// Executes fn(i) for i in [0, num_workers). In kThreads mode `fn`
+  /// must be thread-safe across distinct i.
+  Report Run(const std::function<void(size_t)>& fn) const;
+
+  size_t num_workers() const { return num_workers_; }
+  ExecutionMode mode() const { return mode_; }
+
+ private:
+  size_t num_workers_;
+  ExecutionMode mode_;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_PARALLEL_WORKER_SET_H_

@@ -1,0 +1,48 @@
+#include "qgar/gar_match.h"
+
+#include "core/qmatch.h"
+#include "qgar/metrics.h"
+
+namespace qgp {
+
+namespace {
+
+GarMatchResult AssembleResult(const Qgar& rule, const Graph& g, double eta,
+                              AnswerSet q1, AnswerSet q2) {
+  GarMatchResult out;
+  out.q1_answers = std::move(q1);
+  out.q2_answers = std::move(q2);
+  out.rule_matches = SetIntersection(out.q1_answers, out.q2_answers);
+  out.support = out.rule_matches.size();
+  out.confidence =
+      Confidence(out.q1_answers, out.q2_answers, ComputeXo(rule, g));
+  if (out.confidence >= eta) out.entities = out.rule_matches;
+  return out;
+}
+
+}  // namespace
+
+Result<GarMatchResult> GarMatch(const Qgar& rule, const Graph& g, double eta,
+                                const MatchOptions& options,
+                                MatchStats* stats) {
+  QGP_RETURN_IF_ERROR(rule.Validate(options.max_quantified_per_path));
+  QGP_ASSIGN_OR_RETURN(AnswerSet q1,
+                       QMatch::Evaluate(rule.antecedent, g, options, stats));
+  QGP_ASSIGN_OR_RETURN(AnswerSet q2,
+                       QMatch::Evaluate(rule.consequent, g, options, stats));
+  return AssembleResult(rule, g, eta, std::move(q1), std::move(q2));
+}
+
+Result<GarMatchResult> DGarMatch(const Qgar& rule, const Graph& g,
+                                 const Partition& partition, double eta,
+                                 const ParallelConfig& config) {
+  QGP_RETURN_IF_ERROR(rule.Validate(config.match.max_quantified_per_path));
+  QGP_ASSIGN_OR_RETURN(ParallelRunResult r1,
+                       PQMatch::Evaluate(rule.antecedent, partition, config));
+  QGP_ASSIGN_OR_RETURN(ParallelRunResult r2,
+                       PQMatch::Evaluate(rule.consequent, partition, config));
+  return AssembleResult(rule, g, eta, std::move(r1.answers),
+                        std::move(r2.answers));
+}
+
+}  // namespace qgp

@@ -1,0 +1,39 @@
+#include "qgar/metrics.h"
+
+namespace qgp {
+
+AnswerSet ComputeXo(const Qgar& rule, const Graph& g) {
+  const Pattern& q2 = rule.consequent;
+  std::vector<Label> required;
+  for (PatternEdgeId e : q2.OutEdgeIds(q2.focus())) {
+    required.push_back(q2.edge(e).label);
+  }
+  AnswerSet xo;
+  for (VertexId v : g.VerticesWithLabel(q2.node(q2.focus()).label)) {
+    bool ok = true;
+    for (Label l : required) {
+      if (g.OutDegreeWithLabel(v, l) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) xo.push_back(v);
+  }
+  Canonicalize(xo);
+  return xo;
+}
+
+size_t Support(const AnswerSet& q1_answers, const AnswerSet& q2_answers) {
+  return SetIntersection(q1_answers, q2_answers).size();
+}
+
+double Confidence(const AnswerSet& q1_answers, const AnswerSet& q2_answers,
+                  const AnswerSet& xo_set) {
+  AnswerSet denom = SetIntersection(q1_answers, xo_set);
+  if (denom.empty()) return 0.0;
+  AnswerSet numer = SetIntersection(q1_answers, q2_answers);
+  return static_cast<double>(numer.size()) /
+         static_cast<double>(denom.size());
+}
+
+}  // namespace qgp

@@ -1,0 +1,29 @@
+#ifndef QGP_QGAR_METRICS_H_
+#define QGP_QGAR_METRICS_H_
+
+#include "core/match_types.h"
+#include "core/pattern.h"
+#include "graph/graph.h"
+#include "qgar/qgar.h"
+
+namespace qgp {
+
+/// Xo (§6, Appendix C): the LCWA denominator set. A vertex belongs to Xo
+/// iff it carries the consequent's focus label and, for EVERY consequent
+/// edge (xo, u) with label ℓ, it has at least one outgoing ℓ-edge in G —
+/// under the local closed-world assumption such vertices have complete
+/// ℓ-neighborhoods, so failing the consequent really is a negative
+/// example rather than missing data.
+AnswerSet ComputeXo(const Qgar& rule, const Graph& g);
+
+/// supp(R, G) = |Q1(xo,G) ∩ Q2(xo,G)| (§6; anti-monotonic by Lemma 10).
+size_t Support(const AnswerSet& q1_answers, const AnswerSet& q2_answers);
+
+/// conf(R, G) = |R(xo,G)| / |Q1(xo,G) ∩ Xo|. Returns 0 when the
+/// denominator is empty.
+double Confidence(const AnswerSet& q1_answers, const AnswerSet& q2_answers,
+                  const AnswerSet& xo_set);
+
+}  // namespace qgp
+
+#endif  // QGP_QGAR_METRICS_H_

@@ -1,0 +1,26 @@
+#include "qgar/qgar.h"
+
+#include "core/pattern_analysis.h"
+
+namespace qgp {
+
+Status Qgar::Validate(int max_quantified_per_path) const {
+  QGP_RETURN_IF_ERROR(antecedent.Validate(max_quantified_per_path));
+  QGP_RETURN_IF_ERROR(consequent.Validate(max_quantified_per_path));
+  if (antecedent.num_edges() == 0 || consequent.num_edges() == 0) {
+    return Status::InvalidArgument(
+        "QGAR requires non-empty antecedent and consequent");
+  }
+  if (antecedent.node(antecedent.focus()).label !=
+      consequent.node(consequent.focus()).label) {
+    return Status::InvalidArgument(
+        "QGAR antecedent and consequent must share the focus label");
+  }
+  if (PatternsShareEdge(antecedent, consequent)) {
+    return Status::InvalidArgument(
+        "QGAR antecedent and consequent must not overlap (shared edge)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace qgp

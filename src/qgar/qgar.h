@@ -1,0 +1,27 @@
+#ifndef QGP_QGAR_QGAR_H_
+#define QGP_QGAR_QGAR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/pattern.h"
+
+namespace qgp {
+
+/// Quantified graph association rule R(xo): Q1(xo) ⇒ Q2(xo) (§6).
+/// Both sides are QGPs over the same focus variable; in a graph G,
+/// R(xo, G) = Q1(xo, G) ∩ Q2(xo, G).
+struct Qgar {
+  Pattern antecedent;  // Q1(xo)
+  Pattern consequent;  // Q2(xo)
+  std::string name;    // diagnostic label ("R1", "buy-album", ...)
+
+  /// §6's practicality requirements: both patterns valid and non-empty
+  /// (>= 1 edge each), same focus label, and no shared edge (matched by
+  /// endpoint names + label; see PatternsShareEdge).
+  Status Validate(int max_quantified_per_path = 2) const;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_QGAR_QGAR_H_

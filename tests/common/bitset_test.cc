@@ -1,0 +1,66 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace qgp {
+namespace {
+
+TEST(DynamicBitsetTest, StartsClear) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Test(i));
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, SetClearTest) {
+  DynamicBitset bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, TestAndSet) {
+  DynamicBitset bits(10);
+  EXPECT_TRUE(bits.TestAndSet(5));   // was clear
+  EXPECT_FALSE(bits.TestAndSet(5));  // now set
+  EXPECT_TRUE(bits.Test(5));
+}
+
+TEST(DynamicBitsetTest, Reset) {
+  DynamicBitset bits(70);
+  for (size_t i = 0; i < 70; i += 7) bits.Set(i);
+  EXPECT_GT(bits.Count(), 0u);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, ResizePreservesBits) {
+  DynamicBitset bits(10);
+  bits.Set(3);
+  bits.Resize(200);
+  EXPECT_TRUE(bits.Test(3));
+  EXPECT_FALSE(bits.Test(150));
+  bits.Set(150);
+  EXPECT_TRUE(bits.Test(150));
+}
+
+TEST(DynamicBitsetTest, WordBoundaries) {
+  DynamicBitset bits(256);
+  for (size_t i : {63u, 64u, 127u, 128u, 191u, 192u, 255u}) {
+    EXPECT_TRUE(bits.TestAndSet(i));
+  }
+  EXPECT_EQ(bits.Count(), 7u);
+}
+
+}  // namespace
+}  // namespace qgp

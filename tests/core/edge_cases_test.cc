@@ -1,0 +1,234 @@
+// Corner cases of the QGP semantics that the paper's prose does not
+// spell out; each is pinned by agreement between the brute-force oracle
+// and the optimized matchers.
+#include <gtest/gtest.h>
+
+#include "core/enum_matcher.h"
+#include "core/naive_matcher.h"
+#include "core/qmatch.h"
+#include "graph/graph_builder.h"
+#include "qgar/gar_match.h"
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+void ExpectAllMatchersAgree(const Pattern& q, const Graph& g,
+                            const AnswerSet& expected) {
+  auto naive = NaiveMatcher::Evaluate(q, g);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  EXPECT_EQ(naive.value(), expected) << "naive";
+  auto qm = QMatch::Evaluate(q, g);
+  ASSERT_TRUE(qm.ok()) << qm.status().ToString();
+  EXPECT_EQ(qm.value(), expected) << "qmatch";
+  auto en = EnumMatcher::Evaluate(q, g);
+  ASSERT_TRUE(en.ok()) << en.status().ToString();
+  EXPECT_EQ(en.value(), expected) << "enum";
+}
+
+TEST(EdgeCasesTest, QuantifiedEdgeIntoFocus) {
+  // Quantifier on an edge whose TARGET is the focus: with h(xo) pinned,
+  // Me(vx, v, Q) ⊆ {vx}, so >=2 can never hold and >=1 reduces to the
+  // plain edge requirement.
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  {
+    Pattern q;
+    PatternNodeId z = q.AddNode(dict.Intern("person"), "z");
+    PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+    (void)q.AddEdge(z, xo, dict.Intern("follow"),
+                    Quantifier::Numeric(QuantOp::kGe, 2));
+    (void)q.set_focus(xo);
+    ExpectAllMatchersAgree(q, g, {});
+  }
+  {
+    Pattern q;
+    PatternNodeId z = q.AddNode(dict.Intern("person"), "z");
+    PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+    (void)q.AddEdge(z, xo, dict.Intern("follow"),
+                    Quantifier::Numeric(QuantOp::kGe, 1));
+    (void)q.set_focus(xo);
+    // Followed persons: v0..v4 minus... every vi with an in-follow edge.
+    ExpectAllMatchersAgree(
+        q, g, {ids.v0, ids.v1, ids.v2, ids.v3, ids.v4});
+  }
+}
+
+TEST(EdgeCasesTest, ParallelPatternEdgesDistinctLabels) {
+  // Two pattern edges between the same node pair with different labels:
+  // the match needs BOTH graph edges.
+  GraphBuilder b;
+  VertexId u0 = b.AddVertex("p");
+  VertexId u1 = b.AddVertex("q");
+  VertexId u2 = b.AddVertex("p");
+  VertexId u3 = b.AddVertex("q");
+  (void)b.AddEdge(u0, u1, "likes");
+  (void)b.AddEdge(u0, u1, "knows");
+  (void)b.AddEdge(u2, u3, "likes");  // only one of the two labels
+  Graph g = std::move(b).Build().value();
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId a = q.AddNode(dict.Intern("p"), "a");
+  PatternNodeId c = q.AddNode(dict.Intern("q"), "c");
+  (void)q.AddEdge(a, c, dict.Intern("likes"));
+  (void)q.AddEdge(a, c, dict.Intern("knows"));
+  (void)q.set_focus(a);
+  ExpectAllMatchersAgree(q, g, {u0});
+}
+
+TEST(EdgeCasesTest, SelfLoopPattern) {
+  GraphBuilder b;
+  VertexId u0 = b.AddVertex("p");
+  VertexId u1 = b.AddVertex("p");
+  (void)b.AddEdge(u0, u0, "self");
+  Graph g = std::move(b).Build().value();
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId a = q.AddNode(dict.Intern("p"), "a");
+  (void)q.AddEdge(a, a, dict.Intern("self"));
+  (void)q.set_focus(a);
+  ExpectAllMatchersAgree(q, g, {u0});
+  (void)u1;
+}
+
+TEST(EdgeCasesTest, RatioOverMixedTargets) {
+  // Denominator |Me(v)| counts ALL label-children, numerator only those
+  // matching the target's node label and constraints: u0 likes 2 albums
+  // and 2 products via the same edge label, so "=50% of likes are
+  // albums" holds exactly.
+  GraphBuilder b;
+  VertexId u0 = b.AddVertex("person");
+  VertexId a1 = b.AddVertex("album");
+  VertexId a2 = b.AddVertex("album");
+  VertexId p1 = b.AddVertex("product");
+  VertexId p2 = b.AddVertex("product");
+  for (VertexId t : {a1, a2, p1, p2}) (void)b.AddEdge(u0, t, "like");
+  Graph g = std::move(b).Build().value();
+  LabelDict& dict = g.mutable_dict();
+  {
+    Pattern q;
+    PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+    PatternNodeId y = q.AddNode(dict.Intern("album"), "y");
+    (void)q.AddEdge(xo, y, dict.Intern("like"),
+                    Quantifier::Ratio(QuantOp::kEq, 50.0));
+    (void)q.set_focus(xo);
+    ExpectAllMatchersAgree(q, g, {u0});
+  }
+  {
+    Pattern q;
+    PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+    PatternNodeId y = q.AddNode(dict.Intern("album"), "y");
+    (void)q.AddEdge(xo, y, dict.Intern("like"),
+                    Quantifier::Ratio(QuantOp::kGt, 50.0));
+    (void)q.set_focus(xo);
+    ExpectAllMatchersAgree(q, g, {});
+  }
+}
+
+TEST(EdgeCasesTest, NegatedConsequentRule) {
+  // R2-style rule: the consequent is a single NEGATED edge ("xo is
+  // unlikely to follow y"). Q2(xo,G) = Π(Q2) \ Π(Q2⁺ᵉ) where Π(Q2)
+  // degenerates to the focus-only pattern.
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId y = q.AddNode(dict.Intern("person"), "y");
+  (void)q.AddEdge(xo, y, dict.Intern("follow"), Quantifier::Negation());
+  (void)q.set_focus(xo);
+  // Persons with no outgoing follow edge: v0..v4.
+  ExpectAllMatchersAgree(q, g,
+                         {ids.v0, ids.v1, ids.v2, ids.v3, ids.v4});
+}
+
+TEST(EdgeCasesTest, GtQuantifier) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = q.AddNode(dict.Intern("person"), "z");
+  PatternNodeId r = q.AddNode(dict.Intern("redmi_2a"), "r");
+  (void)q.AddEdge(xo, z, dict.Intern("follow"),
+                  Quantifier::Numeric(QuantOp::kGt, 1));
+  (void)q.AddEdge(z, r, dict.Intern("recom"));
+  (void)q.set_focus(xo);
+  // > 1 recommending followee: x2 (2) and x3 (2).
+  ExpectAllMatchersAgree(q, g, {ids.x2, ids.x3});
+}
+
+TEST(EdgeCasesTest, TwoNegatedBranches) {
+  // Q5-style: two negated edges on SEPARATE branches (two on one path
+  // would be double negation and is rejected by Validate). The second
+  // branch targets a label absent from G1, so its positified pattern is
+  // vacuous and only the bad-rating negation bites.
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z1 = q.AddNode(dict.Intern("person"), "z1");
+  PatternNodeId z2 = q.AddNode(dict.Intern("person"), "z2");
+  PatternNodeId r = q.AddNode(dict.Intern("redmi_2a"), "r");
+  PatternNodeId c = q.AddNode(dict.Intern("club"), "c");
+  (void)q.AddEdge(xo, z1, dict.Intern("follow"));
+  (void)q.AddEdge(z1, r, dict.Intern("recom"));
+  (void)q.AddEdge(xo, z2, dict.Intern("follow"), Quantifier::Negation());
+  (void)q.AddEdge(z2, r, dict.Intern("bad_rating"));
+  (void)q.AddEdge(xo, c, dict.Intern("in"), Quantifier::Negation());
+  (void)q.set_focus(xo);
+  ASSERT_TRUE(q.Validate().ok());
+  // Π(Q) keeps {xo, z1, r}: every follower of a recommender matches;
+  // the bad-rating positified branch removes x3; the club branch is
+  // vacuous (no club vertices in G1).
+  ExpectAllMatchersAgree(q, g, {ids.x1, ids.x2});
+}
+
+TEST(EdgeCasesTest, DoubleNegationOnPathRejected) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = q.AddNode(dict.Intern("person"), "z");
+  PatternNodeId r = q.AddNode(dict.Intern("redmi_2a"), "r");
+  (void)q.AddEdge(xo, z, dict.Intern("follow"), Quantifier::Negation());
+  (void)q.AddEdge(z, r, dict.Intern("bad_rating"), Quantifier::Negation());
+  (void)q.set_focus(xo);
+  EXPECT_FALSE(q.Validate().ok());
+  EXPECT_FALSE(QMatch::Evaluate(q, g).ok());
+}
+
+TEST(EdgeCasesTest, LabelAbsentFromGraph) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = q.AddNode(dict.Intern("martian"), "z");
+  (void)q.AddEdge(xo, z, dict.Intern("follow"));
+  (void)q.set_focus(xo);
+  ExpectAllMatchersAgree(q, g, {});
+}
+
+TEST(EdgeCasesTest, UniversalOverEmptyChildSetNeverMatches) {
+  // =100% needs at least one child because the stratified embedding
+  // must map the target node; a person with zero followees is no match.
+  GraphBuilder b;
+  VertexId loner = b.AddVertex("person");
+  VertexId active = b.AddVertex("person");
+  VertexId prod = b.AddVertex("product");
+  (void)b.AddEdge(active, prod, "recom");
+  Graph g = std::move(b).Build().value();
+  LabelDict& dict = g.mutable_dict();
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId y = q.AddNode(dict.Intern("product"), "y");
+  (void)q.AddEdge(xo, y, dict.Intern("recom"), Quantifier::Universal());
+  (void)q.set_focus(xo);
+  ExpectAllMatchersAgree(q, g, {active});
+  (void)loner;
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,60 @@
+#include "core/enum_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+TEST(EnumMatcherTest, MatchesPaperAnswers) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  Pattern q2 = testing::BuildQ2(g.mutable_dict());
+  auto answers = EnumMatcher::Evaluate(q2, g);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value(), (AnswerSet{ids.x1, ids.x2}));
+}
+
+TEST(EnumMatcherTest, FocusSubset) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  Pattern q2 = testing::BuildQ2(g.mutable_dict());
+  MatchOptions opts;
+  std::vector<VertexId> subset{ids.x1};
+  auto answers =
+      EnumMatcher::EvaluatePositive(q2, g, opts, nullptr, subset);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value(), (AnswerSet{ids.x1}));
+}
+
+TEST(EnumMatcherTest, CapReturnsError) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  Pattern q2 = testing::BuildQ2(g.mutable_dict());
+  MatchOptions opts;
+  opts.max_isomorphisms = 1;
+  // x2 and x3 have two+ embeddings each; the cap must trip.
+  auto answers = EnumMatcher::Evaluate(q2, g, opts);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kInternal);
+}
+
+TEST(EnumMatcherTest, EnumeratesMoreThanQMatch) {
+  // The baseline enumerates every embedding; DMatch short-circuits.
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  Pattern q2 = testing::BuildQ2(g.mutable_dict());
+  MatchStats enum_stats;
+  ASSERT_TRUE(EnumMatcher::Evaluate(q2, g, {}, &enum_stats).ok());
+  EXPECT_GT(enum_stats.isomorphisms_enumerated, 0u);
+}
+
+TEST(EnumMatcherTest, RejectsNegativePatternInPositiveApi) {
+  Graph g = testing::BuildG1(nullptr);
+  Pattern q3 = testing::BuildQ3(g.mutable_dict(), 2);
+  EXPECT_FALSE(EnumMatcher::EvaluatePositive(q3, g, {}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace qgp

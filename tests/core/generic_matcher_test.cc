@@ -1,0 +1,189 @@
+#include "core/generic_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+// A triangle 0->1->2->0 with uniform labels, plus candidate sets.
+struct TriangleFixture {
+  Graph g;
+  Pattern p;
+  std::vector<std::vector<VertexId>> candidates;
+
+  TriangleFixture() {
+    GraphBuilder b;
+    for (int i = 0; i < 3; ++i) b.AddVertex("n");
+    (void)b.AddEdge(0, 1, "e");
+    (void)b.AddEdge(1, 2, "e");
+    (void)b.AddEdge(2, 0, "e");
+    g = std::move(b).Build().value();
+    LabelDict& dict = g.mutable_dict();
+    PatternNodeId a = p.AddNode(dict.Intern("n"), "a");
+    PatternNodeId c = p.AddNode(dict.Intern("n"), "b");
+    PatternNodeId d = p.AddNode(dict.Intern("n"), "c");
+    (void)p.AddEdge(a, c, dict.Intern("e"));
+    (void)p.AddEdge(c, d, dict.Intern("e"));
+    (void)p.AddEdge(d, a, dict.Intern("e"));
+    (void)p.set_focus(a);
+    candidates.assign(3, {0, 1, 2});
+  }
+};
+
+TEST(GenericMatcherTest, EnumeratesAllEmbeddings) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  size_t count = 0;
+  GenericMatcher::SearchOptions opts;
+  bool complete = m.Enumerate(opts, [&](const std::vector<VertexId>& h) {
+    EXPECT_EQ(h.size(), 3u);
+    ++count;
+    return true;
+  });
+  EXPECT_TRUE(complete);
+  // Triangle rotations: 3 embeddings of the directed 3-cycle.
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(GenericMatcherTest, PinRestrictsEmbeddings) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  std::pair<PatternNodeId, VertexId> pin{0, 1};
+  GenericMatcher::SearchOptions opts;
+  opts.pins = {&pin, 1};
+  size_t count = 0;
+  m.Enumerate(opts, [&](const std::vector<VertexId>& h) {
+    EXPECT_EQ(h[0], 1u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(GenericMatcherTest, InconsistentPinsYieldNothing) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  // 0 -> 1 in the pattern, but graph edge (1, 0) does not exist.
+  std::pair<PatternNodeId, VertexId> pins[2] = {{0, 1}, {1, 0}};
+  GenericMatcher::SearchOptions opts;
+  opts.pins = pins;
+  size_t count = 0;
+  m.Enumerate(opts, [&](const std::vector<VertexId>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(GenericMatcherTest, PinOutsideCandidatesYieldsNothing) {
+  TriangleFixture f;
+  f.candidates[0] = {0};  // restrict node 0's candidates
+  GenericMatcher m(f.p, f.g, f.candidates);
+  std::pair<PatternNodeId, VertexId> pin{0, 2};
+  GenericMatcher::SearchOptions opts;
+  opts.pins = {&pin, 1};
+  EXPECT_FALSE(m.FindAny(opts));
+}
+
+TEST(GenericMatcherTest, CallbackCanStopEarly) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  size_t count = 0;
+  GenericMatcher::SearchOptions opts;
+  m.Enumerate(opts, [&](const std::vector<VertexId>&) {
+    ++count;
+    return false;  // stop after the first embedding
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(GenericMatcherTest, MaxIsomorphismsCap) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  GenericMatcher::SearchOptions opts;
+  opts.max_isomorphisms = 2;
+  size_t count = 0;
+  bool complete = m.Enumerate(opts, [&](const std::vector<VertexId>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(GenericMatcherTest, AcceptPredicateFilters) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  GenericMatcher::Accept accept = [](PatternNodeId, VertexId v) {
+    return v != 2;  // forbid vertex 2 anywhere
+  };
+  GenericMatcher::SearchOptions opts;
+  opts.accept = &accept;
+  EXPECT_FALSE(m.FindAny(opts));  // the cycle needs all three vertices
+}
+
+TEST(GenericMatcherTest, InjectivityEnforced) {
+  // Pattern with two 'n' nodes both children of a root; graph has a
+  // single shared child: no embedding (h must be injective).
+  GraphBuilder b;
+  VertexId root = b.AddVertex("r");
+  VertexId child = b.AddVertex("n");
+  (void)b.AddEdge(root, child, "e");
+  Graph g = std::move(b).Build().value();
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  PatternNodeId pr = p.AddNode(dict.Intern("r"), "r");
+  PatternNodeId c1 = p.AddNode(dict.Intern("n"), "c1");
+  PatternNodeId c2 = p.AddNode(dict.Intern("n"), "c2");
+  (void)p.AddEdge(pr, c1, dict.Intern("e"));
+  (void)p.AddEdge(pr, c2, dict.Intern("e"));
+  (void)p.set_focus(pr);
+  std::vector<std::vector<VertexId>> cand{{root}, {child}, {child}};
+  GenericMatcher m(p, g, cand);
+  GenericMatcher::SearchOptions opts;
+  EXPECT_FALSE(m.FindAny(opts));
+}
+
+TEST(GenericMatcherTest, SingleNodePattern) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  p.AddNode(dict.Intern("redmi_2a"), "r");
+  std::vector<std::vector<VertexId>> cand{{8}};
+  GenericMatcher m(p, g, cand);
+  GenericMatcher::SearchOptions opts;
+  std::vector<VertexId> found;
+  EXPECT_TRUE(m.FindAny(opts, &found));
+  EXPECT_EQ(found[0], 8u);
+}
+
+TEST(GenericMatcherTest, ScoreOrdersChildren) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  GenericMatcher::Score score = [](PatternNodeId, VertexId v) {
+    return static_cast<double>(v);  // prefer the highest vertex id
+  };
+  GenericMatcher::SearchOptions opts;
+  opts.score = &score;
+  std::vector<VertexId> first;
+  ASSERT_TRUE(m.FindAny(opts, &first));
+  // Root step iterates the full candidate list ordered by score: 2 first.
+  EXPECT_EQ(first[0], 2u);
+}
+
+TEST(GenericMatcherTest, StatsCountExtensions) {
+  TriangleFixture f;
+  GenericMatcher m(f.p, f.g, f.candidates);
+  MatchStats stats;
+  GenericMatcher::SearchOptions opts;
+  opts.stats = &stats;
+  m.Enumerate(opts, [](const std::vector<VertexId>&) { return true; });
+  EXPECT_EQ(stats.isomorphisms_enumerated, 3u);
+  EXPECT_GT(stats.search_extensions, 0u);
+}
+
+}  // namespace
+}  // namespace qgp

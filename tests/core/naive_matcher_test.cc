@@ -1,0 +1,121 @@
+#include "core/naive_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+TEST(NaiveMatcherTest, ConventionalPatternIsSubgraphIso) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  PatternNodeId xo = p.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = p.AddNode(dict.Intern("person"), "z");
+  (void)p.AddEdge(xo, z, dict.Intern("follow"));
+  (void)p.set_focus(xo);
+  auto answers = NaiveMatcher::Evaluate(p, g);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value(), (AnswerSet{ids.x1, ids.x2, ids.x3}));
+}
+
+TEST(NaiveMatcherTest, SingleNodePattern) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  p.AddNode(dict.Intern("redmi_2a"), "r");
+  auto answers = NaiveMatcher::Evaluate(p, g);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value(), (AnswerSet{ids.redmi}));
+}
+
+TEST(NaiveMatcherTest, CountsDistinctWitnessedChildren) {
+  // xo with >=2 z-children each needing a w-child; z1, z2 share w: both
+  // count (the §2.2 semantics counts children, not disjoint witnesses).
+  GraphBuilder b;
+  VertexId root = b.AddVertex("r");
+  VertexId z1 = b.AddVertex("z");
+  VertexId z2 = b.AddVertex("z");
+  VertexId w = b.AddVertex("w");
+  (void)b.AddEdge(root, z1, "e");
+  (void)b.AddEdge(root, z2, "e");
+  (void)b.AddEdge(z1, w, "f");
+  (void)b.AddEdge(z2, w, "f");
+  Graph g = std::move(b).Build().value();
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  PatternNodeId pr = p.AddNode(dict.Intern("r"), "r");
+  PatternNodeId pz = p.AddNode(dict.Intern("z"), "z");
+  PatternNodeId pw = p.AddNode(dict.Intern("w"), "w");
+  (void)p.AddEdge(pr, pz, dict.Intern("e"),
+                  Quantifier::Numeric(QuantOp::kGe, 2));
+  (void)p.AddEdge(pz, pw, dict.Intern("f"));
+  (void)p.set_focus(pr);
+  auto answers = NaiveMatcher::Evaluate(p, g);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value(), (AnswerSet{root}));
+}
+
+TEST(NaiveMatcherTest, EqualityQuantifierExactCount) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  PatternNodeId xo = p.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = p.AddNode(dict.Intern("person"), "z");
+  PatternNodeId r = p.AddNode(dict.Intern("redmi_2a"), "r");
+  (void)p.AddEdge(xo, z, dict.Intern("follow"),
+                  Quantifier::Numeric(QuantOp::kEq, 2));
+  (void)p.AddEdge(z, r, dict.Intern("recom"));
+  (void)p.set_focus(xo);
+  auto answers = NaiveMatcher::Evaluate(p, g);
+  ASSERT_TRUE(answers.ok());
+  // x2 has exactly 2 recommending followees; x3 has exactly 2 as well
+  // (v2, v3); x1 has exactly 1.
+  EXPECT_EQ(answers.value(), (AnswerSet{ids.x2, ids.x3}));
+}
+
+TEST(NaiveMatcherTest, EvaluatePositiveRejectsNegative) {
+  LabelDict dict;
+  Pattern q3 = testing::BuildQ3(dict, 2);
+  Graph g = testing::BuildG1(nullptr);
+  EXPECT_FALSE(NaiveMatcher::EvaluatePositive(q3, g, 0).ok());
+}
+
+TEST(NaiveMatcherTest, CapReturnsInternalError) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  PatternNodeId a = p.AddNode(dict.Intern("person"), "a");
+  PatternNodeId b2 = p.AddNode(dict.Intern("person"), "b");
+  (void)p.AddEdge(a, b2, dict.Intern("follow"));
+  (void)p.set_focus(a);
+  MatchOptions opts;
+  opts.max_isomorphisms = 1;  // 6 follow edges exist
+  auto answers = NaiveMatcher::Evaluate(p, g, opts);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kInternal);
+}
+
+TEST(NaiveMatcherTest, ValidatesPattern) {
+  Graph g = testing::BuildG1(nullptr);
+  Pattern empty;
+  EXPECT_FALSE(NaiveMatcher::Evaluate(empty, g).ok());
+}
+
+TEST(NaiveMatcherTest, NoMatchesWhenLabelMissing) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  p.AddNode(dict.Intern("unicorn"), "u");
+  auto answers = NaiveMatcher::Evaluate(p, g);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers.value().empty());
+}
+
+}  // namespace
+}  // namespace qgp

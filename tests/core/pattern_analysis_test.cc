@@ -1,0 +1,94 @@
+#include "core/pattern_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+TEST(PatternSizeTest, Q3Descriptor) {
+  LabelDict dict;
+  Pattern q3 = testing::BuildQ3(dict, 2);
+  PatternSize s = ComputePatternSize(q3);
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.num_negated, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_quantifier, 2.0);  // the single >=2
+  EXPECT_EQ(s.ToString(), "(4, 4, 2, 1)");
+}
+
+TEST(PatternSizeTest, MixedQuantifierAverage) {
+  LabelDict dict;
+  Pattern p;
+  PatternNodeId a = p.AddNode(dict.Intern("a"), "a");
+  PatternNodeId b = p.AddNode(dict.Intern("b"), "b");
+  PatternNodeId c = p.AddNode(dict.Intern("c"), "c");
+  (void)p.AddEdge(a, b, dict.Intern("e"),
+                  Quantifier::Ratio(QuantOp::kGe, 30.0));
+  (void)p.AddEdge(a, c, dict.Intern("e"),
+                  Quantifier::Ratio(QuantOp::kGe, 50.0));
+  (void)p.set_focus(a);
+  PatternSize s = ComputePatternSize(p);
+  EXPECT_DOUBLE_EQ(s.avg_quantifier, 40.0);
+}
+
+TEST(FocusDistancesTest, Q3Distances) {
+  LabelDict dict;
+  Pattern q3 = testing::BuildQ3(dict, 2);
+  std::vector<int> d = FocusDistances(q3);
+  EXPECT_EQ(d[q3.focus()], 0);
+  EXPECT_EQ(d[1], 1);  // z1
+  EXPECT_EQ(d[2], 1);  // z2
+  EXPECT_EQ(d[3], 2);  // redmi
+}
+
+TEST(NumQuantifiedEdgesTest, ExcludesNegationAndExistential) {
+  LabelDict dict;
+  Pattern q3 = testing::BuildQ3(dict, 2);
+  EXPECT_EQ(NumQuantifiedEdges(q3), 1u);
+  Pattern q2 = testing::BuildQ2(dict);
+  EXPECT_EQ(NumQuantifiedEdges(q2), 1u);
+}
+
+TEST(PatternsShareEdgeTest, DetectsByNameAndLabel) {
+  LabelDict dict;
+  Pattern a;
+  PatternNodeId a0 = a.AddNode(dict.Intern("p"), "xo");
+  PatternNodeId a1 = a.AddNode(dict.Intern("q"), "y");
+  (void)a.AddEdge(a0, a1, dict.Intern("buy"));
+  (void)a.set_focus(a0);
+
+  Pattern b;
+  PatternNodeId b0 = b.AddNode(dict.Intern("p"), "xo");
+  PatternNodeId b1 = b.AddNode(dict.Intern("q"), "y");
+  (void)b.AddEdge(b0, b1, dict.Intern("buy"));
+  (void)b.set_focus(b0);
+  EXPECT_TRUE(PatternsShareEdge(a, b));
+
+  Pattern c;
+  PatternNodeId c0 = c.AddNode(dict.Intern("p"), "xo");
+  PatternNodeId c1 = c.AddNode(dict.Intern("q"), "z");  // different name
+  (void)c.AddEdge(c0, c1, dict.Intern("buy"));
+  (void)c.set_focus(c0);
+  EXPECT_FALSE(PatternsShareEdge(a, c));
+
+  Pattern d;
+  PatternNodeId d0 = d.AddNode(dict.Intern("p"), "xo");
+  PatternNodeId d1 = d.AddNode(dict.Intern("q"), "y");
+  (void)d.AddEdge(d0, d1, dict.Intern("like"));  // different label
+  (void)d.set_focus(d0);
+  EXPECT_FALSE(PatternsShareEdge(a, d));
+}
+
+TEST(PatternsShareEdgeTest, UnnamedNodesNeverMatch) {
+  LabelDict dict;
+  Pattern a;
+  PatternNodeId a0 = a.AddNode(dict.Intern("p"));
+  PatternNodeId a1 = a.AddNode(dict.Intern("q"));
+  (void)a.AddEdge(a0, a1, dict.Intern("buy"));
+  EXPECT_FALSE(PatternsShareEdge(a, a));
+}
+
+}  // namespace
+}  // namespace qgp

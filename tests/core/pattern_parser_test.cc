@@ -1,0 +1,113 @@
+#include "core/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace qgp {
+namespace {
+
+constexpr char kQ2Text[] = R"(
+# Q2 from the paper
+node xo person
+node z  person
+node r  redmi_2a
+edge xo z follow =100%
+edge z  r recom
+focus xo
+)";
+
+TEST(PatternParserTest, ParsesQ2) {
+  LabelDict dict;
+  auto p = PatternParser::Parse(kQ2Text, dict);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->num_nodes(), 3u);
+  EXPECT_EQ(p->num_edges(), 2u);
+  EXPECT_EQ(p->node(p->focus()).name, "xo");
+  EXPECT_EQ(p->edge(0).quantifier, Quantifier::Universal());
+  EXPECT_TRUE(p->edge(1).quantifier.IsExistential());
+  EXPECT_TRUE(p->Validate().ok());
+}
+
+TEST(PatternParserTest, QuantifierTokens) {
+  auto check = [](std::string_view tok, const Quantifier& expected) {
+    auto q = PatternParser::ParseQuantifier(tok);
+    ASSERT_TRUE(q.ok()) << tok << ": " << q.status().ToString();
+    EXPECT_EQ(*q, expected) << tok;
+  };
+  check(">=3", Quantifier::Numeric(QuantOp::kGe, 3));
+  check("=2", Quantifier::Numeric(QuantOp::kEq, 2));
+  check(">5", Quantifier::Numeric(QuantOp::kGt, 5));
+  check("=0", Quantifier::Negation());
+  check(">=80%", Quantifier::Ratio(QuantOp::kGe, 80.0));
+  check("=100%", Quantifier::Universal());
+  check(">50%", Quantifier::Ratio(QuantOp::kGt, 50.0));
+  check(">=33.5%", Quantifier::Ratio(QuantOp::kGe, 33.5));
+}
+
+TEST(PatternParserTest, BadQuantifierTokens) {
+  for (const char* tok :
+       {"3", "<=2", ">=", "=x", ">=200%", "=0%", ">=-5", ">0x", ">=1%%"}) {
+    EXPECT_FALSE(PatternParser::ParseQuantifier(tok).ok()) << tok;
+  }
+  // "=0" is only valid with the equals operator.
+  EXPECT_FALSE(PatternParser::ParseQuantifier(">=0").ok());
+}
+
+TEST(PatternParserTest, ErrorsCarryLineContext) {
+  LabelDict dict;
+  auto p = PatternParser::Parse("node a person\nbogus record\n", dict);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(PatternParserTest, RejectsDuplicateNodeName) {
+  LabelDict dict;
+  auto p = PatternParser::Parse("node a x\nnode a y\nfocus a\n", dict);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(PatternParserTest, RejectsUndeclaredReferences) {
+  LabelDict dict;
+  EXPECT_FALSE(
+      PatternParser::Parse("node a x\nedge a b e\nfocus a\n", dict).ok());
+  EXPECT_FALSE(PatternParser::Parse("node a x\nfocus b\n", dict).ok());
+}
+
+TEST(PatternParserTest, RequiresFocus) {
+  LabelDict dict;
+  EXPECT_FALSE(PatternParser::Parse("node a x\n", dict).ok());
+  EXPECT_FALSE(PatternParser::Parse("", dict).ok());
+}
+
+TEST(PatternParserTest, SerializeRoundTrip) {
+  LabelDict dict;
+  auto p = PatternParser::Parse(kQ2Text, dict);
+  ASSERT_TRUE(p.ok());
+  std::string text = PatternParser::Serialize(*p, dict);
+  auto p2 = PatternParser::Parse(text, dict);
+  ASSERT_TRUE(p2.ok()) << p2.status().ToString();
+  EXPECT_TRUE(*p == *p2);
+}
+
+TEST(PatternParserTest, SerializeNegatedEdge) {
+  LabelDict dict;
+  auto p = PatternParser::Parse(
+      "node a person\nnode b person\nedge a b follow =0\nfocus a\n", dict);
+  ASSERT_TRUE(p.ok());
+  std::string text = PatternParser::Serialize(*p, dict);
+  EXPECT_NE(text.find("=0"), std::string::npos);
+  auto p2 = PatternParser::Parse(text, dict);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(*p == *p2);
+}
+
+TEST(PatternParserTest, SharedDictAcrossPatterns) {
+  LabelDict dict;
+  auto a = PatternParser::Parse("node x person\nfocus x\n", dict);
+  auto b = PatternParser::Parse("node y person\nfocus y\n", dict);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->node(0).label, b->node(0).label);
+}
+
+}  // namespace
+}  // namespace qgp

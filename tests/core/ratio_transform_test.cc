@@ -1,0 +1,63 @@
+#include "core/ratio_transform.h"
+
+#include <gtest/gtest.h>
+
+namespace qgp {
+namespace {
+
+TEST(ToNumericAtTest, GeRatioUsesCeiling) {
+  NumericForm f = ToNumericAt(Quantifier::Ratio(QuantOp::kGe, 80.0), 3);
+  EXPECT_TRUE(f.satisfiable);
+  EXPECT_EQ(f.min_count, 3u);  // ceil(2.4), not the paper's floor
+  EXPECT_FALSE(f.exact);
+}
+
+TEST(ToNumericAtTest, ExactPercentOfExactTotal) {
+  NumericForm f = ToNumericAt(Quantifier::Ratio(QuantOp::kEq, 50.0), 4);
+  EXPECT_TRUE(f.satisfiable);
+  EXPECT_EQ(f.min_count, 2u);
+  EXPECT_TRUE(f.exact);
+}
+
+TEST(ToNumericAtTest, FractionalEqualityUnsatisfiable) {
+  NumericForm f = ToNumericAt(Quantifier::Ratio(QuantOp::kEq, 50.0), 3);
+  EXPECT_FALSE(f.satisfiable);
+}
+
+TEST(ToNumericAtTest, RequirementAboveTotalUnsatisfiable) {
+  NumericForm f = ToNumericAt(Quantifier::Numeric(QuantOp::kGe, 5), 3);
+  EXPECT_FALSE(f.satisfiable);
+}
+
+TEST(ToNumericAtTest, NegationUnsatisfiableAsCount) {
+  NumericForm f = ToNumericAt(Quantifier::Negation(), 3);
+  EXPECT_FALSE(f.satisfiable);
+}
+
+TEST(ToNumericAtTest, NumericPassThrough) {
+  NumericForm f = ToNumericAt(Quantifier::Numeric(QuantOp::kEq, 2), 5);
+  EXPECT_TRUE(f.satisfiable);
+  EXPECT_EQ(f.min_count, 2u);
+  EXPECT_TRUE(f.exact);
+}
+
+TEST(NormalizeGtTest, RewritesNumericGt) {
+  LabelDict dict;
+  Pattern p;
+  PatternNodeId a = p.AddNode(dict.Intern("a"), "a");
+  PatternNodeId b = p.AddNode(dict.Intern("b"), "b");
+  PatternNodeId c = p.AddNode(dict.Intern("c"), "c");
+  (void)p.AddEdge(a, b, dict.Intern("e"),
+                  Quantifier::Numeric(QuantOp::kGt, 2));
+  (void)p.AddEdge(b, c, dict.Intern("e"),
+                  Quantifier::Ratio(QuantOp::kGt, 50.0));
+  (void)p.set_focus(a);
+  Pattern n = NormalizeGtQuantifiers(p);
+  EXPECT_EQ(n.edge(0).quantifier, Quantifier::Numeric(QuantOp::kGe, 3));
+  // Ratio > passes through.
+  EXPECT_EQ(n.edge(1).quantifier, Quantifier::Ratio(QuantOp::kGt, 50.0));
+  EXPECT_EQ(n.focus(), p.focus());
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,84 @@
+#include "core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+TEST(DualSimulationTest, FiltersByLabelAndChildren) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  Pattern q2 = testing::BuildQ2(g.mutable_dict());
+
+  auto sim = DualSimulation(q2, g);
+  ASSERT_EQ(sim.size(), 3u);
+  // z requires an outgoing recom to redmi and an incoming follow:
+  // v0..v3 qualify; v4 (bad_rating only) and x1..x3 (no recom) do not.
+  EXPECT_EQ(sim[1], (std::vector<VertexId>{ids.v0, ids.v1, ids.v2, ids.v3}));
+  // xo requires a follow-child that simulates z: all of x1, x2, x3.
+  EXPECT_EQ(sim[0], (std::vector<VertexId>{ids.x1, ids.x2, ids.x3}));
+  // redmi: needs an incoming recom from a z-simulator.
+  EXPECT_EQ(sim[2], (std::vector<VertexId>{ids.redmi}));
+}
+
+TEST(DualSimulationTest, PropagatesRemovalToFixpoint) {
+  // Chain pattern a->b->c; graph chain 0->1->2 plus a dangling 3->4
+  // (labels a,b but no c child): 3 and 4 must be eliminated transitively.
+  GraphBuilder gb;
+  VertexId n0 = gb.AddVertex("a");
+  VertexId n1 = gb.AddVertex("b");
+  VertexId n2 = gb.AddVertex("c");
+  VertexId n3 = gb.AddVertex("a");
+  VertexId n4 = gb.AddVertex("b");
+  (void)gb.AddEdge(n0, n1, "e");
+  (void)gb.AddEdge(n1, n2, "e");
+  (void)gb.AddEdge(n3, n4, "e");
+  Graph g = std::move(gb).Build().value();
+
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  PatternNodeId a = p.AddNode(dict.Intern("a"), "a");
+  PatternNodeId b = p.AddNode(dict.Intern("b"), "b");
+  PatternNodeId c = p.AddNode(dict.Intern("c"), "c");
+  (void)p.AddEdge(a, b, dict.Intern("e"));
+  (void)p.AddEdge(b, c, dict.Intern("e"));
+  (void)p.set_focus(a);
+
+  auto sim = DualSimulation(p, g);
+  EXPECT_EQ(sim[0], (std::vector<VertexId>{n0}));
+  EXPECT_EQ(sim[1], (std::vector<VertexId>{n1}));
+  EXPECT_EQ(sim[2], (std::vector<VertexId>{n2}));
+}
+
+TEST(DualSimulationTest, ChecksParentsToo) {
+  // Pattern b with required parent a. Graph: 0(a)->1(b), 2(b) orphan.
+  GraphBuilder gb;
+  VertexId n0 = gb.AddVertex("a");
+  VertexId n1 = gb.AddVertex("b");
+  gb.AddVertex("b");  // orphan
+  (void)gb.AddEdge(n0, n1, "e");
+  Graph g = std::move(gb).Build().value();
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  PatternNodeId a = p.AddNode(dict.Intern("a"), "a");
+  PatternNodeId b = p.AddNode(dict.Intern("b"), "b");
+  (void)p.AddEdge(a, b, dict.Intern("e"));
+  (void)p.set_focus(a);
+  auto sim = DualSimulation(p, g);
+  EXPECT_EQ(sim[1], (std::vector<VertexId>{n1}));  // orphan dropped
+}
+
+TEST(DualSimulationTest, EmptyWhenLabelAbsent) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  Pattern p;
+  p.AddNode(dict.Intern("nonexistent_label"), "a");
+  auto sim = DualSimulation(p, g);
+  EXPECT_TRUE(sim[0].empty());
+}
+
+}  // namespace
+}  // namespace qgp

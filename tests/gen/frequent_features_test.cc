@@ -1,0 +1,94 @@
+#include "gen/frequent_features.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/social_gen.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+namespace {
+
+TEST(MineEdgeFeaturesTest, ExactCountsOnSmallGraph) {
+  GraphBuilder b;
+  VertexId p1 = b.AddVertex("p");
+  VertexId p2 = b.AddVertex("p");
+  VertexId q1 = b.AddVertex("q");
+  (void)b.AddEdge(p1, p2, "e");
+  (void)b.AddEdge(p2, p1, "e");
+  (void)b.AddEdge(p1, q1, "f");
+  Graph g = std::move(b).Build().value();
+
+  auto features = MineEdgeFeatures(g, 10);
+  ASSERT_EQ(features.size(), 2u);
+  // (p, e, p) occurs twice and ranks first.
+  EXPECT_EQ(features[0].count, 2u);
+  EXPECT_EQ(features[0].src_label, g.dict().Find("p"));
+  EXPECT_EQ(features[0].edge_label, g.dict().Find("e"));
+  EXPECT_EQ(features[0].dst_label, g.dict().Find("p"));
+  EXPECT_EQ(features[1].count, 1u);
+}
+
+TEST(MineEdgeFeaturesTest, TopKTruncates) {
+  SocialConfig c;
+  c.num_users = 500;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  auto features = MineEdgeFeatures(*g, 3);
+  EXPECT_EQ(features.size(), 3u);
+  EXPECT_GE(features[0].count, features[1].count);
+  EXPECT_GE(features[1].count, features[2].count);
+}
+
+TEST(MineEdgeFeaturesTest, FollowDominatesSocialGraph) {
+  SocialConfig c;
+  c.num_users = 1000;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  auto features = MineEdgeFeatures(*g, 5);
+  ASSERT_FALSE(features.empty());
+  EXPECT_EQ(features[0].edge_label, g->dict().Find("follow"));
+}
+
+TEST(MinePathFeaturesTest, FindsTwoHopPaths) {
+  SocialConfig c;
+  c.num_users = 500;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  auto paths = MinePathFeatures(*g, 2, 10, 5000, 42);
+  ASSERT_FALSE(paths.empty());
+  for (const PathFeature& p : paths) {
+    EXPECT_EQ(p.node_labels.size(), 3u);
+    EXPECT_EQ(p.edge_labels.size(), 2u);
+    EXPECT_GT(p.count, 0u);
+  }
+  // Counts are descending.
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].count, paths[i].count);
+  }
+}
+
+TEST(MinePathFeaturesTest, HandlesInvalidLengths) {
+  SocialConfig c;
+  c.num_users = 100;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(MinePathFeatures(*g, 0, 5, 100, 1).empty());
+  EXPECT_TRUE(MinePathFeatures(*g, 4, 5, 100, 1).empty());
+}
+
+TEST(MinePathFeaturesTest, DeterministicUnderSeed) {
+  SocialConfig c;
+  c.num_users = 300;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  auto a = MinePathFeatures(*g, 2, 8, 2000, 5);
+  auto b = MinePathFeatures(*g, 2, 8, 2000, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node_labels, b[i].node_labels);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,112 @@
+#include "gen/knowledge_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/qmatch.h"
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+TEST(KnowledgeGenTest, SchemaLabelsPresent) {
+  KnowledgeConfig c;
+  c.num_scientists = 2000;
+  auto g = GenerateKnowledgeGraph(c);
+  ASSERT_TRUE(g.ok());
+  for (const char* label :
+       {"scientist", "university", "prize", "prof_title", "phd_degree",
+        "country0"}) {
+    EXPECT_TRUE(g->dict().Contains(label)) << label;
+    EXPECT_GT(g->NumVerticesWithLabel(g->dict().Find(label)), 0u) << label;
+  }
+}
+
+TEST(KnowledgeGenTest, ProfessorFractionRoughlyRespected) {
+  KnowledgeConfig c;
+  c.num_scientists = 4000;
+  c.professor_frac = 0.35;
+  auto g = GenerateKnowledgeGraph(c);
+  ASSERT_TRUE(g.ok());
+  Label is_a = g->dict().Find("is_a");
+  size_t profs = 0;
+  for (VertexId v = 0; v < c.num_scientists; ++v) {
+    if (g->OutDegreeWithLabel(v, is_a) > 0) ++profs;
+  }
+  double frac = static_cast<double>(profs) / c.num_scientists;
+  EXPECT_NEAR(frac, 0.35, 0.05);
+}
+
+TEST(KnowledgeGenTest, AdvisorEdgesConnectScientists) {
+  KnowledgeConfig c;
+  c.num_scientists = 1000;
+  auto g = GenerateKnowledgeGraph(c);
+  ASSERT_TRUE(g.ok());
+  Label advisor = g->dict().Find("advisor");
+  Label scientist = g->dict().Find("scientist");
+  size_t advisor_edges = 0;
+  for (VertexId v = 0; v < c.num_scientists; ++v) {
+    for (const Neighbor& n : g->OutNeighborsWithLabel(v, advisor)) {
+      EXPECT_EQ(g->vertex_label(n.v), scientist);
+      ++advisor_edges;
+    }
+  }
+  EXPECT_GT(advisor_edges, 100u);
+}
+
+TEST(KnowledgeGenTest, SupportsQ4StyleQueries) {
+  // A Q4-shaped query (professors without a PhD advising >= p professor
+  // students) must be expressible and typically non-empty.
+  KnowledgeConfig c;
+  c.num_scientists = 3000;
+  c.phd_frac_prof = 0.7;  // leave a healthy no-PhD professor population
+  auto graph = GenerateKnowledgeGraph(c);
+  ASSERT_TRUE(graph.ok());
+  Graph g = std::move(graph).value();
+  LabelDict& dict = g.mutable_dict();
+
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("scientist"), "xo");
+  PatternNodeId prof = q.AddNode(dict.Intern("prof_title"), "prof");
+  PatternNodeId z = q.AddNode(dict.Intern("scientist"), "z");
+  PatternNodeId phd = q.AddNode(dict.Intern("phd_degree"), "phd");
+  ASSERT_TRUE(q.AddEdge(xo, prof, dict.Intern("is_a")).ok());
+  ASSERT_TRUE(q.AddEdge(xo, z, dict.Intern("advisor"),
+                        Quantifier::Numeric(QuantOp::kGe, 2))
+                  .ok());
+  ASSERT_TRUE(q.AddEdge(z, prof, dict.Intern("is_a")).ok());
+  ASSERT_TRUE(q.AddEdge(xo, phd, dict.Intern("has_degree"),
+                        Quantifier::Negation())
+                  .ok());
+  ASSERT_TRUE(q.set_focus(xo).ok());
+
+  auto answers = QMatch::Evaluate(q, g);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_FALSE(answers.value().empty());
+  // Every answer must really lack the PhD edge.
+  Label has_degree = g.dict().Find("has_degree");
+  for (VertexId v : answers.value()) {
+    EXPECT_EQ(g.OutDegreeWithLabel(v, has_degree), 0u);
+  }
+}
+
+TEST(KnowledgeGenTest, Deterministic) {
+  KnowledgeConfig c;
+  c.num_scientists = 500;
+  auto a = GenerateKnowledgeGraph(c);
+  auto b = GenerateKnowledgeGraph(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+}
+
+TEST(KnowledgeGenTest, RejectsDegenerateConfig) {
+  KnowledgeConfig c;
+  c.num_scientists = 0;
+  EXPECT_FALSE(GenerateKnowledgeGraph(c).ok());
+  c.num_scientists = 10;
+  c.num_countries = 0;
+  EXPECT_FALSE(GenerateKnowledgeGraph(c).ok());
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,130 @@
+#include "gen/pattern_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_matcher.h"
+#include "core/pattern_analysis.h"
+#include "gen/social_gen.h"
+#include "gen/synthetic_gen.h"
+
+namespace qgp {
+namespace {
+
+Graph SmallSocial() {
+  SocialConfig c;
+  c.num_users = 800;
+  c.community_size = 100;
+  return std::move(GenerateSocialGraph(c)).value();
+}
+
+TEST(PatternGenTest, ProducesRequestedShape) {
+  Graph g = SmallSocial();
+  PatternGenConfig c;
+  c.num_nodes = 5;
+  c.num_edges = 6;
+  c.num_quantified = 2;
+  c.num_negated = 1;
+  auto features = MineEdgeFeatures(g, 20);
+  Rng rng(3);
+  auto p = GeneratePattern(g, features, c, rng);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // One extra node may be added by a fresh-node negation.
+  EXPECT_GE(p->num_nodes(), 5u);
+  EXPECT_LE(p->num_nodes(), 6u);
+  EXPECT_GE(p->num_edges(), 6u);
+  PatternSize size = ComputePatternSize(*p);
+  EXPECT_EQ(size.num_negated, 1u);
+  EXPECT_TRUE(p->Validate(c.max_quantified_per_path).ok());
+}
+
+TEST(PatternGenTest, QuantifierKindRespected) {
+  Graph g = SmallSocial();
+  auto features = MineEdgeFeatures(g, 20);
+  PatternGenConfig c;
+  c.num_nodes = 4;
+  c.num_edges = 4;
+  c.num_quantified = 1;
+  c.num_negated = 0;
+  c.kind = QuantKind::kNumeric;
+  c.count = 3;
+  Rng rng(5);
+  auto p = GeneratePattern(g, features, c, rng);
+  ASSERT_TRUE(p.ok());
+  bool found = false;
+  for (PatternEdgeId e = 0; e < p->num_edges(); ++e) {
+    const Quantifier& q = p->edge(e).quantifier;
+    if (!q.IsExistential()) {
+      EXPECT_EQ(q.kind(), QuantKind::kNumeric);
+      EXPECT_EQ(q.count(), 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PatternGenTest, StratifiedPatternHasWitness) {
+  // Patterns are sampled from instances, so the stratified positive part
+  // must have at least one match.
+  SyntheticConfig gc;
+  gc.num_vertices = 60;
+  gc.num_edges = 180;
+  gc.num_node_labels = 6;
+  gc.num_edge_labels = 3;
+  auto graph = GenerateSynthetic(gc);
+  ASSERT_TRUE(graph.ok());
+  PatternGenConfig c;
+  c.num_nodes = 4;
+  c.num_edges = 4;
+  c.num_quantified = 0;
+  c.num_negated = 0;
+  std::vector<Pattern> suite = GeneratePatternSuite(*graph, 5, c, 11);
+  ASSERT_FALSE(suite.empty());
+  for (const Pattern& p : suite) {
+    auto pi = p.Pi();
+    ASSERT_TRUE(pi.ok());
+    auto answers =
+        NaiveMatcher::EvaluatePositive(pi.value().first.Stratified(), *graph,
+                                       2'000'000);
+    if (!answers.ok()) continue;
+    EXPECT_FALSE(answers.value().empty());
+  }
+}
+
+TEST(PatternGenTest, SuiteIsDeterministic) {
+  Graph g = SmallSocial();
+  PatternGenConfig c;
+  c.num_nodes = 4;
+  c.num_edges = 5;
+  auto a = GeneratePatternSuite(g, 3, c, 21);
+  auto b = GeneratePatternSuite(g, 3, c, 21);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+TEST(PatternGenTest, RejectsTinyRequests) {
+  Graph g = SmallSocial();
+  PatternGenConfig c;
+  c.num_nodes = 1;
+  Rng rng(1);
+  EXPECT_FALSE(GeneratePattern(g, {}, c, rng).ok());
+}
+
+TEST(PatternGenTest, NegatedEdgesValidatePathRule) {
+  Graph g = SmallSocial();
+  auto features = MineEdgeFeatures(g, 20);
+  PatternGenConfig c;
+  c.num_nodes = 5;
+  c.num_edges = 6;
+  c.num_quantified = 1;
+  c.num_negated = 2;
+  Rng rng(9);
+  for (int i = 0; i < 5; ++i) {
+    auto p = GeneratePattern(g, features, c, rng);
+    if (!p.ok()) continue;
+    EXPECT_TRUE(p->Validate(c.max_quantified_per_path).ok());
+    EXPECT_EQ(p->NegatedEdgeIds().size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,102 @@
+#include "gen/social_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace qgp {
+namespace {
+
+TEST(SocialGenTest, SchemaLabelsPresent) {
+  SocialConfig c;
+  c.num_users = 2000;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  for (const char* label : {"person", "product", "album", "club", "hobby",
+                            "city"}) {
+    EXPECT_TRUE(g->dict().Contains(label)) << label;
+    EXPECT_GT(g->NumVerticesWithLabel(g->dict().Find(label)), 0u) << label;
+  }
+  for (const char* label : {"follow", "like", "recom", "in", "lives_in",
+                            "has_hobby"}) {
+    EXPECT_NE(g->dict().Find(label), kInvalidLabel) << label;
+  }
+}
+
+TEST(SocialGenTest, PersonsAreFirstVertices) {
+  SocialConfig c;
+  c.num_users = 500;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  Label person = g->dict().Find("person");
+  for (VertexId v = 0; v < 500; ++v) {
+    EXPECT_EQ(g->vertex_label(v), person);
+  }
+}
+
+TEST(SocialGenTest, EveryUserFollowsSomeone) {
+  SocialConfig c;
+  c.num_users = 300;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  Label follow = g->dict().Find("follow");
+  for (VertexId v = 0; v < 300; ++v) {
+    EXPECT_GE(g->OutDegreeWithLabel(v, follow), 1u);
+  }
+}
+
+TEST(SocialGenTest, FollowTargetsArePersons) {
+  SocialConfig c;
+  c.num_users = 300;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  Label follow = g->dict().Find("follow");
+  Label person = g->dict().Find("person");
+  for (VertexId v = 0; v < 300; ++v) {
+    for (const Neighbor& n : g->OutNeighborsWithLabel(v, follow)) {
+      EXPECT_EQ(g->vertex_label(n.v), person);
+      EXPECT_NE(n.v, v);  // no self-follow
+    }
+  }
+}
+
+TEST(SocialGenTest, CommunityCorrelationExists) {
+  // Within a community most members recommend the favourite product, so
+  // some product must collect many recoms — the skew quantified patterns
+  // rely on.
+  SocialConfig c;
+  c.num_users = 2000;
+  c.community_size = 200;
+  auto g = GenerateSocialGraph(c);
+  ASSERT_TRUE(g.ok());
+  Label recom = g->dict().Find("recom");
+  Label product = g->dict().Find("product");
+  size_t max_recoms = 0;
+  for (VertexId v : g->VerticesWithLabel(product)) {
+    max_recoms = std::max(max_recoms, g->InDegreeWithLabel(v, recom));
+  }
+  EXPECT_GT(max_recoms, 50u);
+}
+
+TEST(SocialGenTest, Deterministic) {
+  SocialConfig c;
+  c.num_users = 400;
+  auto a = GenerateSocialGraph(c);
+  auto b = GenerateSocialGraph(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_vertices(), b->num_vertices());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+}
+
+TEST(SocialGenTest, RejectsEmptyPools) {
+  SocialConfig c;
+  c.num_users = 0;
+  EXPECT_FALSE(GenerateSocialGraph(c).ok());
+  c.num_users = 10;
+  c.num_products = 0;
+  EXPECT_FALSE(GenerateSocialGraph(c).ok());
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,120 @@
+#include "gen/synthetic_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace qgp {
+namespace {
+
+TEST(SyntheticGenTest, ProducesRequestedSizes) {
+  SyntheticConfig c;
+  c.num_vertices = 500;
+  c.num_edges = 1500;
+  auto g = GenerateSynthetic(c);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 500u);
+  // Deduplication may shave a few edges; stay within 2%.
+  EXPECT_GE(g->num_edges(), 1470u);
+  EXPECT_LE(g->num_edges(), 1500u);
+}
+
+TEST(SyntheticGenTest, DeterministicUnderSeed) {
+  SyntheticConfig c;
+  c.num_vertices = 200;
+  c.num_edges = 600;
+  c.seed = 123;
+  auto a = GenerateSynthetic(c);
+  auto b = GenerateSynthetic(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  for (VertexId v = 0; v < a->num_vertices(); ++v) {
+    EXPECT_EQ(a->vertex_label(v), b->vertex_label(v));
+    auto na = a->OutNeighbors(v);
+    auto nb = b->OutNeighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(SyntheticGenTest, SeedsDiffer) {
+  SyntheticConfig c;
+  c.num_vertices = 200;
+  c.num_edges = 600;
+  c.seed = 1;
+  auto a = GenerateSynthetic(c);
+  c.seed = 2;
+  auto b = GenerateSynthetic(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Degrees are mostly fixed by the lattice; compare labels and targets.
+  bool any_diff = false;
+  for (VertexId v = 0; v < a->num_vertices() && !any_diff; ++v) {
+    if (a->vertex_label(v) != b->vertex_label(v)) any_diff = true;
+    auto na = a->OutNeighbors(v);
+    auto nb = b->OutNeighbors(v);
+    if (na.size() != nb.size()) {
+      any_diff = true;
+    } else {
+      for (size_t i = 0; i < na.size(); ++i) {
+        if (!(na[i] == nb[i])) {
+          any_diff = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticGenTest, LabelAlphabetRespected) {
+  SyntheticConfig c;
+  c.num_vertices = 300;
+  c.num_edges = 900;
+  c.num_node_labels = 30;
+  c.num_edge_labels = 10;
+  auto g = GenerateSynthetic(c);
+  ASSERT_TRUE(g.ok());
+  GraphStats s = ComputeGraphStats(*g);
+  EXPECT_LE(s.num_node_labels, 30u);
+  EXPECT_LE(s.num_edge_labels, 10u);
+  EXPECT_GT(s.num_node_labels, 5u);  // Zipf still touches many labels
+}
+
+TEST(SyntheticGenTest, PowerLawSkewsInDegree) {
+  SyntheticConfig c;
+  c.num_vertices = 2000;
+  c.num_edges = 10000;
+  c.model = SyntheticConfig::Model::kPowerLaw;
+  auto g = GenerateSynthetic(c);
+  ASSERT_TRUE(g.ok());
+  GraphStats s = ComputeGraphStats(*g);
+  // A hub should exist with far more than the average in-degree.
+  EXPECT_GT(s.max_in_degree, 20 * static_cast<size_t>(s.avg_out_degree));
+}
+
+TEST(SyntheticGenTest, RejectsDegenerateConfigs) {
+  SyntheticConfig c;
+  c.num_vertices = 0;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+  c.num_vertices = 10;
+  c.num_node_labels = 0;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+}
+
+TEST(SyntheticGenTest, NoSelfLoops) {
+  SyntheticConfig c;
+  c.num_vertices = 100;
+  c.num_edges = 400;
+  auto g = GenerateSynthetic(c);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (const Neighbor& n : g->OutNeighbors(v)) {
+      EXPECT_NE(n.v, v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,161 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace qgp {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, VerticesGetDenseIds) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddVertex("a"), 0u);
+  EXPECT_EQ(b.AddVertex("b"), 1u);
+  EXPECT_EQ(b.AddVertex("a"), 2u);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->vertex_label(0), g->vertex_label(2));
+  EXPECT_NE(g->vertex_label(0), g->vertex_label(1));
+}
+
+TEST(GraphBuilderTest, EdgeEndpointValidation) {
+  GraphBuilder b;
+  VertexId v = b.AddVertex("a");
+  EXPECT_FALSE(b.AddEdge(v, 99, "e").ok());
+  EXPECT_FALSE(b.AddEdge(99, v, "e").ok());
+  EXPECT_FALSE(b.AddEdgeWithLabel(v, v, kInvalidLabel).ok());
+}
+
+TEST(GraphBuilderTest, AdjacencySortedByLabelThenVertex) {
+  GraphBuilder b;
+  VertexId s = b.AddVertex("src");
+  VertexId t1 = b.AddVertex("t");
+  VertexId t2 = b.AddVertex("t");
+  VertexId t3 = b.AddVertex("t");
+  Label lz = b.InternLabel("z_label");
+  Label la = b.InternLabel("a_label");
+  ASSERT_TRUE(b.AddEdgeWithLabel(s, t3, lz).ok());
+  ASSERT_TRUE(b.AddEdgeWithLabel(s, t1, la).ok());
+  ASSERT_TRUE(b.AddEdgeWithLabel(s, t2, lz).ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto out = g->OutNeighbors(s);
+  ASSERT_EQ(out.size(), 3u);
+  // Sorted by (label, dst): labels were interned z before a, so the z
+  // label has the smaller id.
+  EXPECT_EQ(out[0].label, lz);
+  EXPECT_EQ(out[0].v, t2);
+  EXPECT_EQ(out[1].label, lz);
+  EXPECT_EQ(out[1].v, t3);
+  EXPECT_EQ(out[2].label, la);
+  EXPECT_EQ(out[2].v, t1);
+}
+
+TEST(GraphBuilderTest, DeduplicatesExactTriples) {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("x");
+  VertexId c = b.AddVertex("x");
+  ASSERT_TRUE(b.AddEdge(a, c, "e").ok());
+  ASSERT_TRUE(b.AddEdge(a, c, "e").ok());
+  ASSERT_TRUE(b.AddEdge(a, c, "f").ok());  // distinct label survives
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, InNeighborsMirrorOutNeighbors) {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("x");
+  VertexId c = b.AddVertex("y");
+  VertexId d = b.AddVertex("y");
+  ASSERT_TRUE(b.AddEdge(a, c, "e").ok());
+  ASSERT_TRUE(b.AddEdge(d, c, "e").ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto in = g->InNeighbors(c);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0].v, a);
+  EXPECT_EQ(in[1].v, d);
+  EXPECT_EQ(g->InDegree(c), 2u);
+  EXPECT_EQ(g->OutDegree(c), 0u);
+}
+
+TEST(GraphBuilderTest, LabelIndex) {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("p");
+  VertexId c = b.AddVertex("q");
+  VertexId d = b.AddVertex("p");
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  Label p = g->dict().Find("p");
+  auto span = g->VerticesWithLabel(p);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0], a);
+  EXPECT_EQ(span[1], d);
+  EXPECT_EQ(g->NumVerticesWithLabel(g->dict().Find("q")), 1u);
+  EXPECT_EQ(g->VerticesWithLabel(kInvalidLabel).size(), 0u);
+  (void)c;
+}
+
+TEST(GraphBuilderTest, HasEdgeAndLabelSlices) {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("x");
+  VertexId c = b.AddVertex("y");
+  VertexId d = b.AddVertex("y");
+  ASSERT_TRUE(b.AddEdge(a, c, "e").ok());
+  ASSERT_TRUE(b.AddEdge(a, d, "f").ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  Label e = g->dict().Find("e");
+  Label f = g->dict().Find("f");
+  EXPECT_TRUE(g->HasEdge(a, c, e));
+  EXPECT_FALSE(g->HasEdge(a, c, f));
+  EXPECT_FALSE(g->HasEdge(c, a, e));
+  EXPECT_EQ(g->OutNeighborsWithLabel(a, e).size(), 1u);
+  EXPECT_EQ(g->OutNeighborsWithLabel(a, f).size(), 1u);
+  EXPECT_EQ(g->OutDegreeWithLabel(a, e), 1u);
+  EXPECT_EQ(g->InDegreeWithLabel(c, e), 1u);
+  EXPECT_EQ(g->InDegreeWithLabel(c, f), 0u);
+}
+
+TEST(GraphBuilderTest, SelfLoops) {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("x");
+  ASSERT_TRUE(b.AddEdge(a, a, "loop").ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(a, a, g->dict().Find("loop")));
+  EXPECT_EQ(g->OutDegree(a), 1u);
+  EXPECT_EQ(g->InDegree(a), 1u);
+}
+
+TEST(GraphBuilderTest, SharedDictionaryConstructor) {
+  LabelDict dict;
+  Label person = dict.Intern("person");
+  GraphBuilder b(dict);
+  VertexId v = b.AddVertexWithLabel(person);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->vertex_label(v), person);
+  EXPECT_EQ(g->dict().Find("person"), person);
+}
+
+TEST(GraphBuilderTest, MemoryBytesNonZero) {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("x");
+  VertexId c = b.AddVertex("x");
+  ASSERT_TRUE(b.AddEdge(a, c, "e").ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace qgp

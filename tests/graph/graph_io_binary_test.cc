@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/social_gen.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+
+namespace qgp {
+namespace {
+
+TEST(GraphIoBinaryTest, RoundTripPreservesEverything) {
+  SocialConfig c;
+  c.num_users = 300;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  std::ostringstream buffer;
+  ASSERT_TRUE(GraphIo::WriteBinary(g, buffer).ok());
+  std::istringstream in(buffer.str());
+  auto g2 = GraphIo::ReadBinary(in);
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString();
+  ASSERT_EQ(g2->num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2->num_edges(), g.num_edges());
+  EXPECT_EQ(g2->dict().size(), g.dict().size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g2->vertex_label(v), g.vertex_label(v));
+    auto a = g.OutNeighbors(v);
+    auto b = g2->OutNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  // Label names survive too.
+  for (Label l = 0; l < g.dict().size(); ++l) {
+    EXPECT_EQ(g2->dict().Name(l), g.dict().Name(l));
+  }
+}
+
+TEST(GraphIoBinaryTest, EmptyGraphRoundTrip) {
+  GraphBuilder b;
+  Graph g = std::move(b).Build().value();
+  std::ostringstream buffer;
+  ASSERT_TRUE(GraphIo::WriteBinary(g, buffer).ok());
+  std::istringstream in(buffer.str());
+  auto g2 = GraphIo::ReadBinary(in);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_vertices(), 0u);
+}
+
+TEST(GraphIoBinaryTest, RejectsBadMagic) {
+  std::istringstream in("NOTAGRAPH");
+  auto g = GraphIo::ReadBinary(in);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoBinaryTest, RejectsTruncatedStream) {
+  SocialConfig c;
+  c.num_users = 50;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  std::ostringstream buffer;
+  ASSERT_TRUE(GraphIo::WriteBinary(g, buffer).ok());
+  std::string data = buffer.str();
+  for (size_t cut : {6ul, 20ul, data.size() / 2, data.size() - 3}) {
+    std::istringstream in(data.substr(0, cut));
+    auto truncated = GraphIo::ReadBinary(in);
+    EXPECT_FALSE(truncated.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(GraphIoBinaryTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/qgp_binary_roundtrip.bin";
+  SocialConfig c;
+  c.num_users = 100;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  ASSERT_TRUE(GraphIo::WriteBinaryFile(g, path).ok());
+  auto g2 = GraphIo::ReadBinaryFile(path);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_edges(), g.num_edges());
+}
+
+TEST(GraphIoBinaryTest, MissingFileIsIoError) {
+  auto g = GraphIo::ReadBinaryFile("/no/such/file.bin");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace qgp

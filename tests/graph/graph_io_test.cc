@@ -1,0 +1,113 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qgp {
+namespace {
+
+TEST(GraphIoTest, ParsesSimpleGraph) {
+  std::istringstream in(
+      "# a comment\n"
+      "v 0 person\n"
+      "v 1 person\n"
+      "v 7 product\n"
+      "\n"
+      "e 0 1 follow\n"
+      "e 1 7 recom\n");
+  auto g = GraphIo::Read(in);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+  // File id 7 was remapped densely to 2.
+  EXPECT_TRUE(g->HasEdge(1, 2, g->dict().Find("recom")));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  std::istringstream in(
+      "v 0 a\nv 1 b\nv 2 a\ne 0 1 x\ne 1 2 y\ne 2 0 x\n");
+  auto g = GraphIo::Read(in);
+  ASSERT_TRUE(g.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(GraphIo::Write(*g, out).ok());
+  std::istringstream in2(out.str());
+  auto g2 = GraphIo::Read(in2);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_vertices(), g->num_vertices());
+  EXPECT_EQ(g2->num_edges(), g->num_edges());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(g2->dict().Name(g2->vertex_label(v)),
+              g->dict().Name(g->vertex_label(v)));
+  }
+}
+
+TEST(GraphIoTest, RejectsEdgeBeforeVertex) {
+  std::istringstream in("e 0 1 x\nv 0 a\nv 1 a\n");
+  auto g = GraphIo::Read(in);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsDuplicateVertexId) {
+  std::istringstream in("v 0 a\nv 0 b\n");
+  auto g = GraphIo::Read(in);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphIoTest, RejectsMalformedRecords) {
+  {
+    std::istringstream in("v 0\n");
+    EXPECT_FALSE(GraphIo::Read(in).ok());
+  }
+  {
+    std::istringstream in("v x a\n");
+    EXPECT_FALSE(GraphIo::Read(in).ok());
+  }
+  {
+    std::istringstream in("v 0 a\nv 1 a\ne 0 1\n");
+    EXPECT_FALSE(GraphIo::Read(in).ok());
+  }
+  {
+    std::istringstream in("frob 1 2 3\n");
+    EXPECT_FALSE(GraphIo::Read(in).ok());
+  }
+  {
+    std::istringstream in("v -3 a\n");
+    EXPECT_FALSE(GraphIo::Read(in).ok());
+  }
+}
+
+TEST(GraphIoTest, ErrorMentionsLineNumber) {
+  std::istringstream in("v 0 a\nbogus\n");
+  auto g = GraphIo::Read(in);
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, FileNotFound) {
+  auto g = GraphIo::ReadFile("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/qgp_io_test_graph.txt";
+  std::istringstream in("v 0 a\nv 1 b\ne 0 1 x\n");
+  auto g = GraphIo::Read(in);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(GraphIo::WriteFile(*g, path).ok());
+  auto g2 = GraphIo::ReadFile(path);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("");
+  auto g = GraphIo::Read(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace qgp

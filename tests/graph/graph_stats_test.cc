@@ -1,0 +1,53 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace qgp {
+namespace {
+
+TEST(GraphStatsTest, CountsLabelsAndDegrees) {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("p");
+  VertexId c = b.AddVertex("p");
+  VertexId d = b.AddVertex("q");
+  (void)b.AddEdge(a, c, "x");
+  (void)b.AddEdge(a, d, "x");
+  (void)b.AddEdge(c, d, "y");
+  Graph g = std::move(b).Build().value();
+
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 3u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.num_node_labels, 2u);
+  EXPECT_EQ(s.num_edge_labels, 2u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 1.0);
+  EXPECT_EQ(s.node_label_counts.at(g.dict().Find("p")), 2u);
+  EXPECT_EQ(s.edge_label_counts.at(g.dict().Find("x")), 2u);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = std::move(b).Build().value();
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 0.0);
+}
+
+TEST(GraphStatsTest, FormatMentionsTopLabels) {
+  GraphBuilder b;
+  b.AddVertex("person");
+  b.AddVertex("person");
+  b.AddVertex("product");
+  Graph g = std::move(b).Build().value();
+  GraphStats s = ComputeGraphStats(g);
+  std::string text = FormatGraphStats(g, s);
+  EXPECT_NE(text.find("person=2"), std::string::npos);
+  EXPECT_NE(text.find("|V|=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,70 @@
+#include "parallel/base_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic_gen.h"
+
+namespace qgp {
+namespace {
+
+Graph SmallWorld(size_t n, size_t m, uint64_t seed = 3) {
+  SyntheticConfig c;
+  c.num_vertices = n;
+  c.num_edges = m;
+  c.seed = seed;
+  return std::move(GenerateSynthetic(c)).value();
+}
+
+TEST(BasePartitionTest, CoversAllVertices) {
+  Graph g = SmallWorld(500, 1500);
+  auto frag = BasePartition(g, 4);
+  ASSERT_TRUE(frag.ok());
+  ASSERT_EQ(frag->size(), g.num_vertices());
+  for (uint32_t f : *frag) EXPECT_LT(f, 4u);
+}
+
+TEST(BasePartitionTest, BalancedWithinCap) {
+  Graph g = SmallWorld(1000, 3000);
+  const size_t n = 5;
+  auto frag = BasePartition(g, n);
+  ASSERT_TRUE(frag.ok());
+  std::vector<size_t> sizes(n, 0);
+  for (uint32_t f : *frag) ++sizes[f];
+  const size_t cap = (g.num_vertices() + n - 1) / n;
+  for (size_t s : sizes) {
+    EXPECT_LE(s, cap);
+    EXPECT_GT(s, 0u);
+  }
+}
+
+TEST(BasePartitionTest, SingleFragment) {
+  Graph g = SmallWorld(100, 300);
+  auto frag = BasePartition(g, 1);
+  ASSERT_TRUE(frag.ok());
+  for (uint32_t f : *frag) EXPECT_EQ(f, 0u);
+}
+
+TEST(BasePartitionTest, MoreFragmentsThanVertices) {
+  Graph g = SmallWorld(3, 3);
+  auto frag = BasePartition(g, 10);
+  ASSERT_TRUE(frag.ok());
+  for (uint32_t f : *frag) EXPECT_LT(f, 10u);
+}
+
+TEST(BasePartitionTest, RejectsZeroFragments) {
+  Graph g = SmallWorld(10, 20);
+  EXPECT_FALSE(BasePartition(g, 0).ok());
+}
+
+TEST(BasePartitionTest, EmptyGraph) {
+  SyntheticConfig c;
+  c.num_vertices = 1;
+  c.num_edges = 0;
+  Graph g = std::move(GenerateSynthetic(c)).value();
+  auto frag = BasePartition(g, 2);
+  ASSERT_TRUE(frag.ok());
+  EXPECT_EQ(frag->size(), 1u);
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,140 @@
+#include "parallel/dpar.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/social_gen.h"
+#include "gen/synthetic_gen.h"
+
+namespace qgp {
+namespace {
+
+Graph SmallWorld(size_t n, size_t m, uint64_t seed = 5) {
+  SyntheticConfig c;
+  c.num_vertices = n;
+  c.num_edges = m;
+  c.seed = seed;
+  return std::move(GenerateSynthetic(c)).value();
+}
+
+TEST(DParTest, ValidatesOnSmallWorld) {
+  Graph g = SmallWorld(300, 900);
+  DParConfig c;
+  c.num_fragments = 4;
+  c.d = 2;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  EXPECT_EQ(part->fragments.size(), 4u);
+  EXPECT_EQ(part->d, 2);
+  // The two §5.2 invariants: unique covering ownership + d-hop balls.
+  EXPECT_TRUE(part->Validate(g).ok());
+}
+
+TEST(DParTest, ValidatesOnSocialGraph) {
+  SocialConfig sc;
+  sc.num_users = 600;
+  sc.community_size = 150;
+  Graph g = std::move(GenerateSocialGraph(sc)).value();
+  DParConfig c;
+  c.num_fragments = 3;
+  c.d = 1;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok());
+  EXPECT_TRUE(part->Validate(g).ok());
+}
+
+TEST(DParTest, DZeroIsBasePartition) {
+  Graph g = SmallWorld(200, 600);
+  DParConfig c;
+  c.num_fragments = 4;
+  c.d = 0;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->num_border_nodes, 0u);
+  EXPECT_TRUE(part->Validate(g).ok());
+  size_t total_owned = 0;
+  for (const Fragment& f : part->fragments) {
+    total_owned += f.owned_global.size();
+    EXPECT_EQ(f.owned_global.size(), f.sub.graph.num_vertices());
+  }
+  EXPECT_EQ(total_owned, g.num_vertices());
+}
+
+TEST(DParTest, OwnershipIsExactPartition) {
+  Graph g = SmallWorld(400, 1200);
+  DParConfig c;
+  c.num_fragments = 5;
+  c.d = 2;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok());
+  size_t total = 0;
+  for (const Fragment& f : part->fragments) total += f.owned_global.size();
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(DParTest, LocalIdsMatchGlobalIds) {
+  Graph g = SmallWorld(200, 500);
+  DParConfig c;
+  c.num_fragments = 3;
+  c.d = 1;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok());
+  for (const Fragment& f : part->fragments) {
+    ASSERT_EQ(f.owned_local.size(), f.owned_global.size());
+    for (size_t i = 0; i < f.owned_local.size(); ++i) {
+      EXPECT_EQ(f.sub.local_to_global[f.owned_local[i]], f.owned_global[i]);
+    }
+  }
+}
+
+TEST(DParTest, SkewAndReplicationAreSane) {
+  Graph g = SmallWorld(1000, 3000);
+  DParConfig c;
+  c.num_fragments = 4;
+  c.d = 1;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok());
+  EXPECT_GT(part->Skew(), 0.3);
+  EXPECT_GE(part->ReplicationFactor(g), 1.0);
+}
+
+TEST(DParTest, ExtendIncreasesD) {
+  Graph g = SmallWorld(300, 900);
+  DParConfig c;
+  c.num_fragments = 4;
+  c.d = 1;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok());
+  auto wider = DParExtend(g, *part, 2);
+  ASSERT_TRUE(wider.ok()) << wider.status().ToString();
+  EXPECT_EQ(wider->d, 2);
+  EXPECT_TRUE(wider->Validate(g).ok());
+  // Same base regions.
+  EXPECT_EQ(wider->base_region, part->base_region);
+}
+
+TEST(DParTest, ExtendRejectsSmallerD) {
+  Graph g = SmallWorld(100, 300);
+  DParConfig c;
+  c.num_fragments = 2;
+  c.d = 2;
+  auto part = DPar(g, c);
+  ASSERT_TRUE(part.ok());
+  EXPECT_FALSE(DParExtend(g, *part, 2).ok());
+  EXPECT_FALSE(DParExtend(g, *part, 1).ok());
+}
+
+TEST(DParTest, RejectsBadConfig) {
+  Graph g = SmallWorld(50, 100);
+  DParConfig c;
+  c.num_fragments = 0;
+  EXPECT_FALSE(DPar(g, c).ok());
+  c.num_fragments = 2;
+  c.d = -1;
+  EXPECT_FALSE(DPar(g, c).ok());
+  c.d = 1;
+  c.balance_factor = 0.5;
+  EXPECT_FALSE(DPar(g, c).ok());
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,70 @@
+#include "parallel/mkp.h"
+
+#include <gtest/gtest.h>
+
+namespace qgp {
+namespace {
+
+TEST(MkpTest, AssignsEverythingWhenCapacityAbounds) {
+  std::vector<MkpItem> items{{5, 0}, {3, 1}, {8, 2}};
+  std::vector<uint64_t> caps{100, 100};
+  MkpAssignment a = SolveMkpGreedy(items, caps);
+  EXPECT_EQ(a.assigned_count, 3u);
+  for (int32_t bin : a.item_to_bin) {
+    EXPECT_GE(bin, 0);
+    EXPECT_LT(bin, 2);
+  }
+}
+
+TEST(MkpTest, RespectsCapacities) {
+  std::vector<MkpItem> items{{6, 0}, {6, 1}, {6, 2}};
+  std::vector<uint64_t> caps{10, 10};
+  MkpAssignment a = SolveMkpGreedy(items, caps);
+  // Only one item fits per bin.
+  EXPECT_EQ(a.assigned_count, 2u);
+  std::vector<uint64_t> load(2, 0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (a.item_to_bin[i] >= 0) load[a.item_to_bin[i]] += items[i].weight;
+  }
+  EXPECT_LE(load[0], 10u);
+  EXPECT_LE(load[1], 10u);
+}
+
+TEST(MkpTest, PrefersCountMaximization) {
+  // Lightest-first packs the three small items even though the heavy one
+  // arrived first.
+  std::vector<MkpItem> items{{9, 0}, {3, 1}, {3, 2}, {3, 3}};
+  std::vector<uint64_t> caps{9};
+  MkpAssignment a = SolveMkpGreedy(items, caps);
+  EXPECT_EQ(a.assigned_count, 3u);
+  EXPECT_EQ(a.item_to_bin[0], -1);  // the heavy item is the one dropped
+}
+
+TEST(MkpTest, BalancesAcrossBins) {
+  std::vector<MkpItem> items;
+  for (uint64_t i = 0; i < 8; ++i) items.push_back({10, i});
+  std::vector<uint64_t> caps{40, 40};
+  MkpAssignment a = SolveMkpGreedy(items, caps);
+  EXPECT_EQ(a.assigned_count, 8u);
+  std::vector<int> count(2, 0);
+  for (int32_t bin : a.item_to_bin) ++count[bin];
+  EXPECT_EQ(count[0], 4);  // worst-fit keeps the bins level
+  EXPECT_EQ(count[1], 4);
+}
+
+TEST(MkpTest, EmptyInputs) {
+  EXPECT_EQ(SolveMkpGreedy({}, {10}).assigned_count, 0u);
+  MkpAssignment a = SolveMkpGreedy({{5, 0}}, {});
+  EXPECT_EQ(a.assigned_count, 0u);
+  EXPECT_EQ(a.item_to_bin[0], -1);
+}
+
+TEST(MkpTest, ZeroCapacityBins) {
+  std::vector<MkpItem> items{{1, 0}};
+  std::vector<uint64_t> caps{0, 0};
+  MkpAssignment a = SolveMkpGreedy(items, caps);
+  EXPECT_EQ(a.assigned_count, 0u);
+}
+
+}  // namespace
+}  // namespace qgp

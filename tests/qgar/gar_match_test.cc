@@ -1,0 +1,101 @@
+#include "qgar/gar_match.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/social_gen.h"
+#include "parallel/dpar.h"
+
+namespace qgp {
+namespace {
+
+// R1-style rule on the generated social graph: if >= 60% of xo's
+// followees like an album, xo likes it too (the generator's community
+// structure makes this hold often).
+Qgar LikeRule(Graph& g) {
+  LabelDict& dict = g.mutable_dict();
+  Qgar r;
+  PatternNodeId xo = r.antecedent.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = r.antecedent.AddNode(dict.Intern("person"), "z");
+  PatternNodeId y = r.antecedent.AddNode(dict.Intern("album"), "y");
+  (void)r.antecedent.AddEdge(xo, z, dict.Intern("follow"),
+                             Quantifier::Ratio(QuantOp::kGe, 60.0));
+  (void)r.antecedent.AddEdge(z, y, dict.Intern("like"));
+  (void)r.antecedent.set_focus(xo);
+
+  PatternNodeId cxo = r.consequent.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId cy = r.consequent.AddNode(dict.Intern("album"), "y2");
+  (void)r.consequent.AddEdge(cxo, cy, dict.Intern("like"));
+  (void)r.consequent.set_focus(cxo);
+  r.name = "like-album";
+  return r;
+}
+
+TEST(GarMatchTest, ComputesSupportAndConfidence) {
+  SocialConfig c;
+  c.num_users = 600;
+  c.community_size = 100;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  Qgar rule = LikeRule(g);
+  ASSERT_TRUE(rule.Validate().ok());
+
+  auto res = GarMatch(rule, g, /*eta=*/0.0);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(res->q1_answers.empty());
+  EXPECT_EQ(res->rule_matches,
+            SetIntersection(res->q1_answers, res->q2_answers));
+  EXPECT_EQ(res->support, res->rule_matches.size());
+  EXPECT_GE(res->confidence, 0.0);
+  EXPECT_LE(res->confidence, 1.0);
+  // η = 0 always identifies entities.
+  EXPECT_EQ(res->entities, res->rule_matches);
+}
+
+TEST(GarMatchTest, EtaGatesEntityIdentification) {
+  SocialConfig c;
+  c.num_users = 400;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  Qgar rule = LikeRule(g);
+  auto res = GarMatch(rule, g, /*eta=*/0.0);
+  ASSERT_TRUE(res.ok());
+  // Raising η above the measured confidence empties the entity set but
+  // keeps the raw matches.
+  auto gated = GarMatch(rule, g, res->confidence + 0.01);
+  ASSERT_TRUE(gated.ok());
+  EXPECT_TRUE(gated->entities.empty());
+  EXPECT_EQ(gated->rule_matches, res->rule_matches);
+}
+
+TEST(GarMatchTest, RejectsInvalidRule) {
+  SocialConfig c;
+  c.num_users = 100;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  Qgar bad;  // empty patterns
+  EXPECT_FALSE(GarMatch(bad, g, 0.5).ok());
+}
+
+TEST(DGarMatchTest, MatchesSequentialGarMatch) {
+  SocialConfig c;
+  c.num_users = 500;
+  c.community_size = 100;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  Qgar rule = LikeRule(g);
+
+  DParConfig dc;
+  dc.num_fragments = 3;
+  dc.d = 2;
+  auto part = DPar(g, dc);
+  ASSERT_TRUE(part.ok());
+
+  auto seq = GarMatch(rule, g, 0.3);
+  auto par = DGarMatch(rule, g, *part, 0.3);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_EQ(par->q1_answers, seq->q1_answers);
+  EXPECT_EQ(par->q2_answers, seq->q2_answers);
+  EXPECT_EQ(par->rule_matches, seq->rule_matches);
+  EXPECT_DOUBLE_EQ(par->confidence, seq->confidence);
+  EXPECT_EQ(par->entities, seq->entities);
+}
+
+}  // namespace
+}  // namespace qgp

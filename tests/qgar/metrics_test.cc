@@ -1,0 +1,144 @@
+#include "qgar/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/qmatch.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+namespace {
+
+// Tiny marketing graph: 4 persons; p0, p1 follow recommenders and buy;
+// p2 follows recommenders but did not buy (with a buy edge elsewhere so
+// LCWA keeps it); p3 has no buy edges at all (LCWA drops it).
+struct Fixture {
+  Graph g;
+  Qgar rule;
+  VertexId p0, p1, p2, p3, prod, other;
+
+  Fixture() {
+    GraphBuilder b;
+    p0 = b.AddVertex("person");
+    p1 = b.AddVertex("person");
+    p2 = b.AddVertex("person");
+    p3 = b.AddVertex("person");
+    VertexId z = b.AddVertex("person");
+    prod = b.AddVertex("product");
+    other = b.AddVertex("product");
+    for (VertexId p : {p0, p1, p2, p3}) {
+      (void)b.AddEdge(p, z, "follow");
+    }
+    (void)b.AddEdge(z, prod, "recom");
+    (void)b.AddEdge(p0, prod, "buy");
+    (void)b.AddEdge(p1, prod, "buy");
+    (void)b.AddEdge(p2, other, "buy");  // bought something else
+    g = std::move(b).Build().value();
+
+    LabelDict& dict = g.mutable_dict();
+    PatternNodeId xo = rule.antecedent.AddNode(dict.Intern("person"), "xo");
+    PatternNodeId pz = rule.antecedent.AddNode(dict.Intern("person"), "z");
+    PatternNodeId pr = rule.antecedent.AddNode(dict.Intern("product"), "r");
+    (void)rule.antecedent.AddEdge(xo, pz, dict.Intern("follow"),
+                                  Quantifier::Universal());
+    (void)rule.antecedent.AddEdge(pz, pr, dict.Intern("recom"));
+    (void)rule.antecedent.set_focus(xo);
+
+    PatternNodeId cxo = rule.consequent.AddNode(dict.Intern("person"), "xo");
+    PatternNodeId cp = rule.consequent.AddNode(dict.Intern("product"), "r2");
+    (void)rule.consequent.AddEdge(cxo, cp, dict.Intern("buy"));
+    (void)rule.consequent.set_focus(cxo);
+    rule.name = "buy-product";
+  }
+};
+
+TEST(MetricsTest, XoRequiresEveryConsequentEdgeType) {
+  Fixture f;
+  AnswerSet xo = ComputeXo(f.rule, f.g);
+  // p3 has no buy edge: excluded under LCWA. p0..p2 stay.
+  EXPECT_EQ(xo, (AnswerSet{f.p0, f.p1, f.p2}));
+}
+
+TEST(MetricsTest, SupportIsIntersectionSize) {
+  AnswerSet q1{1, 2, 3, 5};
+  AnswerSet q2{2, 3, 4};
+  EXPECT_EQ(Support(q1, q2), 2u);
+  EXPECT_EQ(Support(q1, {}), 0u);
+}
+
+TEST(MetricsTest, ConfidenceUnderLcwa) {
+  Fixture f;
+  auto q1 = QMatch::Evaluate(f.rule.antecedent, f.g);
+  auto q2 = QMatch::Evaluate(f.rule.consequent, f.g);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  // All four persons satisfy the antecedent (the single followee
+  // recommends), all persons with a buy edge satisfy the consequent.
+  EXPECT_EQ(q1.value(), (AnswerSet{f.p0, f.p1, f.p2, f.p3}));
+  EXPECT_EQ(q2.value(), (AnswerSet{f.p0, f.p1, f.p2}));
+  AnswerSet xo = ComputeXo(f.rule, f.g);
+  // Denominator = q1 ∩ Xo = {p0,p1,p2}; numerator = q1 ∩ q2 = {p0,p1,p2}
+  // — wait, p2 bought the *other* product, which still matches the
+  // consequent pattern (any product). Confidence is 3/3 here.
+  EXPECT_DOUBLE_EQ(Confidence(q1.value(), q2.value(), xo), 1.0);
+}
+
+TEST(MetricsTest, ConfidenceZeroOnEmptyDenominator) {
+  AnswerSet q1{1, 2};
+  AnswerSet q2{1};
+  AnswerSet xo{};  // no vertex has complete consequent edges
+  EXPECT_DOUBLE_EQ(Confidence(q1, q2, xo), 0.0);
+}
+
+TEST(MetricsTest, ConfidenceCountsTrueNegativesOnly) {
+  // Force a specific product in the consequent: p2's "other" purchase no
+  // longer satisfies it, but p2 stays in Xo (it has a buy edge), so it is
+  // a genuine negative: confidence 2/3.
+  Fixture f;
+  LabelDict& dict = f.g.mutable_dict();
+  // Rebuild the consequent against product vertex label with an extra
+  // constraint: buy target must ALSO be recommended by someone.
+  Pattern c;
+  PatternNodeId cxo = c.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId cp = c.AddNode(dict.Intern("product"), "r2");
+  PatternNodeId cz = c.AddNode(dict.Intern("person"), "z2");
+  (void)c.AddEdge(cxo, cp, dict.Intern("buy"));
+  (void)c.AddEdge(cz, cp, dict.Intern("recom"));
+  (void)c.set_focus(cxo);
+  f.rule.consequent = c;
+
+  auto q1 = QMatch::Evaluate(f.rule.antecedent, f.g);
+  auto q2 = QMatch::Evaluate(f.rule.consequent, f.g);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2.value(), (AnswerSet{f.p0, f.p1}));
+  AnswerSet xo = ComputeXo(f.rule, f.g);
+  EXPECT_EQ(xo, (AnswerSet{f.p0, f.p1, f.p2}));
+  EXPECT_NEAR(Confidence(q1.value(), q2.value(), xo), 2.0 / 3.0, 1e-12);
+}
+
+// Lemma 10: support is anti-monotonic when a positive quantifier grows.
+TEST(MetricsTest, SupportAntiMonotoneInQuantifier) {
+  Fixture f;
+  size_t prev_support = SIZE_MAX;
+  for (double percent : {20.0, 50.0, 80.0, 100.0}) {
+    Pattern q1;
+    LabelDict& dict = f.g.mutable_dict();
+    PatternNodeId xo = q1.AddNode(dict.Intern("person"), "xo");
+    PatternNodeId z = q1.AddNode(dict.Intern("person"), "z");
+    PatternNodeId r = q1.AddNode(dict.Intern("product"), "r");
+    (void)q1.AddEdge(xo, z, dict.Intern("follow"),
+                     Quantifier::Ratio(QuantOp::kGe, percent));
+    (void)q1.AddEdge(z, r, dict.Intern("recom"));
+    (void)q1.set_focus(xo);
+    auto a1 = QMatch::Evaluate(q1, f.g);
+    auto a2 = QMatch::Evaluate(f.rule.consequent, f.g);
+    ASSERT_TRUE(a1.ok());
+    ASSERT_TRUE(a2.ok());
+    size_t support = Support(a1.value(), a2.value());
+    EXPECT_LE(support, prev_support);
+    prev_support = support;
+  }
+}
+
+}  // namespace
+}  // namespace qgp

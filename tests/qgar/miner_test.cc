@@ -1,0 +1,75 @@
+#include "qgar/miner.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/social_gen.h"
+#include "graph/graph_builder.h"
+#include "qgar/gar_match.h"
+
+namespace qgp {
+namespace {
+
+TEST(MinerTest, MinesRulesMeetingThresholds) {
+  SocialConfig c;
+  c.num_users = 800;
+  c.community_size = 100;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+
+  MinerConfig mc;
+  mc.min_confidence = 0.4;
+  mc.min_support = 5;
+  mc.max_rules = 5;
+  mc.max_evaluations = 40;
+  auto rules = MineQgars(g, mc);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_FALSE(rules->empty()) << "miner found no rules";
+  for (const MinedRule& r : *rules) {
+    EXPECT_GE(r.support, mc.min_support);
+    EXPECT_GE(r.confidence, mc.min_confidence);
+    EXPECT_TRUE(r.rule.Validate().ok());
+    // Reported metrics must be reproducible by GarMatch.
+    auto check = GarMatch(r.rule, g, 0.0);
+    ASSERT_TRUE(check.ok());
+    EXPECT_EQ(check->support, r.support);
+    EXPECT_DOUBLE_EQ(check->confidence, r.confidence);
+  }
+  // Sorted by support descending.
+  for (size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].support, (*rules)[i].support);
+  }
+}
+
+TEST(MinerTest, RespectsRuleCap) {
+  SocialConfig c;
+  c.num_users = 500;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  MinerConfig mc;
+  mc.min_confidence = 0.1;
+  mc.min_support = 1;
+  mc.max_rules = 2;
+  auto rules = MineQgars(g, mc);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_LE(rules->size(), 2u);
+}
+
+TEST(MinerTest, EmptyGraphFails) {
+  GraphBuilder b;
+  Graph g = std::move(b).Build().value();
+  MinerConfig mc;
+  EXPECT_FALSE(MineQgars(g, mc).ok());
+}
+
+TEST(MinerTest, HighThresholdYieldsFewOrNoRules) {
+  SocialConfig c;
+  c.num_users = 400;
+  Graph g = std::move(GenerateSocialGraph(c)).value();
+  MinerConfig strict;
+  strict.min_confidence = 0.999;
+  strict.min_support = 100000;
+  auto rules = MineQgars(g, strict);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+}  // namespace
+}  // namespace qgp

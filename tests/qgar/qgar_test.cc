@@ -1,0 +1,72 @@
+#include "qgar/qgar.h"
+
+#include <gtest/gtest.h>
+
+namespace qgp {
+namespace {
+
+Qgar MakeRule(LabelDict& dict) {
+  Qgar r;
+  PatternNodeId xo = r.antecedent.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = r.antecedent.AddNode(dict.Intern("person"), "z");
+  PatternNodeId y = r.antecedent.AddNode(dict.Intern("album"), "y");
+  (void)r.antecedent.AddEdge(xo, z, dict.Intern("follow"),
+                             Quantifier::Ratio(QuantOp::kGe, 80.0));
+  (void)r.antecedent.AddEdge(z, y, dict.Intern("like"));
+  (void)r.antecedent.set_focus(xo);
+
+  PatternNodeId cxo = r.consequent.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId cy = r.consequent.AddNode(dict.Intern("album"), "y2");
+  (void)r.consequent.AddEdge(cxo, cy, dict.Intern("buy"));
+  (void)r.consequent.set_focus(cxo);
+  r.name = "R1";
+  return r;
+}
+
+TEST(QgarTest, ValidRuleAccepted) {
+  LabelDict dict;
+  Qgar r = MakeRule(dict);
+  EXPECT_TRUE(r.Validate().ok());
+}
+
+TEST(QgarTest, RejectsEmptySides) {
+  LabelDict dict;
+  Qgar r = MakeRule(dict);
+  r.consequent = Pattern();
+  r.consequent.AddNode(dict.Intern("person"), "xo");
+  EXPECT_FALSE(r.Validate().ok());  // consequent has no edge
+}
+
+TEST(QgarTest, RejectsFocusLabelMismatch) {
+  LabelDict dict;
+  Qgar r = MakeRule(dict);
+  Pattern c;
+  PatternNodeId f = c.AddNode(dict.Intern("album"), "xo");
+  PatternNodeId w = c.AddNode(dict.Intern("person"), "w");
+  (void)c.AddEdge(f, w, dict.Intern("liked_by"));
+  (void)c.set_focus(f);
+  r.consequent = c;
+  EXPECT_FALSE(r.Validate().ok());
+}
+
+TEST(QgarTest, RejectsOverlappingEdge) {
+  LabelDict dict;
+  Qgar r = MakeRule(dict);
+  // Add the antecedent's (xo, z, follow) edge to the consequent.
+  PatternNodeId z2 = r.consequent.AddNode(dict.Intern("person"), "z");
+  (void)r.consequent.AddEdge(r.consequent.focus(), z2, dict.Intern("follow"));
+  // Rename the consequent focus to match antecedent's "xo" (it already
+  // is "xo"), so the (xo, z, follow) edge collides.
+  EXPECT_FALSE(r.Validate().ok());
+}
+
+TEST(QgarTest, RejectsInvalidPatternInside) {
+  LabelDict dict;
+  Qgar r = MakeRule(dict);
+  // Disconnect the antecedent.
+  r.antecedent.AddNode(dict.Intern("person"), "orphan");
+  EXPECT_FALSE(r.Validate().ok());
+}
+
+}  // namespace
+}  // namespace qgp

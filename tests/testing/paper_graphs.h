@@ -1,0 +1,163 @@
+#ifndef QGP_TESTS_TESTING_PAPER_GRAPHS_H_
+#define QGP_TESTS_TESTING_PAPER_GRAPHS_H_
+
+#include <cassert>
+
+#include "core/pattern.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace qgp::testing {
+
+/// Vertex ids of the paper's Fig. 2 G1 (social graph).
+struct G1Ids {
+  VertexId x1, x2, x3;          // focus candidates
+  VertexId v0, v1, v2, v3, v4;  // followees
+  VertexId redmi;               // the product
+};
+
+/// Fig. 2 G1: follow edges x1→{v0}, x2→{v1,v2}, x3→{v2,v3,v4};
+/// recom edges v0..v3 → Redmi 2A; bad_rating edge v4 → Redmi 2A.
+/// Matches Examples 3–7: Q2(xo,G1) = {x1,x2}; Π(Q3)(xo,G1) = {x2,x3}
+/// (p = 2); Q3(xo,G1) = {x2}.
+inline Graph BuildG1(G1Ids* ids = nullptr) {
+  GraphBuilder b;
+  G1Ids g;
+  g.x1 = b.AddVertex("person");
+  g.x2 = b.AddVertex("person");
+  g.x3 = b.AddVertex("person");
+  g.v0 = b.AddVertex("person");
+  g.v1 = b.AddVertex("person");
+  g.v2 = b.AddVertex("person");
+  g.v3 = b.AddVertex("person");
+  g.v4 = b.AddVertex("person");
+  g.redmi = b.AddVertex("redmi_2a");
+  (void)b.AddEdge(g.x1, g.v0, "follow");
+  (void)b.AddEdge(g.x2, g.v1, "follow");
+  (void)b.AddEdge(g.x2, g.v2, "follow");
+  (void)b.AddEdge(g.x3, g.v2, "follow");
+  (void)b.AddEdge(g.x3, g.v3, "follow");
+  (void)b.AddEdge(g.x3, g.v4, "follow");
+  (void)b.AddEdge(g.v0, g.redmi, "recom");
+  (void)b.AddEdge(g.v1, g.redmi, "recom");
+  (void)b.AddEdge(g.v2, g.redmi, "recom");
+  (void)b.AddEdge(g.v3, g.redmi, "recom");
+  (void)b.AddEdge(g.v4, g.redmi, "bad_rating");
+  if (ids != nullptr) *ids = g;
+  auto built = std::move(b).Build();
+  assert(built.ok());
+  return std::move(built).value();
+}
+
+/// Q2 (Fig. 1): xo -follow(=100%)-> z -recom-> Redmi 2A.
+inline Pattern BuildQ2(LabelDict& dict) {
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z = q.AddNode(dict.Intern("person"), "z");
+  PatternNodeId r = q.AddNode(dict.Intern("redmi_2a"), "r");
+  (void)q.AddEdge(xo, z, dict.Intern("follow"), Quantifier::Universal());
+  (void)q.AddEdge(z, r, dict.Intern("recom"));
+  (void)q.set_focus(xo);
+  return q;
+}
+
+/// Q3 (Fig. 1): xo -follow(>=p)-> z1 -recom-> Redmi 2A, plus the negated
+/// branch xo -follow(=0)-> z2 -bad_rating-> Redmi 2A, with the single
+/// shared product node (G1 only has one Redmi 2A vertex, and matching is
+/// injective). Π(Q3) still drops z2 AND its bad-rating edge — the
+/// focus-far endpoint rule of Pi() reproduces Fig. 3.
+inline Pattern BuildQ3(LabelDict& dict, uint32_t p) {
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z1 = q.AddNode(dict.Intern("person"), "z1");
+  PatternNodeId z2 = q.AddNode(dict.Intern("person"), "z2");
+  PatternNodeId r = q.AddNode(dict.Intern("redmi_2a"), "r");
+  (void)q.AddEdge(xo, z1, dict.Intern("follow"),
+                  Quantifier::Numeric(QuantOp::kGe, p));
+  (void)q.AddEdge(z1, r, dict.Intern("recom"));
+  (void)q.AddEdge(xo, z2, dict.Intern("follow"), Quantifier::Negation());
+  (void)q.AddEdge(z2, r, dict.Intern("bad_rating"));
+  (void)q.set_focus(xo);
+  return q;
+}
+
+/// Vertex ids of the G2-style knowledge graph (inspired by Fig. 2 G2 —
+/// the paper's prose fixes Q4's expected answers, not every edge, so the
+/// construction here realizes the documented behaviour: x4 matches the
+/// stratified pattern but has a PhD; x5, x6 are the answers at p = 2).
+struct G2Ids {
+  VertexId x4, x5, x6;              // professors in the UK
+  VertexId v5, v6, v7, v8, v9;      // students
+  VertexId prof, phd, uk, us;       // singleton entity nodes
+};
+
+inline Graph BuildG2(G2Ids* ids = nullptr) {
+  GraphBuilder b;
+  G2Ids g;
+  g.x4 = b.AddVertex("person");
+  g.x5 = b.AddVertex("person");
+  g.x6 = b.AddVertex("person");
+  g.v5 = b.AddVertex("person");
+  g.v6 = b.AddVertex("person");
+  g.v7 = b.AddVertex("person");
+  g.v8 = b.AddVertex("person");
+  g.v9 = b.AddVertex("person");
+  g.prof = b.AddVertex("prof");
+  g.phd = b.AddVertex("phd");
+  g.uk = b.AddVertex("uk");
+  g.us = b.AddVertex("us");
+  // Focus candidates: professors in the UK.
+  for (VertexId x : {g.x4, g.x5, g.x6}) {
+    (void)b.AddEdge(x, g.prof, "is_a");
+    (void)b.AddEdge(x, g.uk, "in");
+  }
+  // x4 holds a PhD (so Q4's negation excludes it); x5, x6 do not.
+  (void)b.AddEdge(g.x4, g.phd, "is_a");
+  // Students v5..v8 are UK professors; v9 is a US professor.
+  for (VertexId v : {g.v5, g.v6, g.v7, g.v8}) {
+    (void)b.AddEdge(v, g.prof, "is_a");
+    (void)b.AddEdge(v, g.uk, "in");
+  }
+  (void)b.AddEdge(g.v9, g.prof, "is_a");
+  (void)b.AddEdge(g.v9, g.us, "in");
+  // Advisor lineages: x4 → {v5, v6, v9}; x5 → {v5, v6}; x6 → {v7, v8, v9}.
+  // x4 satisfies the >=2 count (v5, v6) so only the PhD negation rules it
+  // out, exactly as Example 4 describes.
+  (void)b.AddEdge(g.x4, g.v5, "advisor");
+  (void)b.AddEdge(g.x4, g.v6, "advisor");
+  (void)b.AddEdge(g.x4, g.v9, "advisor");
+  (void)b.AddEdge(g.x5, g.v5, "advisor");
+  (void)b.AddEdge(g.x5, g.v6, "advisor");
+  (void)b.AddEdge(g.x6, g.v7, "advisor");
+  (void)b.AddEdge(g.x6, g.v8, "advisor");
+  (void)b.AddEdge(g.x6, g.v9, "advisor");
+  if (ids != nullptr) *ids = g;
+  auto built = std::move(b).Build();
+  assert(built.ok());
+  return std::move(built).value();
+}
+
+/// Q4 (Fig. 1): find xo with (a) xo -is_a-> prof, (b) xo -in-> uk,
+/// (c) xo -advisor(>=p)-> z where z -is_a-> prof and z -in-> uk, and
+/// (d) the negation xo -is_a(=0)-> phd.
+inline Pattern BuildQ4(LabelDict& dict, uint32_t p) {
+  Pattern q;
+  PatternNodeId xo = q.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId prof = q.AddNode(dict.Intern("prof"), "prof");
+  PatternNodeId uk = q.AddNode(dict.Intern("uk"), "uk");
+  PatternNodeId z = q.AddNode(dict.Intern("person"), "z");
+  PatternNodeId phd = q.AddNode(dict.Intern("phd"), "phd");
+  (void)q.AddEdge(xo, prof, dict.Intern("is_a"));
+  (void)q.AddEdge(xo, uk, dict.Intern("in"));
+  (void)q.AddEdge(xo, z, dict.Intern("advisor"),
+                  Quantifier::Numeric(QuantOp::kGe, p));
+  (void)q.AddEdge(z, prof, dict.Intern("is_a"));
+  (void)q.AddEdge(z, uk, dict.Intern("in"));
+  (void)q.AddEdge(xo, phd, dict.Intern("is_a"), Quantifier::Negation());
+  (void)q.set_focus(xo);
+  return q;
+}
+
+}  // namespace qgp::testing
+
+#endif  // QGP_TESTS_TESTING_PAPER_GRAPHS_H_

@@ -1,0 +1,293 @@
+#include "tools/cli_lib.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/enum_matcher.h"
+#include "core/pattern_parser.h"
+#include "core/qmatch.h"
+#include "gen/knowledge_gen.h"
+#include "gen/social_gen.h"
+#include "gen/synthetic_gen.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "parallel/dpar.h"
+#include "qgar/miner.h"
+
+namespace qgp::cli {
+
+namespace {
+
+// Parsed "--key=value" flags plus positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string Flag(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t FlagInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    int64_t v = 0;
+    return ParseInt64(it->second, &v) ? v : fallback;
+  }
+  double FlagDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    double v = 0;
+    return ParseDouble(it->second, &v) ? v : fallback;
+  }
+};
+
+Args ParseArgs(const std::vector<std::string>& raw) {
+  Args args;
+  for (const std::string& a : raw) {
+    if (StartsWith(a, "--")) {
+      size_t eq = a.find('=');
+      if (eq == std::string::npos) {
+        args.flags[a.substr(2)] = "true";
+      } else {
+        args.flags[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+// Loads a graph file, auto-detecting binary vs text by the magic bytes.
+Result<Graph> LoadGraph(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::IoError("cannot open '" + path + "'");
+    char magic[5] = {0};
+    probe.read(magic, 5);
+    if (probe.gcount() == 5 && std::string(magic, 5) == "QGPB1") {
+      return GraphIo::ReadBinaryFile(path);
+    }
+  }
+  return GraphIo::ReadFile(path);
+}
+
+int Usage(std::ostream& err) {
+  err << "usage: qgp <command> [args]\n"
+         "  stats <graph>\n"
+         "  convert <graph-in> <graph-out.bin>\n"
+         "  match <graph> <pattern-file> [--algo=qmatch|qmatchn|enum] "
+         "[--stats] [--limit=N]\n"
+         "  generate <social|knowledge|synthetic> <out> [--size=N] "
+         "[--seed=N] [--binary]\n"
+         "  partition <graph> [--n=4] [--d=2]\n"
+         "  mine <graph> [--eta=0.5] [--support=20] [--rules=5]\n";
+  return 2;
+}
+
+int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return Usage(err);
+  auto g = LoadGraph(args.positional[1]);
+  if (!g.ok()) {
+    err << g.status().ToString() << "\n";
+    return 1;
+  }
+  out << FormatGraphStats(*g, ComputeGraphStats(*g)) << "\n";
+  return 0;
+}
+
+int CmdConvert(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 3) return Usage(err);
+  auto g = LoadGraph(args.positional[1]);
+  if (!g.ok()) {
+    err << g.status().ToString() << "\n";
+    return 1;
+  }
+  Status s = GraphIo::WriteBinaryFile(*g, args.positional[2]);
+  if (!s.ok()) {
+    err << s.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << args.positional[2] << " (|V|=" << g->num_vertices()
+      << " |E|=" << g->num_edges() << ")\n";
+  return 0;
+}
+
+int CmdMatch(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 3) return Usage(err);
+  auto graph = LoadGraph(args.positional[1]);
+  if (!graph.ok()) {
+    err << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Graph g = std::move(graph).value();
+  std::ifstream pf(args.positional[2]);
+  if (!pf) {
+    err << "cannot open pattern file '" << args.positional[2] << "'\n";
+    return 1;
+  }
+  std::stringstream text;
+  text << pf.rdbuf();
+  auto pattern = PatternParser::Parse(text.str(), g.mutable_dict());
+  if (!pattern.ok()) {
+    err << pattern.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string algo = args.Flag("algo", "qmatch");
+  MatchOptions opts;
+  WallTimer timer;
+  MatchStats stats;
+  Result<AnswerSet> answers = Status::Ok();
+  if (algo == "enum") {
+    opts.max_isomorphisms = 10'000'000;
+    answers = EnumMatcher::Evaluate(*pattern, g, opts, &stats);
+  } else if (algo == "qmatchn") {
+    answers = QMatchNaiveEvaluate(*pattern, g, opts, &stats);
+  } else if (algo == "qmatch") {
+    answers = QMatch::Evaluate(*pattern, g, opts, &stats);
+  } else {
+    err << "unknown --algo '" << algo << "'\n";
+    return 2;
+  }
+  if (!answers.ok()) {
+    err << answers.status().ToString() << "\n";
+    return 1;
+  }
+  double seconds = timer.ElapsedSeconds();
+  out << "matches: " << answers->size() << " (in " << seconds << "s)\n";
+  int64_t limit = args.FlagInt("limit", 20);
+  for (size_t i = 0; i < answers->size() &&
+                     i < static_cast<size_t>(limit < 0 ? 0 : limit);
+       ++i) {
+    out << "  " << (*answers)[i] << "\n";
+  }
+  if (args.flags.count("stats") != 0) {
+    out << "stats: " << stats.ToString() << "\n";
+  }
+  return 0;
+}
+
+int CmdGenerate(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const std::string& family = args.positional[1];
+  size_t size = static_cast<size_t>(args.FlagInt("size", 10000));
+  uint64_t seed = static_cast<uint64_t>(args.FlagInt("seed", 42));
+  Result<Graph> g = Status::Ok();
+  if (family == "social") {
+    SocialConfig c;
+    c.num_users = size;
+    c.seed = seed;
+    g = GenerateSocialGraph(c);
+  } else if (family == "knowledge") {
+    KnowledgeConfig c;
+    c.num_scientists = size;
+    c.seed = seed;
+    g = GenerateKnowledgeGraph(c);
+  } else if (family == "synthetic") {
+    SyntheticConfig c;
+    c.num_vertices = size;
+    c.num_edges = size * 2;
+    c.seed = seed;
+    g = GenerateSynthetic(c);
+  } else {
+    err << "unknown family '" << family << "'\n";
+    return 2;
+  }
+  if (!g.ok()) {
+    err << g.status().ToString() << "\n";
+    return 1;
+  }
+  Status s = args.flags.count("binary") != 0
+                 ? GraphIo::WriteBinaryFile(*g, args.positional[2])
+                 : GraphIo::WriteFile(*g, args.positional[2]);
+  if (!s.ok()) {
+    err << s.ToString() << "\n";
+    return 1;
+  }
+  out << "generated " << family << " graph: |V|=" << g->num_vertices()
+      << " |E|=" << g->num_edges() << " -> " << args.positional[2] << "\n";
+  return 0;
+}
+
+int CmdPartition(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return Usage(err);
+  auto g = LoadGraph(args.positional[1]);
+  if (!g.ok()) {
+    err << g.status().ToString() << "\n";
+    return 1;
+  }
+  DParConfig c;
+  c.num_fragments = static_cast<size_t>(args.FlagInt("n", 4));
+  c.d = static_cast<int>(args.FlagInt("d", 2));
+  DParTimings timings;
+  auto part = DPar(*g, c, &timings);
+  if (!part.ok()) {
+    err << part.status().ToString() << "\n";
+    return 1;
+  }
+  out << "d-hop preserving partition: n=" << c.num_fragments
+      << " d=" << c.d << "\n";
+  out << "  border nodes : " << part->num_border_nodes << "\n";
+  out << "  skew         : " << part->Skew() << "\n";
+  out << "  replication  : " << part->ReplicationFactor(*g) << "x\n";
+  out << "  parallel time: " << timings.ParallelSeconds() << "s (seq "
+      << timings.SequentialSeconds() << "s)\n";
+  for (size_t i = 0; i < part->fragments.size(); ++i) {
+    const Fragment& f = part->fragments[i];
+    out << "  fragment " << i << ": |V|=" << f.sub.graph.num_vertices()
+        << " |E|=" << f.sub.graph.num_edges()
+        << " owned=" << f.owned_global.size() << "\n";
+  }
+  return 0;
+}
+
+int CmdMine(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return Usage(err);
+  auto graph = LoadGraph(args.positional[1]);
+  if (!graph.ok()) {
+    err << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Graph g = std::move(graph).value();
+  MinerConfig c;
+  c.min_confidence = args.FlagDouble("eta", 0.5);
+  c.min_support = static_cast<size_t>(args.FlagInt("support", 20));
+  c.max_rules = static_cast<size_t>(args.FlagInt("rules", 5));
+  auto rules = MineQgars(g, c);
+  if (!rules.ok()) {
+    err << rules.status().ToString() << "\n";
+    return 1;
+  }
+  out << "mined " << rules->size() << " rules\n";
+  for (const MinedRule& r : *rules) {
+    out << "=== " << r.rule.name << " support=" << r.support
+        << " confidence=" << r.confidence << "\nIF\n"
+        << PatternParser::Serialize(r.rule.antecedent, g.dict()) << "THEN\n"
+        << PatternParser::Serialize(r.rule.consequent, g.dict()) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) return Usage(err);
+  Args parsed = ParseArgs(args);
+  if (parsed.positional.empty()) return Usage(err);
+  const std::string& cmd = parsed.positional[0];
+  if (cmd == "stats") return CmdStats(parsed, out, err);
+  if (cmd == "convert") return CmdConvert(parsed, out, err);
+  if (cmd == "match") return CmdMatch(parsed, out, err);
+  if (cmd == "generate") return CmdGenerate(parsed, out, err);
+  if (cmd == "partition") return CmdPartition(parsed, out, err);
+  if (cmd == "mine") return CmdMine(parsed, out, err);
+  err << "unknown command '" << cmd << "'\n";
+  return Usage(err);
+}
+
+}  // namespace qgp::cli

@@ -1,0 +1,30 @@
+#ifndef QGP_TOOLS_CLI_LIB_H_
+#define QGP_TOOLS_CLI_LIB_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qgp::cli {
+
+/// Entry point of the `qgp` command-line tool, factored out of main()
+/// so tests can drive it in-process. Returns the process exit code and
+/// writes all output to `out` / `err`.
+///
+/// Subcommands:
+///   qgp stats <graph>
+///   qgp convert <graph-in> <graph-out.bin>
+///   qgp match <graph> <pattern-file> [--algo=qmatch|qmatchn|enum]
+///             [--stats] [--limit=N]
+///   qgp generate <social|knowledge|synthetic> <out> [--size=N] [--seed=N]
+///   qgp partition <graph> [--n=4] [--d=2]
+///   qgp mine <graph> [--eta=0.5] [--support=20] [--rules=5]
+///
+/// Graph files may be the text format (graph_io.h) or the binary format
+/// (auto-detected by magic). Pattern files use the PatternParser DSL.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace qgp::cli
+
+#endif  // QGP_TOOLS_CLI_LIB_H_

@@ -1,0 +1,11 @@
+// The `qgp` command-line tool: generate / inspect / convert graphs,
+// match quantified patterns, build d-hop preserving partitions and mine
+// QGARs, all from the shell. See tools/cli_lib.h for the subcommands.
+#include <iostream>
+
+#include "tools/cli_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return qgp::cli::RunCli(args, std::cout, std::cerr);
+}
