@@ -1,0 +1,111 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qgp {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("no such vertex"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "no such vertex");
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  // Constructing a Result from an OK status is a programming error that
+  // must surface as a failed Result, never as a silently absent value.
+  Result<int> r(Status::Ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r(std::string("qgp"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good(3);
+  Result<int> bad(Status::Internal("boom"));
+  EXPECT_EQ(good.value_or(-1), 3);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, RvalueValueMovesOutTheHeldValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ResultTest, MoveOnlyValueTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultTest, CopyAndMoveSemantics) {
+  Result<std::string> a(std::string("alpha"));
+  Result<std::string> b = a;  // copy keeps the source intact
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), "alpha");
+
+  Result<std::string> c(Status::IoError("disk"));
+  b = c;
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kIoError);
+
+  Result<std::string> d = std::move(a);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), "alpha");
+}
+
+Status ParseEven(int n, int* out) {
+  Result<int> r = n % 2 == 0 ? Result<int>(n)
+                             : Result<int>(Status::InvalidArgument("odd"));
+  QGP_ASSIGN_OR_RETURN(*out, r);
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsOrPropagates) {
+  int out = 0;
+  EXPECT_TRUE(ParseEven(4, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = ParseEven(5, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 4);  // untouched on failure
+}
+
+Status ChainTwo(int a, int b, int* sum) {
+  QGP_ASSIGN_OR_RETURN(int x, Result<int>(a));
+  QGP_ASSIGN_OR_RETURN(int y, Result<int>(b));
+  *sum = x + y;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnComposesInOneFunction) {
+  // Two expansions in one scope must not collide (the __LINE__ concat).
+  int sum = 0;
+  ASSERT_TRUE(ChainTwo(2, 3, &sum).ok());
+  EXPECT_EQ(sum, 5);
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,66 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace qgp {
+namespace {
+
+TEST(WallTimerTest, StartsNearZero) {
+  WallTimer t;
+  // Fresh timers read a tiny elapsed time; a full second would mean the
+  // clock source is broken.
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+TEST(WallTimerTest, ElapsedIsMonotone) {
+  WallTimer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  double c = t.ElapsedSeconds();
+  EXPECT_LE(a, b);
+  EXPECT_LE(b, c);
+}
+
+TEST(WallTimerTest, MeasuresSleeps) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // sleep_for guarantees at least the requested duration on a steady
+  // clock; allow generous slack above (scheduler noise) but none below.
+  EXPECT_GE(t.ElapsedMillis(), 19.0);
+  EXPECT_LT(t.ElapsedSeconds(), 10.0);
+}
+
+TEST(WallTimerTest, MillisIsSecondsTimesThousand) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double s = t.ElapsedSeconds();
+  double ms = t.ElapsedMillis();
+  // Two separate clock reads: ms was taken after s, so it can only be
+  // larger, and by far less than a second's worth of drift.
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_LT(ms, (s + 1.0) * 1e3);
+}
+
+TEST(WallTimerTest, RestartResetsTheOrigin) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double before = t.ElapsedMillis();
+  t.Restart();
+  double after = t.ElapsedMillis();
+  EXPECT_GE(before, 19.0);
+  EXPECT_LT(after, before);
+}
+
+TEST(WallTimerTest, IndependentTimersDoNotInterfere) {
+  WallTimer outer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  WallTimer inner;
+  EXPECT_GT(outer.ElapsedSeconds(), inner.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace qgp

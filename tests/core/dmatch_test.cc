@@ -1,0 +1,179 @@
+// Direct coverage of DMatch (§4.1): PositiveEvaluator and the
+// DMatchEvaluate wrapper, previously exercised only indirectly through
+// qmatch_test.cc. Ground truth comes from the paper's Fig. 2 examples and
+// from the enumeration baseline, which shares none of DMatch's pruning.
+#include "core/dmatch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/enum_matcher.h"
+#include "gen/pattern_gen.h"
+#include "gen/social_gen.h"
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+using qgp::testing::BuildG1;
+using qgp::testing::BuildG2;
+using qgp::testing::BuildQ2;
+using qgp::testing::BuildQ3;
+using qgp::testing::BuildQ4;
+using qgp::testing::G1Ids;
+using qgp::testing::G2Ids;
+
+TEST(DMatchDirectTest, Q2OnG1MatchesExample3) {
+  G1Ids ids;
+  Graph g = BuildG1(&ids);
+  Pattern q2 = BuildQ2(g.mutable_dict());
+  MatchStats stats;
+  auto res = DMatchEvaluate(q2, g, MatchOptions{}, &stats);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(*res, (AnswerSet{ids.x1, ids.x2}));
+  EXPECT_GT(stats.focus_candidates_checked, 0u);
+}
+
+TEST(DMatchDirectTest, PiOfQ3OnG1MatchesExample6) {
+  G1Ids ids;
+  Graph g = BuildG1(&ids);
+  Pattern q3 = BuildQ3(g.mutable_dict(), /*p=*/2);
+  auto pi = q3.Pi();
+  ASSERT_TRUE(pi.ok()) << pi.status().ToString();
+  MatchStats stats;
+  auto res = DMatchEvaluate(pi->first, g, MatchOptions{}, &stats);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(*res, (AnswerSet{ids.x2, ids.x3}));
+}
+
+TEST(DMatchDirectTest, PiOfQ4OnG2CountsAdvisees) {
+  G2Ids ids;
+  Graph g = BuildG2(&ids);
+  // Without the PhD negation, x4 qualifies too (advises v5 and v6).
+  Pattern q4 = BuildQ4(g.mutable_dict(), /*p=*/2);
+  auto pi = q4.Pi();
+  ASSERT_TRUE(pi.ok());
+  auto res = DMatchEvaluate(pi->first, g, MatchOptions{}, nullptr);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(*res, (AnswerSet{ids.x4, ids.x5, ids.x6}));
+  // At p = 3 only x6 advises three UK professors... x6's third advisee v9
+  // is in the US, so nobody qualifies.
+  Pattern q4p3 = BuildQ4(g.mutable_dict(), /*p=*/3);
+  auto pi3 = q4p3.Pi();
+  ASSERT_TRUE(pi3.ok());
+  auto res3 = DMatchEvaluate(pi3->first, g, MatchOptions{}, nullptr);
+  ASSERT_TRUE(res3.ok());
+  EXPECT_TRUE(res3->empty());
+}
+
+TEST(DMatchDirectTest, VerifyFocusAgreesWithEvaluateAll) {
+  G1Ids ids;
+  Graph g = BuildG1(&ids);
+  Pattern q2 = BuildQ2(g.mutable_dict());
+  auto ev = PositiveEvaluator::Create(q2, g, MatchOptions{});
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  AnswerSet all = ev->EvaluateAll(nullptr, nullptr);
+  for (VertexId vx : ev->FocusCandidates()) {
+    bool member = std::binary_search(all.begin(), all.end(), vx);
+    MatchStats stats;
+    EXPECT_EQ(ev->VerifyFocus(vx, nullptr, nullptr, &stats), member)
+        << "focus candidate " << vx;
+  }
+}
+
+TEST(DMatchDirectTest, EvaluateSubsetRestrictsTheDomain) {
+  G1Ids ids;
+  Graph g = BuildG1(&ids);
+  Pattern q2 = BuildQ2(g.mutable_dict());
+  auto ev = PositiveEvaluator::Create(q2, g, MatchOptions{});
+  ASSERT_TRUE(ev.ok());
+  // Q2(xo, G1) = {x1, x2}; restricting to {x2, x3} must yield {x2}.
+  std::vector<VertexId> subset = {ids.x2, ids.x3};
+  AnswerSet res = ev->EvaluateSubset(subset, nullptr, nullptr);
+  EXPECT_EQ(res, (AnswerSet{ids.x2}));
+  // Empty subset, empty answer.
+  AnswerSet empty = ev->EvaluateSubset({}, nullptr, nullptr);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(DMatchDirectTest, EvaluateAllFillsCaches) {
+  G1Ids ids;
+  Graph g = BuildG1(&ids);
+  Pattern q2 = BuildQ2(g.mutable_dict());
+  auto ev = PositiveEvaluator::Create(q2, g, MatchOptions{});
+  ASSERT_TRUE(ev.ok());
+  std::unordered_map<VertexId, FocusCache> caches;
+  AnswerSet all = ev->EvaluateAll(nullptr, &caches);
+  EXPECT_EQ(caches.size(), all.size());
+  for (VertexId vx : all) EXPECT_TRUE(caches.contains(vx));
+}
+
+TEST(DMatchDirectTest, RejectsNegatedPatterns) {
+  Graph g = BuildG1(nullptr);
+  Pattern q3 = BuildQ3(g.mutable_dict(), 2);  // has a =0 edge
+  auto res = DMatchEvaluate(q3, g, MatchOptions{}, nullptr);
+  EXPECT_FALSE(res.ok());
+}
+
+MatchOptions Ablated(bool simulation, bool pruning, bool ordering,
+                     bool early_stop) {
+  MatchOptions o;
+  o.use_simulation = simulation;
+  o.use_quantifier_pruning = pruning;
+  o.use_potential_ordering = ordering;
+  o.early_stop_counting = early_stop;
+  return o;
+}
+
+TEST(DMatchDirectTest, OptionTogglesPreserveAnswersOnGeneratedWorkload) {
+  SocialConfig sc;
+  sc.num_users = 300;
+  sc.community_size = 60;
+  Graph g = std::move(GenerateSocialGraph(sc)).value();
+  PatternGenConfig pc;
+  pc.num_nodes = 4;
+  pc.num_edges = 4;
+  pc.num_quantified = 2;
+  pc.percent = 40.0;
+  pc.num_negated = 0;  // positive-only: DMatch's own domain
+  std::vector<Pattern> patterns = GeneratePatternSuite(g, 4, pc, 97);
+  ASSERT_FALSE(patterns.empty());
+  size_t compared = 0;
+  for (const Pattern& q : patterns) {
+    auto pi = q.Pi();
+    ASSERT_TRUE(pi.ok());
+    const Pattern& pos = pi->first;
+    auto baseline =
+        EnumMatcher::EvaluatePositive(pos, g, MatchOptions{}, nullptr);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    for (MatchOptions o :
+         {Ablated(true, true, true, true), Ablated(false, true, true, true),
+          Ablated(true, false, true, true), Ablated(true, true, false, true),
+          Ablated(true, true, true, false),
+          Ablated(false, false, false, false)}) {
+      auto res = DMatchEvaluate(pos, g, o, nullptr);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      EXPECT_EQ(*res, *baseline);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+TEST(DMatchDirectTest, TinyBallLimitFallsBackCorrectly) {
+  // A ball cap of 1 forces the hub guard's global-candidate fallback on
+  // every focus; answers must not change.
+  G1Ids ids;
+  Graph g = BuildG1(&ids);
+  Pattern q2 = BuildQ2(g.mutable_dict());
+  MatchOptions capped;
+  capped.ball_limit = 1;
+  auto res = DMatchEvaluate(q2, g, capped, nullptr);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, (AnswerSet{ids.x1, ids.x2}));
+}
+
+}  // namespace
+}  // namespace qgp

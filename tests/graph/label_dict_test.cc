@@ -1,0 +1,102 @@
+#include "graph/label_dict.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qgp {
+namespace {
+
+TEST(LabelDictTest, StartsEmpty) {
+  LabelDict dict;
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_EQ(dict.Find("follow"), kInvalidLabel);
+  EXPECT_FALSE(dict.Contains("follow"));
+}
+
+TEST(LabelDictTest, InternAssignsDenseIds) {
+  LabelDict dict;
+  Label a = dict.Intern("follow");
+  Label b = dict.Intern("recom");
+  Label c = dict.Intern("bad_rating");
+  EXPECT_NE(a, kInvalidLabel);
+  EXPECT_NE(b, kInvalidLabel);
+  EXPECT_NE(c, kInvalidLabel);
+  // Dense: three distinct ids, all below size().
+  EXPECT_EQ(dict.size(), 3u);
+  std::vector<Label> ids = {a, b, c};
+  for (Label id : ids) EXPECT_LT(static_cast<size_t>(id), dict.size());
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+TEST(LabelDictTest, InternIsIdempotent) {
+  LabelDict dict;
+  Label first = dict.Intern("prof");
+  Label second = dict.Intern("prof");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(LabelDictTest, FindMatchesIntern) {
+  LabelDict dict;
+  Label follow = dict.Intern("follow");
+  EXPECT_EQ(dict.Find("follow"), follow);
+  EXPECT_TRUE(dict.Contains("follow"));
+  EXPECT_EQ(dict.Find("nope"), kInvalidLabel);
+  EXPECT_FALSE(dict.Contains("nope"));
+}
+
+TEST(LabelDictTest, NameRoundTrips) {
+  LabelDict dict;
+  Label follow = dict.Intern("follow");
+  Label recom = dict.Intern("recom");
+  EXPECT_EQ(dict.Name(follow), "follow");
+  EXPECT_EQ(dict.Name(recom), "recom");
+}
+
+TEST(LabelDictTest, NameOfOutOfRangeIdIsInvalidMarker) {
+  LabelDict dict;
+  (void)dict.Intern("only");
+  EXPECT_EQ(dict.Name(static_cast<Label>(99)), "<invalid>");
+  EXPECT_EQ(dict.Name(kInvalidLabel), "<invalid>");
+}
+
+TEST(LabelDictTest, EmptyStringIsAnOrdinaryLabel) {
+  LabelDict dict;
+  Label empty = dict.Intern("");
+  EXPECT_NE(empty, kInvalidLabel);
+  EXPECT_TRUE(dict.Contains(""));
+  EXPECT_EQ(dict.Name(empty), "");
+  EXPECT_EQ(dict.Intern(""), empty);
+}
+
+TEST(LabelDictTest, ScalesToManyLabels) {
+  LabelDict dict;
+  std::vector<Label> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(dict.Intern("label_" + std::to_string(i)));
+  }
+  EXPECT_EQ(dict.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "label_" + std::to_string(i);
+    EXPECT_EQ(dict.Find(name), ids[i]);
+    EXPECT_EQ(dict.Name(ids[i]), name);
+  }
+}
+
+TEST(LabelDictTest, CopiesAreIndependent) {
+  LabelDict dict;
+  Label a = dict.Intern("a");
+  LabelDict copy = dict;
+  Label b = copy.Intern("b");
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.Find("a"), a);
+  EXPECT_NE(b, kInvalidLabel);
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-command tier-1 verify: configure, build, and run the full ctest
+# suite. Usage:
+#   tools/run_tier1.sh            # Release
+#   tools/run_tier1.sh asan      # Debug + ASan/UBSan
+#   BUILD_DIR=out tools/run_tier1.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+config="${1:-release}"
+jobs="${JOBS:-$(nproc)}"
+
+case "$config" in
+  release)
+    build_dir="${BUILD_DIR:-$repo_root/build}"
+    cmake_flags=(-DCMAKE_BUILD_TYPE=Release)
+    ;;
+  asan)
+    build_dir="${BUILD_DIR:-$repo_root/build-asan}"
+    cmake_flags=(-DCMAKE_BUILD_TYPE=Debug -DQGP_SANITIZE=ON)
+    ;;
+  *)
+    echo "usage: $0 [release|asan]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$build_dir" -S "$repo_root" "${cmake_flags[@]}"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
