@@ -13,8 +13,8 @@ struct Variant {
   MatchOptions opts;
 };
 
-void Run(const Graph& g, const std::vector<Pattern>& suite,
-         const Variant& v) {
+void Run(const Graph& g, const std::vector<Pattern>& suite, const Variant& v,
+         BenchReporter& reporter) {
   MatchStats stats;
   double seconds = 0;
   size_t answers = 0;
@@ -34,6 +34,10 @@ void Run(const Graph& g, const std::vector<Pattern>& suite,
               static_cast<unsigned long long>(stats.search_extensions),
               static_cast<unsigned long long>(stats.witness_searches),
               answers, ok ? "" : "  (error)");
+  reporter.Add(v.name, seconds * 1e3,
+               {{"answers", static_cast<double>(answers)},
+                {"ok", ok ? 1.0 : 0.0}},
+               &stats);
 }
 
 }  // namespace
@@ -69,8 +73,9 @@ int main() {
   none.opts.use_potential_ordering = false;
   none.opts.early_stop_counting = false;
 
+  BenchReporter reporter("ablation_pruning");
   for (const Variant& v : {all, no_sim, no_prune, no_pot, no_early, none}) {
-    Run(g, suite, v);
+    Run(g, suite, v, reporter);
   }
   return 0;
 }

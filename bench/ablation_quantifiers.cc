@@ -31,6 +31,7 @@ int main() {
               "incremental negation flat in |E-Q|; recompute grows");
   qgp::Graph g = MakePokecLike(4000);
   PrintGraphLine("pokec-like", g);
+  BenchReporter reporter("ablation_quantifiers");
 
   std::printf("\n(a) sequential negation handling, (6,8,30%%):\n");
   std::printf("%8s  %14s  %14s\n", "|E-Q|", "IncQMatch (s)",
@@ -48,6 +49,8 @@ int main() {
     double ti = RunSuite(g, suite, inc, nullptr);
     double tr = RunSuite(g, suite, recompute, nullptr);
     std::printf("%8zu  %14.3f  %14.3f\n", neg, ti, tr);
+    reporter.Add("neg=" + std::to_string(neg) + "/IncQMatch", ti * 1e3);
+    reporter.Add("neg=" + std::to_string(neg) + "/recompute", tr * 1e3);
   }
 
   std::printf("\n(b) cost by quantifier kind, same topology (5,7):\n");
@@ -86,6 +89,8 @@ int main() {
     size_t answers = 0;
     double t = RunSuite(g, suite, {}, &answers);
     std::printf("  %-20s  %10.3fs  answers=%zu\n", k.name, t, answers);
+    reporter.Add(std::string("kind/") + k.name, t * 1e3,
+                 {{"answers", static_cast<double>(answers)}});
   }
   return 0;
 }

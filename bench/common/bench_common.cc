@@ -1,11 +1,124 @@
 #include "bench/common/bench_common.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <utility>
 
 #include "core/enum_matcher.h"
 
 namespace qgp::bench {
+
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes, control chars.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no NaN/Inf; clamp to null-free 0 and format with enough
+// precision for millisecond timings.
+void PrintJsonNumber(std::FILE* f, double v) {
+  if (v != v || v > 1e300 || v < -1e300) v = 0;
+  std::fprintf(f, "%.6g", v);
+}
+
+void PrintStats(std::FILE* f, const MatchStats& s) {
+  std::fprintf(
+      f,
+      "{\"isomorphisms_enumerated\":%" PRIu64 ",\"witness_searches\":%" PRIu64
+      ",\"search_extensions\":%" PRIu64 ",\"candidates_initial\":%" PRIu64
+      ",\"candidates_pruned\":%" PRIu64 ",\"focus_candidates_checked\":%" PRIu64
+      ",\"inc_candidates_checked\":%" PRIu64 ",\"balls_built\":%" PRIu64 "}",
+      s.isomorphisms_enumerated, s.witness_searches, s.search_extensions,
+      s.candidates_initial, s.candidates_pruned, s.focus_candidates_checked,
+      s.inc_candidates_checked, s.balls_built);
+}
+
+}  // namespace
+
+void BenchReporter::Add(const std::string& config, double wall_ms,
+                        std::vector<std::pair<std::string, double>> extra,
+                        const MatchStats* stats) {
+  Row row;
+  row.config = config;
+  row.wall_ms = wall_ms;
+  row.extra = std::move(extra);
+  if (stats != nullptr) row.stats = *stats;
+  rows_.push_back(std::move(row));
+}
+
+std::string BenchReporter::OutputDir() {
+  return GetEnvString("QGP_BENCH_OUT", ".");
+}
+
+bool BenchReporter::Write() {
+  if (written_) return true;
+  written_ = true;
+  const std::string path = OutputDir() + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReporter: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"bench\": \"%s\",\n",
+               JsonEscape(name_).c_str());
+  std::fprintf(f, "  \"scale\": \"%s\",\n", BenchScaleName(GetBenchScale()));
+  std::fprintf(f, "  \"scale_factor\": ");
+  PrintJsonNumber(f, ScaleFactor());
+  std::fprintf(f, ",\n  \"git_rev\": \"%s\",\n",
+               JsonEscape(GetEnvString("QGP_GIT_REV", "unknown")).c_str());
+  std::fprintf(f, "  \"rows\": [");
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    std::fprintf(f, "%s\n    {\"config\": \"%s\", \"wall_ms\": ",
+                 i == 0 ? "" : ",", JsonEscape(r.config).c_str());
+    PrintJsonNumber(f, r.wall_ms);
+    if (!r.extra.empty()) {
+      std::fprintf(f, ", \"metrics\": {");
+      for (size_t k = 0; k < r.extra.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": ", k == 0 ? "" : ", ",
+                     JsonEscape(r.extra[k].first).c_str());
+        PrintJsonNumber(f, r.extra[k].second);
+      }
+      std::fprintf(f, "}");
+    }
+    if (r.stats.has_value()) {
+      std::fprintf(f, ", \"stats\": ");
+      PrintStats(f, *r.stats);
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
+}
 
 std::vector<Pattern> MakeSuite(const Graph& g, size_t count,
                                const PatternGenConfig& config, uint64_t seed,

@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
@@ -28,6 +30,49 @@ namespace qgp::bench {
 
 /// Workload multiplier from QGP_BENCH_SCALE.
 inline double ScaleFactor() { return BenchScaleFactor(GetBenchScale()); }
+
+/// Machine-readable benchmark record. Each bench binary owns one
+/// BenchReporter and Add()s a row per (config point, measurement); on
+/// destruction (or explicit Write()) the reporter emits
+/// `$QGP_BENCH_OUT/BENCH_<name>.json` carrying wall-ms per config point,
+/// optional MatchStats counters, the QGP_BENCH_SCALE setting and the git
+/// revision (from $QGP_GIT_REV, injected by tools/run_bench.sh). The
+/// paper-style stdout tables stay; this is the tracked trajectory.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+  ~BenchReporter() {
+    if (!written_) Write();
+  }
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Records one measurement. `config` identifies the point (e.g.
+  /// "pokec5/QMatch"), `wall_ms` its wall-clock cost; `extra` carries
+  /// further numeric metrics (answers, speedups, |V|); `stats`, when
+  /// given, is serialized counter by counter.
+  void Add(const std::string& config, double wall_ms,
+           std::vector<std::pair<std::string, double>> extra = {},
+           const MatchStats* stats = nullptr);
+
+  /// Writes BENCH_<name>.json; returns false on I/O failure. Idempotent.
+  bool Write();
+
+  /// Resolved output directory: $QGP_BENCH_OUT, or "." when unset.
+  static std::string OutputDir();
+
+ private:
+  struct Row {
+    std::string config;
+    double wall_ms = 0;
+    std::vector<std::pair<std::string, double>> extra;
+    std::optional<MatchStats> stats;
+  };
+
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 /// Pokec substitute at `users_base * ScaleFactor()` users.
 inline Graph MakePokecLike(size_t users_base) {

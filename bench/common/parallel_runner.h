@@ -87,17 +87,25 @@ inline void PrintAlgoRow(const std::string& label, const ParallelRun runs[4],
   std::printf("  %9zu\n", answers);
 }
 
-/// Runs the standard four algorithms over a suite and prints the row.
-/// Returns the full-PQMatch time (last column) for speedup summaries.
+/// Runs the standard four algorithms over a suite and prints the row;
+/// when `reporter` is given, also records one JSON row per algorithm
+/// ("<label>/<algo>"). Returns the full-PQMatch time (last column) for
+/// speedup summaries.
 inline double RunAndPrintRow(const std::string& label,
                              const std::vector<Pattern>& suite,
-                             const Partition& partition) {
+                             const Partition& partition,
+                             BenchReporter* reporter = nullptr) {
   ParallelRun runs[4];
   size_t answers = 0;
   auto algos = StandardParallelAlgos();
   for (size_t a = 0; a < algos.size(); ++a) {
     runs[a] = RunParallelSuite(algos[a], suite, partition);
     if (runs[a].answers > answers) answers = runs[a].answers;
+    if (reporter != nullptr) {
+      reporter->Add(label + "/" + algos[a].name, runs[a].seconds * 1e3,
+                    {{"answers", static_cast<double>(runs[a].answers)},
+                     {"ok", runs[a].ok ? 1.0 : 0.0}});
+    }
   }
   PrintAlgoRow(label, runs, answers);
   return runs[3].seconds;

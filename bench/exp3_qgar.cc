@@ -10,7 +10,8 @@
 namespace qgp::bench {
 namespace {
 
-void MineAndReport(const char* name, const Graph& g, double eta) {
+void MineAndReport(const char* name, const Graph& g, double eta,
+                   BenchReporter& reporter) {
   PrintGraphLine(name, g);
   MinerConfig mc;
   mc.min_confidence = eta;
@@ -26,6 +27,9 @@ void MineAndReport(const char* name, const Graph& g, double eta) {
   }
   std::printf("  mined %zu rules in %.2fs (eta=%.2f):\n", rules->size(),
               seconds, eta);
+  reporter.Add(std::string(name) + "/mining", seconds * 1e3,
+               {{"rules", static_cast<double>(rules->size())},
+                {"eta", eta}});
   for (const MinedRule& r : *rules) {
     PatternSize a = ComputePatternSize(r.rule.antecedent);
     PatternSize c = ComputePatternSize(r.rule.consequent);
@@ -43,10 +47,11 @@ int main() {
   PrintHeader("Exp-3: QGAR effectiveness (paper's R5-R7)",
               "mined rules + hand-written multi-edge-consequent rule",
               "QGARs capture behaviour conventional rules/GPARs cannot");
+  BenchReporter reporter("exp3_qgar");
   qgp::Graph pokec = MakePokecLike(3000);
-  MineAndReport("pokec-like", pokec, 0.5);
+  MineAndReport("pokec-like", pokec, 0.5, reporter);
   qgp::Graph yago = MakeYagoLike(6000);
-  MineAndReport("yago2-like", yago, 0.5);
+  MineAndReport("yago2-like", yago, 0.5, reporter);
 
   // R7-style: prize-winning professors who graduated students tend to
   // have advised a prize winner too — consequent with TWO edges, which
@@ -72,12 +77,17 @@ int main() {
   if (q1.ok() && q2.ok()) {
     r7.antecedent = std::move(q1).value();
     r7.consequent = std::move(q2).value();
-    auto res = qgp::GarMatch(r7, yago, 0.5);
+    double r7_seconds = 0;
+    qgp::Result<qgp::GarMatchResult> res = qgp::Status::Ok();
+    r7_seconds = TimeSeconds([&] { res = qgp::GarMatch(r7, yago, 0.5); });
     if (res.ok()) {
       std::printf("\nhand-written %s (multi-edge consequent):\n",
                   r7.name.c_str());
       std::printf("  support=%zu confidence=%.3f identified=%zu\n",
                   res->support, res->confidence, res->entities.size());
+      reporter.Add("yago2-like/R7-style", r7_seconds * 1e3,
+                   {{"support", static_cast<double>(res->support)},
+                    {"confidence", res->confidence}});
     }
   }
   return 0;

@@ -41,7 +41,8 @@ SeqRun RunSeq(const char* algo, const Graph& g,
   return run;
 }
 
-void Dataset(const char* name, const Graph& g, size_t vq, size_t eq) {
+void Dataset(const char* name, const Graph& g, size_t vq, size_t eq,
+             BenchReporter& reporter) {
   PrintGraphLine(name, g);
   std::vector<Pattern> suite =
       MakeSuite(g, 3, PatternConfig(vq, eq, 30.0, 1), 101,
@@ -53,6 +54,18 @@ void Dataset(const char* name, const Graph& g, size_t vq, size_t eq) {
   SeqRun en = RunSeq("Enum", g, suite);
   SeqRun qn = RunSeq("QMatchn", g, suite);
   SeqRun qm = RunSeq("QMatch", g, suite);
+  const std::string point =
+      std::string(name) + "(" + std::to_string(vq) + "," + std::to_string(eq) +
+      ")";
+  reporter.Add(point + "/Enum", en.seconds * 1e3,
+               {{"answers", static_cast<double>(en.answers)},
+                {"capped", en.capped ? 1.0 : 0.0}});
+  reporter.Add(point + "/QMatchn", qn.seconds * 1e3,
+               {{"answers", static_cast<double>(qn.answers)}});
+  reporter.Add(point + "/QMatch", qm.seconds * 1e3,
+               {{"answers", static_cast<double>(qm.answers)},
+                {"speedup_vs_enum",
+                 qm.seconds > 0 ? en.seconds / qm.seconds : 0.0}});
   std::printf("  %-22s  Enum %9.3fs%s | QMatchn %9.3fs | QMatch %9.3fs"
               "  (speedup vs Enum %.2fx, vs QMatchn %.2fx; answers %zu)\n",
               (std::string(name) + " (" + std::to_string(vq) + "," +
@@ -72,15 +85,16 @@ int main() {
               "|Q|=(5,7,30%,1) and (6,8,30%,1), sequential",
               "QMatch ~1.2-1.3x faster than QMatchn, ~2-2.6x faster than "
               "Enum");
+  BenchReporter reporter("fig8a_qmatch");
   qgp::Graph yago = MakeYagoLike(8000);
-  Dataset("yago2-like", yago, 5, 7);
+  Dataset("yago2-like", yago, 5, 7, reporter);
   qgp::Graph pokec = MakePokecLike(5000);
-  Dataset("pokec-like (pokec5)", pokec, 5, 7);
-  Dataset("pokec-like (pokec6)", pokec, 6, 8);
+  Dataset("pokec-like (pokec5)", pokec, 5, 7, reporter);
+  Dataset("pokec-like (pokec6)", pokec, 6, 8, reporter);
   qgp::Graph synthetic = MakeSynthetic(
       static_cast<size_t>(20000 * ScaleFactor()),
       static_cast<size_t>(40000 * ScaleFactor()));
-  Dataset("synthetic", synthetic, 5, 7);
+  Dataset("synthetic", synthetic, 5, 7, reporter);
   std::printf("(* = Enum hit the per-focus isomorphism cap)\n");
   return 0;
 }

@@ -21,6 +21,7 @@ int main() {
   }
   std::printf("patterns: %zu of size (6,8,30%%,1), radius <= 2\n\n",
               suite.size());
+  BenchReporter reporter("fig8b_vary_n_social");
   PrintAlgoHeader("n");
   double first_pq = 0, last_pq = 0;
   for (size_t n : {4, 8, 12, 16, 20}) {
@@ -32,7 +33,8 @@ int main() {
       std::printf("DPar failed: %s\n", part.status().ToString().c_str());
       return 1;
     }
-    double pq = RunAndPrintRow(std::to_string(n), suite, *part);
+    double pq = RunAndPrintRow("n=" + std::to_string(n), suite, *part,
+                               &reporter);
     if (n == 4) first_pq = pq;
     last_pq = pq;
   }

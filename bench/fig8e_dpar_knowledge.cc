@@ -10,6 +10,7 @@ int main() {
               "~2.5x faster from n=4 to 20 (d=2); skew >= 0.8 at n=8");
   qgp::Graph g = MakeYagoLike(8000);
   PrintGraphLine("yago2-like", g);
+  BenchReporter reporter("fig8e_dpar_knowledge");
   std::printf("\n%8s  %12s  %12s  %8s  %8s\n", "n", "d=2 (s)", "d=3 (s)",
               "skew d=2", "border");
   double first = 0, last = 0;
@@ -30,6 +31,12 @@ int main() {
     std::printf("%8zu  %12.3f  %12.3f  %8.2f  %8zu\n", n,
                 t2.ParallelSeconds(), t3.ParallelSeconds(), p2->Skew(),
                 p2->num_border_nodes);
+    reporter.Add("n=" + std::to_string(n) + "/d=2",
+                 t2.ParallelSeconds() * 1e3,
+                 {{"skew", p2->Skew()},
+                  {"border", static_cast<double>(p2->num_border_nodes)}});
+    reporter.Add("n=" + std::to_string(n) + "/d=3",
+                 t3.ParallelSeconds() * 1e3);
     if (n == 4) first = t2.ParallelSeconds();
     last = t2.ParallelSeconds();
   }

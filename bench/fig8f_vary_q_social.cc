@@ -15,6 +15,7 @@ int main() {
   dc.d = 2;
   auto part = qgp::DPar(g, dc);
   if (!part.ok()) return 1;
+  BenchReporter reporter("fig8f_vary_q_social");
   std::printf("\n");
   PrintAlgoHeader("|Q|");
   for (size_t vq : {4, 5, 6, 7, 8}) {
@@ -27,7 +28,7 @@ int main() {
     }
     char label[16];
     std::snprintf(label, sizeof(label), "(%zu,%zu)", vq, eq);
-    RunAndPrintRow(label, suite, *part);
+    RunAndPrintRow(label, suite, *part, &reporter);
   }
   return 0;
 }

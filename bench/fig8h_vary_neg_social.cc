@@ -18,6 +18,7 @@ int main() {
   dc.d = 2;
   auto part = qgp::DPar(g, dc);
   if (!part.ok()) return 1;
+  BenchReporter reporter("fig8h_vary_neg_social");
   std::printf("\n");
   PrintAlgoHeader("|E-Q|");
   for (size_t neg : {0, 1, 2, 3, 4}) {
@@ -27,7 +28,7 @@ int main() {
       std::printf("%8zu  pattern generation failed\n", neg);
       continue;
     }
-    RunAndPrintRow(std::to_string(neg), suite, *part);
+    RunAndPrintRow("neg=" + std::to_string(neg), suite, *part, &reporter);
   }
   return 0;
 }

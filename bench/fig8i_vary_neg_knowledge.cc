@@ -14,6 +14,7 @@ int main() {
   dc.d = 2;
   auto part = qgp::DPar(g, dc);
   if (!part.ok()) return 1;
+  BenchReporter reporter("fig8i_vary_neg_knowledge");
   std::printf("\n");
   PrintAlgoHeader("|E-Q|");
   for (size_t neg : {0, 1, 2, 3, 4}) {
@@ -23,7 +24,7 @@ int main() {
       std::printf("%8zu  pattern generation failed\n", neg);
       continue;
     }
-    RunAndPrintRow(std::to_string(neg), suite, *part);
+    RunAndPrintRow("neg=" + std::to_string(neg), suite, *part, &reporter);
   }
   return 0;
 }

@@ -22,6 +22,7 @@ int main() {
     std::printf("pattern generation failed\n");
     return 1;
   }
+  BenchReporter reporter("fig8k_vary_p_knowledge");
   std::printf("\n");
   PrintAlgoHeader("pa%");
   for (double pa : {10.0, 30.0, 50.0, 70.0, 90.0}) {
@@ -29,7 +30,8 @@ int main() {
     for (const qgp::Pattern& q : base) {
       suite.push_back(WithRatioPercent(q, pa));
     }
-    RunAndPrintRow(std::to_string(static_cast<int>(pa)), suite, *part);
+    RunAndPrintRow("pa=" + std::to_string(static_cast<int>(pa)), suite,
+                   *part, &reporter);
   }
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
               "PQMatch ~linear in |G|; 1.5/2.3/4.7x faster than "
               "PQMatchn/PQMatchs/PEnum");
   const double f = ScaleFactor();
+  BenchReporter reporter("fig8l_vary_g_synthetic");
   std::printf("\n");
   PrintAlgoHeader("|V|");
   for (size_t base : {10, 20, 30, 40, 50}) {
@@ -33,7 +34,7 @@ int main() {
       std::printf("%8zu  DPar failed\n", nv);
       continue;
     }
-    RunAndPrintRow(std::to_string(nv), suite, *part);
+    RunAndPrintRow("V=" + std::to_string(nv), suite, *part, &reporter);
   }
   return 0;
 }

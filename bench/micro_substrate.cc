@@ -42,10 +42,13 @@ BENCHMARK(BM_OutNeighborsWithLabel);
 void BM_HasEdge(benchmark::State& state) {
   const Graph& g = SharedGraph();
   Label follow = g.dict().Find("follow");
+  // Wrap at |V|, not a fixed 1000: tiny-scale graphs are smaller than
+  // that and a fixed modulus walks off the CSR offsets.
+  const VertexId n = static_cast<VertexId>(g.num_vertices());
   VertexId v = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(g.HasEdge(v, (v * 7 + 3) % 1000, follow));
-    v = (v + 1) % 1000;
+    benchmark::DoNotOptimize(g.HasEdge(v, (v * 7 + 3) % n, follow));
+    v = (v + 1) % n;
   }
 }
 BENCHMARK(BM_HasEdge);
@@ -98,4 +101,24 @@ BENCHMARK(BM_BasePartition)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace qgp::bench
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus default --benchmark_out flags so this binary also
+// drops a BENCH_micro_substrate.json (google-benchmark's JSON schema)
+// next to the BenchReporter files; explicit flags still win.
+int main(int argc, char** argv) {
+  std::string out_flag = "--benchmark_out=" +
+                         qgp::bench::BenchReporter::OutputDir() +
+                         "/BENCH_micro_substrate.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  // Defaults go right after argv[0] so explicit command-line flags,
+  // parsed later, take precedence.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

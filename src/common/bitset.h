@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace qgp {
@@ -55,6 +56,10 @@ class DynamicBitset {
     for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
     return total;
   }
+
+  /// Raw 64-bit words, for word-parallel set operations (see
+  /// IntersectWordsInto in common/vertex_set.h).
+  std::span<const uint64_t> words() const { return words_; }
 
   /// Order-sensitive content hash (FNV-1a over words); used to detect
   /// that two bitsets encode the same set, e.g. when validating cached

@@ -1,0 +1,179 @@
+#ifndef QGP_COMMON_VERTEX_SET_H_
+#define QGP_COMMON_VERTEX_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace qgp {
+
+/// Candidate-set kernels shared by the matcher hot paths: a touched-word
+/// bitset whose reset costs O(dirty) instead of O(universe), plus sorted
+/// intersection routines (two-pointer merge, galloping for skewed sizes,
+/// word-parallel AND for dense sets) with a size-ratio dispatch.
+///
+/// All sorted-run kernels take ascending uint32 runs (or runs of structs
+/// projected to uint32) and append ascending output; they never clear the
+/// output vector, so callers can reuse scratch buffers.
+
+/// Bitset over a large universe with O(touched-words) reset: Set/TestAndSet
+/// record which 64-bit words became nonzero so ResetTouched() only zeroes
+/// those. This is what makes a per-thread visited set reusable across
+/// thousands of per-focus ball extractions without O(|V|) clearing each
+/// time.
+class SparseBitset {
+ public:
+  /// Grows the universe to at least `n` bits; existing bits survive.
+  void EnsureUniverse(size_t n) {
+    if (n > size_) {
+      size_ = n;
+      words_.resize((n + 63) / 64, 0);
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1ULL; }
+
+  void Set(size_t i) {
+    uint64_t& w = words_[i >> 6];
+    if (w == 0) touched_.push_back(static_cast<uint32_t>(i >> 6));
+    w |= 1ULL << (i & 63);
+  }
+
+  /// Sets bit i; returns whether it was previously clear.
+  bool TestAndSet(size_t i) {
+    uint64_t& w = words_[i >> 6];
+    uint64_t mask = 1ULL << (i & 63);
+    if ((w & mask) != 0) return false;
+    if (w == 0) touched_.push_back(static_cast<uint32_t>(i >> 6));
+    w |= mask;
+    return true;
+  }
+
+  /// Clears bit i. The word stays on the touched list, so a later
+  /// ResetTouched() still works.
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// Zeroes every dirtied word; cost proportional to bits set since the
+  /// last reset, not to the universe.
+  void ResetTouched() {
+    for (uint32_t w : touched_) words_[w] = 0;
+    touched_.clear();
+  }
+
+  /// Raw words, for word-parallel intersection with another bitset.
+  std::span<const uint64_t> words() const { return words_; }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> touched_;
+};
+
+/// Sorted-run intersections iterate the smaller side and gallop in the
+/// larger once the size ratio passes this; below it a two-pointer merge
+/// has better constants.
+inline constexpr size_t kGallopRatio = 16;
+
+/// First position in [first, last) not less than `key`, found by
+/// exponential probing followed by binary search — O(log distance) when
+/// matches cluster near `first`, which is what makes galloping
+/// intersection O(small · log(large/small)).
+template <typename T, typename Proj>
+const T* GallopLowerBound(const T* first, const T* last, uint32_t key,
+                          Proj proj) {
+  const size_t len = static_cast<size_t>(last - first);
+  size_t bound = 1;
+  while (bound < len && proj(first[bound]) < key) bound <<= 1;
+  const size_t lo = bound >> 1;
+  const size_t hi = std::min(bound + 1, len);
+  return std::partition_point(first + lo, first + hi,
+                              [&](const T& x) { return proj(x) < key; });
+}
+
+inline const uint32_t* GallopLowerBound(const uint32_t* first,
+                                        const uint32_t* last, uint32_t key) {
+  return GallopLowerBound(first, last, key, [](uint32_t x) { return x; });
+}
+
+/// Intersection of a sorted projected run `a` with a sorted uint32 run
+/// `b`, appending the common values to `out` in ascending order.
+/// Dispatches on the size ratio: two-pointer merge for comparable sizes,
+/// galloping over the larger side when skewed by >= kGallopRatio.
+template <typename T, typename Proj>
+void IntersectSortedInto(std::span<const T> a, Proj proj,
+                         std::span<const uint32_t> b,
+                         std::vector<uint32_t>& out) {
+  if (a.empty() || b.empty()) return;
+  if (a.size() * kGallopRatio <= b.size()) {
+    // a much smaller: gallop through b.
+    const uint32_t* bit = b.data();
+    const uint32_t* bend = b.data() + b.size();
+    for (const T& x : a) {
+      const uint32_t key = proj(x);
+      bit = GallopLowerBound(bit, bend, key);
+      if (bit == bend) return;
+      if (*bit == key) out.push_back(key);
+    }
+    return;
+  }
+  if (b.size() * kGallopRatio <= a.size()) {
+    // b much smaller: gallop through a.
+    const T* ait = a.data();
+    const T* aend = a.data() + a.size();
+    for (uint32_t key : b) {
+      ait = GallopLowerBound(ait, aend, key, proj);
+      if (ait == aend) return;
+      if (proj(*ait) == key) out.push_back(key);
+    }
+    return;
+  }
+  // Comparable sizes: linear two-pointer merge.
+  const T* ait = a.data();
+  const T* aend = a.data() + a.size();
+  const uint32_t* bit = b.data();
+  const uint32_t* bend = b.data() + b.size();
+  while (ait != aend && bit != bend) {
+    const uint32_t av = proj(*ait);
+    if (av < *bit) {
+      ++ait;
+    } else if (*bit < av) {
+      ++bit;
+    } else {
+      out.push_back(av);
+      ++ait;
+      ++bit;
+    }
+  }
+}
+
+inline void IntersectSortedInto(std::span<const uint32_t> a,
+                                std::span<const uint32_t> b,
+                                std::vector<uint32_t>& out) {
+  IntersectSortedInto(a, [](uint32_t x) { return x; }, b, out);
+}
+
+/// Word-parallel AND of two bitset word arrays, decoding the surviving
+/// bits (ascending) into `out`. O(min-words); beats element-wise kernels
+/// once both sets are dense fractions of the universe.
+inline void IntersectWordsInto(std::span<const uint64_t> a,
+                               std::span<const uint64_t> b,
+                               std::vector<uint32_t>& out) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t w = a[i] & b[i];
+    while (w != 0) {
+      const int bit = __builtin_ctzll(w);
+      out.push_back(static_cast<uint32_t>((i << 6) + bit));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace qgp
+
+#endif  // QGP_COMMON_VERTEX_SET_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/vertex_set.h"
 #include "core/simulation.h"
 
 namespace qgp {
@@ -124,20 +125,42 @@ Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
 std::vector<std::vector<VertexId>> CandidateSpace::RestrictStratifiedToBall(
     std::span<const VertexId> sorted_ball) const {
   std::vector<std::vector<VertexId>> local(stratified_.size());
+  RestrictStratifiedToBall(sorted_ball, {}, &local);
+  return local;
+}
+
+void CandidateSpace::RestrictStratifiedToBall(
+    std::span<const VertexId> sorted_ball,
+    std::span<const uint64_t> ball_words,
+    std::vector<std::vector<VertexId>>* out) const {
+  out->resize(stratified_.size());
+  // A word-AND touches every word once; it wins over element-wise kernels
+  // roughly when the sets carry more elements than the universe has words.
+  const size_t universe_words = stratified_.empty()
+                                    ? 0
+                                    : stratified_bits_[0].words().size();
   for (PatternNodeId u = 0; u < stratified_.size(); ++u) {
     const std::vector<VertexId>& full = stratified_[u];
-    // Iterate over the smaller side.
-    if (sorted_ball.size() < full.size()) {
+    std::vector<VertexId>& dst = (*out)[u];
+    dst.clear();
+    if (!ball_words.empty() &&
+        full.size() + sorted_ball.size() > 2 * universe_words) {
+      IntersectWordsInto(stratified_bits_[u].words(), ball_words, dst);
+    } else if (full.size() * kGallopRatio <= sorted_ball.size() &&
+               !ball_words.empty()) {
+      // Sparse candidate set inside a big ball: probe the ball bitset.
+      for (VertexId v : full) {
+        if ((ball_words[v >> 6] >> (v & 63)) & 1ULL) dst.push_back(v);
+      }
+    } else if (sorted_ball.size() * kGallopRatio <= full.size()) {
+      // Tiny ball inside a big candidate set: probe the stratified bitset.
       for (VertexId v : sorted_ball) {
-        if (stratified_bits_[u].Test(v)) local[u].push_back(v);
+        if (stratified_bits_[u].Test(v)) dst.push_back(v);
       }
     } else {
-      std::set_intersection(full.begin(), full.end(), sorted_ball.begin(),
-                            sorted_ball.end(),
-                            std::back_inserter(local[u]));
+      IntersectSortedInto(std::span<const VertexId>(full), sorted_ball, dst);
     }
   }
-  return local;
 }
 
 }  // namespace qgp

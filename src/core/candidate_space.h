@@ -57,6 +57,18 @@ class CandidateSpace {
   std::vector<std::vector<VertexId>> RestrictStratifiedToBall(
       std::span<const VertexId> sorted_ball) const;
 
+  /// Scratch-arena variant: writes each Lπ(u) into `(*out)[u]` (reusing
+  /// its capacity) instead of allocating a fresh nest. `ball_words`, when
+  /// non-empty, is the ball's membership bitset as raw words (e.g. from
+  /// BallScratch::visited) and enables the dense word-AND path; pass an
+  /// empty span when no bitset is at hand. Kernel choice per pattern node
+  /// is a size-ratio heuristic: word-parallel AND when both sets are
+  /// dense fractions of |V|, bitset probing of the smaller side when the
+  /// sizes are skewed, galloping/linear merge otherwise.
+  void RestrictStratifiedToBall(std::span<const VertexId> sorted_ball,
+                                std::span<const uint64_t> ball_words,
+                                std::vector<std::vector<VertexId>>* out) const;
+
   size_t num_pattern_nodes() const { return stratified_.size(); }
 
  private:

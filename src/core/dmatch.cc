@@ -1,6 +1,7 @@
 #include "core/dmatch.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/generic_matcher.h"
 #include "graph/graph_algorithms.h"
@@ -13,8 +14,38 @@ inline uint64_t PairKey(VertexId a, VertexId b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+// Per-thread scratch arena for the per-focus verification loop. QMatch's
+// parallel map verifies thousands of focus candidates per pool thread;
+// everything |V|-sized or heap-backed that a verification needs lives
+// here and is recycled, so steady-state verification allocates nothing
+// proportional to the graph.
+struct DMatchScratch {
+  BallScratch ball;
+  std::vector<std::vector<VertexId>> local;  // Lπ(u) element storage
+  std::vector<std::unordered_set<uint64_t>> witnessed;       // per edge
+  std::vector<std::unordered_set<uint64_t>> failed;          // per edge
+  std::vector<std::unordered_map<VertexId, int8_t>> good_memo;  // per edge
+  std::unordered_map<uint64_t, double> score_memo;
+  GenericMatcher::Scratch answer_search;
+  GenericMatcher::Scratch witness_search;
+};
+
+DMatchScratch& ThreadScratch() {
+  static thread_local DMatchScratch scratch;
+  return scratch;
+}
+
+// Clears the first n containers, keeping their allocations (buckets,
+// capacity) for the next focus candidate.
+template <typename C>
+void ResizeAndClear(std::vector<C>& v, size_t n) {
+  if (v.size() < n) v.resize(n);
+  for (size_t i = 0; i < n; ++i) v[i].clear();
+}
+
 // Per-focus verification state: local candidate sets, witness memos and
-// quantifier goodness, evaluated lazily during the answer search.
+// quantifier goodness, evaluated lazily during the answer search. Buffers
+// are borrowed from the thread's DMatchScratch.
 class FocusVerifier {
  public:
   FocusVerifier(const Pattern& pattern, const Pattern& stratified,
@@ -24,7 +55,7 @@ class FocusVerifier {
                 size_t num_original_edges,
                 const std::vector<std::vector<PatternEdgeId>>& quantified_out,
                 const DynamicBitset& pattern_edge_labels, size_t ball_limit,
-                MatchStats* stats)
+                MatchStats* stats, DMatchScratch& scratch)
       : q_(pattern),
         strat_(stratified),
         g_(g),
@@ -35,7 +66,8 @@ class FocusVerifier {
         quantified_out_(quantified_out),
         pattern_edge_labels_(pattern_edge_labels),
         ball_limit_(ball_limit),
-        stats_(stats) {}
+        stats_(stats),
+        s_(scratch) {}
 
   bool Verify(VertexId vx, int radius, const FocusCache* warm,
               FocusCache* cache_out) {
@@ -45,46 +77,59 @@ class FocusVerifier {
     // edges (§5.1). Hubs can make the ball cover most of G; past the
     // limit the verifier falls back to global candidate sets, which is
     // equally sound (the ball only narrows the search).
+    std::span<const uint64_t> ball_words;
     if (warm != nullptr && warm->ball_complete && warm->radius >= radius &&
         warm->ball_filter_fingerprint == pattern_edge_labels_.Fingerprint() &&
         !warm->ball.empty()) {
       ball_ = warm->ball;
       ball_complete_ = true;
     } else {
-      ball_ = KHopBallFiltered(g_, vx, radius, pattern_edge_labels_,
-                               ball_limit_, &ball_complete_);
+      ball_ = KHopBallFilteredScratch(g_, vx, radius, pattern_edge_labels_,
+                                      ball_limit_, &s_.ball, &ball_complete_);
+      // The extraction's visited set holds exactly the ball members and
+      // doubles as the membership bitset for the restriction kernels.
+      if (ball_complete_) ball_words = s_.ball.visited.words();
       if (stats_ != nullptr) ++stats_->balls_built;
     }
     // (2) Seed memos (before any early return: Finish reads them).
-    witnessed_.assign(q_.num_edges(), {});
-    failed_.assign(q_.num_edges(), {});
+    ResizeAndClear(s_.witnessed, q_.num_edges());
+    ResizeAndClear(s_.failed, q_.num_edges());
     if (warm != nullptr && !warm->failed_by_original_edge.empty()) {
       for (PatternEdgeId e = 0; e < q_.num_edges(); ++e) {
         PatternEdgeId orig = edge_to_original_[e];
         if (orig < warm->failed_by_original_edge.size()) {
-          failed_[e] = warm->failed_by_original_edge[orig];
+          s_.failed[e] = warm->failed_by_original_edge[orig];
         }
       }
     }
-    good_memo_.assign(q_.num_edges(), {});
-    score_memo_.clear();
-    // (3) Local stratified candidate sets Lπ(u).
+    ResizeAndClear(s_.good_memo, q_.num_edges());
+    s_.score_memo.clear();
+    // (3) Local stratified candidate sets Lπ(u), as views: restricted
+    // sets point into the scratch arena, the global fallback points at
+    // the candidate space itself (no copy either way).
+    local_views_.assign(q_.num_nodes(), {});
     if (ball_complete_) {
-      local_ = cs_.RestrictStratifiedToBall(ball_);
-    } else {
-      local_.resize(q_.num_nodes());
+      cs_.RestrictStratifiedToBall(ball_, ball_words, &s_.local);
       for (PatternNodeId u = 0; u < q_.num_nodes(); ++u) {
-        local_[u] = cs_.stratified(u);
+        local_views_[u] = s_.local[u];
+      }
+    } else {
+      for (PatternNodeId u = 0; u < q_.num_nodes(); ++u) {
+        local_views_[u] = cs_.stratified(u);
       }
     }
-    local_[q_.focus()].assign(1, vx);
-    for (const std::vector<VertexId>& l : local_) {
+    focus_pin_ = vx;
+    local_views_[q_.focus()] = std::span<const VertexId>(&focus_pin_, 1);
+    for (std::span<const VertexId> l : local_views_) {
       if (l.empty()) return Finish(false, radius, cache_out);
     }
 
     // (4) Answer search: an embedding of Qπ pinned at vx whose every node
-    // is quantifier-good.
-    GenericMatcher matcher(strat_, g_, local_);
+    // is quantifier-good. Witness searches run NESTED inside this
+    // search's accept callback, so they need their own matcher (and
+    // scratch); witness searches themselves never nest.
+    answer_matcher_.emplace(strat_, g_, local_views_, &s_.answer_search);
+    witness_matcher_.emplace(strat_, g_, local_views_, &s_.witness_search);
     std::pair<PatternNodeId, VertexId> pin{q_.focus(), vx};
     GenericMatcher::Accept accept = [this](PatternNodeId u, VertexId v) {
       return IsGood(u, v);
@@ -97,7 +142,7 @@ class FocusVerifier {
     sopts.accept = &accept;
     if (options_.use_potential_ordering) sopts.score = &score;
     sopts.stats = stats_;
-    bool found = matcher.FindAny(sopts, &witness_);
+    bool found = answer_matcher_->FindAny(sopts, &witness_);
     return Finish(found, radius, cache_out);
   }
 
@@ -108,13 +153,13 @@ class FocusVerifier {
       cache_out->ball_complete = ball_complete_;
       cache_out->ball_filter_fingerprint =
           pattern_edge_labels_.Fingerprint();
-      if (ball_complete_) cache_out->ball = std::move(ball_);
+      if (ball_complete_) cache_out->ball.assign(ball_.begin(), ball_.end());
       cache_out->failed_by_original_edge.assign(num_original_edges_, {});
       for (PatternEdgeId e = 0; e < q_.num_edges(); ++e) {
         PatternEdgeId orig = edge_to_original_[e];
         if (orig < num_original_edges_) {
           auto& dst = cache_out->failed_by_original_edge[orig];
-          for (uint64_t k : failed_[e]) dst.insert(k);
+          for (uint64_t k : s_.failed[e]) dst.insert(k);
         }
       }
       cache_out->witness = found ? witness_ : std::vector<VertexId>{};
@@ -123,7 +168,7 @@ class FocusVerifier {
   }
 
   bool InLocal(PatternNodeId u, VertexId v) const {
-    const std::vector<VertexId>& l = local_[u];
+    const std::span<const VertexId> l = local_views_[u];
     return std::binary_search(l.begin(), l.end(), v);
   }
 
@@ -133,25 +178,24 @@ class FocusVerifier {
   // exploits across checks.
   bool WitnessPair(PatternEdgeId e, VertexId v, VertexId v2) {
     const uint64_t key = PairKey(v, v2);
-    if (witnessed_[e].count(key) != 0) return true;
-    if (failed_[e].count(key) != 0) return false;
+    if (s_.witnessed[e].count(key) != 0) return true;
+    if (s_.failed[e].count(key) != 0) return false;
     if (stats_ != nullptr) ++stats_->witness_searches;
     const PatternEdge& pe = q_.edge(e);
-    GenericMatcher matcher(strat_, g_, local_);
     std::pair<PatternNodeId, VertexId> pins[3] = {
         {q_.focus(), vx_}, {pe.src, v}, {pe.dst, v2}};
     GenericMatcher::SearchOptions sopts;
     sopts.pins = pins;
     sopts.stats = stats_;
-    std::vector<VertexId> h;
-    if (matcher.FindAny(sopts, &h)) {
+    if (witness_matcher_->FindAny(sopts, &witness_buf_)) {
       for (PatternEdgeId e2 = 0; e2 < q_.num_edges(); ++e2) {
         const PatternEdge& pe2 = q_.edge(e2);
-        witnessed_[e2].insert(PairKey(h[pe2.src], h[pe2.dst]));
+        s_.witnessed[e2].insert(
+            PairKey(witness_buf_[pe2.src], witness_buf_[pe2.dst]));
       }
       return true;
     }
-    failed_[e].insert(key);
+    s_.failed[e].insert(key);
     return false;
   }
 
@@ -180,7 +224,7 @@ class FocusVerifier {
   // Quantifier goodness of (u, v), memoized per edge.
   bool IsGood(PatternNodeId u, VertexId v) {
     for (PatternEdgeId e : quantified_out_[u]) {
-      auto [it, inserted] = good_memo_[e].try_emplace(v, 0);
+      auto [it, inserted] = s_.good_memo[e].try_emplace(v, 0);
       if (inserted) it->second = CountSatisfies(e, v) ? 1 : -1;
       if (it->second < 0) return false;
     }
@@ -191,8 +235,8 @@ class FocusVerifier {
   // well above their thresholds are tried first.
   double Potential(PatternNodeId u, VertexId v) {
     const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
-    auto it = score_memo_.find(key);
-    if (it != score_memo_.end()) return it->second;
+    auto it = s_.score_memo.find(key);
+    if (it != s_.score_memo.end()) return it->second;
     double score = 0.0;
     for (PatternEdgeId e : quantified_out_[u]) {
       const PatternEdge& pe = q_.edge(e);
@@ -205,7 +249,7 @@ class FocusVerifier {
       }
       score += static_cast<double>(ub) / static_cast<double>(*needed);
     }
-    score_memo_.emplace(key, score);
+    s_.score_memo.emplace(key, score);
     return score;
   }
 
@@ -220,16 +264,17 @@ class FocusVerifier {
   const DynamicBitset& pattern_edge_labels_;
   const size_t ball_limit_;
   MatchStats* stats_;
+  DMatchScratch& s_;
 
   VertexId vx_ = kInvalidVertex;
-  std::vector<VertexId> ball_;
+  VertexId focus_pin_ = kInvalidVertex;  // storage behind the focus view
+  std::span<const VertexId> ball_;       // into scratch or the warm cache
   bool ball_complete_ = true;
-  std::vector<std::vector<VertexId>> local_;
-  std::vector<std::unordered_set<uint64_t>> witnessed_;  // per edge
-  std::vector<std::unordered_set<uint64_t>> failed_;     // per edge
-  std::vector<std::unordered_map<VertexId, int8_t>> good_memo_;  // per edge
-  std::unordered_map<uint64_t, double> score_memo_;
-  std::vector<VertexId> witness_;
+  std::vector<std::span<const VertexId>> local_views_;
+  std::optional<GenericMatcher> answer_matcher_;
+  std::optional<GenericMatcher> witness_matcher_;
+  std::vector<VertexId> witness_;      // the all-good answer embedding
+  std::vector<VertexId> witness_buf_;  // pinned-pair search result
 };
 
 }  // namespace
@@ -291,7 +336,7 @@ bool PositiveEvaluator::VerifyFocus(VertexId vx, const FocusCache* warm,
   FocusVerifier verifier(pattern_, stratified_, *g_, cs_, options_,
                          edge_to_original_, num_original_edges_,
                          quantified_out_, pattern_edge_labels_, ball_limit_,
-                         stats);
+                         stats, ThreadScratch());
   if (stats != nullptr) ++stats->focus_candidates_checked;
   return verifier.Verify(vx, radius_, warm, cache_out);
 }

@@ -39,12 +39,14 @@ Result<AnswerSet> EnumMatcher::EvaluatePositive(
 
   AnswerSet answers;
   // Per focus candidate: enumerate every embedding, then check counters —
-  // the "enumerate first, verify afterwards" discipline of Enum.
+  // the "enumerate first, verify afterwards" discipline of Enum. One
+  // matcher serves every focus candidate; its working buffers are reused
+  // across Enumerate calls.
   std::vector<std::vector<VertexId>> embeddings;
+  GenericMatcher matcher(stratified, g, candidate_sets);
   for (VertexId vx : focus_list) {
     if (stats != nullptr) ++stats->focus_candidates_checked;
     embeddings.clear();
-    GenericMatcher matcher(stratified, g, candidate_sets);
     std::pair<PatternNodeId, VertexId> pin{xo, vx};
     GenericMatcher::SearchOptions sopts;
     sopts.pins = {&pin, 1};

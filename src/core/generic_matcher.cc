@@ -7,7 +7,18 @@ namespace qgp {
 GenericMatcher::GenericMatcher(
     const Pattern& pattern, const Graph& g,
     const std::vector<std::vector<VertexId>>& candidates)
-    : q_(pattern), g_(g), candidates_(candidates) {}
+    : q_(pattern), g_(g), scratch_(&own_scratch_) {
+  candidates_.reserve(candidates.size());
+  for (const std::vector<VertexId>& c : candidates) candidates_.emplace_back(c);
+}
+
+GenericMatcher::GenericMatcher(const Pattern& pattern, const Graph& g,
+                               std::vector<std::span<const VertexId>> candidates,
+                               Scratch* scratch)
+    : q_(pattern),
+      g_(g),
+      candidates_(std::move(candidates)),
+      scratch_(scratch != nullptr ? scratch : &own_scratch_) {}
 
 std::vector<GenericMatcher::Step> GenericMatcher::PlanOrder(
     std::span<const std::pair<PatternNodeId, VertexId>> pins) const {
@@ -111,23 +122,26 @@ bool GenericMatcher::Extend(size_t depth, const SearchOptions& options,
   }
   const Step& step = plan_[depth];
   const PatternNodeId u = step.u;
-  const std::vector<VertexId>& cand = candidates_[u];
+  const std::span<const VertexId> cand = candidates_[u];
 
   auto try_vertex = [&](VertexId v) {
-    if (used_[v]) return;
+    if (scratch_->used.Test(v)) return;
     if (options.stats != nullptr) ++options.stats->search_extensions;
     if (!Consistent(u, v)) return;
     if (options.accept != nullptr && !(*options.accept)(u, v)) return;
     assignment_[u] = v;
-    used_[v] = 1;
+    scratch_->used.Set(v);
     Extend(depth + 1, options, cb);
-    used_[v] = 0;
+    scratch_->used.Clear(v);
     assignment_[u] = kInvalidVertex;
   };
 
   // Collect this step's candidate vertices: via the anchor adjacency when
-  // available (IsExtend over Me(v)), else the full candidate list.
-  std::vector<VertexId> frontier;
+  // available (IsExtend over Me(v)), else the full candidate list. The
+  // label slice is sorted by endpoint, so this is a sorted-run
+  // intersection — galloping when one side dwarfs the other.
+  std::vector<VertexId>& frontier = scratch_->frontier_bufs[depth];
+  frontier.clear();
   if (step.anchor_edge != kInvalidPatternId) {
     const PatternEdge& ae = q_.edge(step.anchor_edge);
     VertexId anchor_v =
@@ -135,12 +149,8 @@ bool GenericMatcher::Extend(size_t depth, const SearchOptions& options,
     std::span<const Neighbor> adj =
         step.anchor_outgoing ? g_.OutNeighborsWithLabel(anchor_v, ae.label)
                              : g_.InNeighborsWithLabel(anchor_v, ae.label);
-    frontier.reserve(adj.size());
-    for (const Neighbor& n : adj) {
-      if (std::binary_search(cand.begin(), cand.end(), n.v)) {
-        frontier.push_back(n.v);
-      }
-    }
+    IntersectSortedInto(adj, [](const Neighbor& n) { return n.v; }, cand,
+                        frontier);
   } else {
     frontier.assign(cand.begin(), cand.end());
   }
@@ -162,7 +172,9 @@ bool GenericMatcher::Enumerate(const SearchOptions& options,
                                const Callback& cb) {
   const size_t nq = q_.num_nodes();
   assignment_.assign(nq, kInvalidVertex);
-  used_.assign(g_.num_vertices(), 0);
+  scratch_->used.EnsureUniverse(g_.num_vertices());
+  scratch_->used.ResetTouched();
+  if (scratch_->frontier_bufs.size() < nq) scratch_->frontier_bufs.resize(nq);
   found_ = 0;
   stopped_ = false;
   overflow_ = false;
@@ -170,14 +182,14 @@ bool GenericMatcher::Enumerate(const SearchOptions& options,
   // Validate and apply pins.
   for (const auto& [u, v] : options.pins) {
     if (u >= nq || v >= g_.num_vertices()) return true;  // vacuous
-    if (!std::binary_search(candidates_[u].begin(), candidates_[u].end(),
-                            v)) {
+    const std::span<const VertexId> cand = candidates_[u];
+    if (!std::binary_search(cand.begin(), cand.end(), v)) {
       return true;  // pin outside candidates: no embeddings
     }
     if (assignment_[u] != kInvalidVertex && assignment_[u] != v) return true;
-    if (assignment_[u] == kInvalidVertex && used_[v]) return true;
+    if (assignment_[u] == kInvalidVertex && scratch_->used.Test(v)) return true;
     assignment_[u] = v;
-    used_[v] = 1;
+    scratch_->used.Set(v);
   }
   // Mutual consistency of pins (edges among pinned nodes).
   for (const auto& [u, v] : options.pins) {
@@ -201,9 +213,7 @@ bool GenericMatcher::Enumerate(const SearchOptions& options,
     start = prefix;
   }
   // Temporarily rebase the plan so Extend() starts at the right depth.
-  std::vector<Step> suffix(plan_.begin() + static_cast<ptrdiff_t>(start),
-                           plan_.end());
-  plan_ = std::move(suffix);
+  plan_.erase(plan_.begin(), plan_.begin() + static_cast<ptrdiff_t>(start));
   Extend(0, options, cb);
   return !overflow_;
 }

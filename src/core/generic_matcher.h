@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/vertex_set.h"
 #include "core/match_types.h"
 #include "core/pattern.h"
 #include "graph/graph.h"
@@ -25,10 +26,25 @@ namespace qgp {
 ///    goodness, evaluated lazily),
 ///  * potential-score child ordering (Appendix B selection rule).
 ///
+/// Instances are reusable: Enumerate/FindAny may be called any number of
+/// times (DMatch runs every witness search of a focus through one
+/// matcher). The injectivity set and per-depth frontier buffers are
+/// retained across calls, so per-call setup costs O(|Q| + work done), not
+/// O(|V|).
+///
 /// Quantifiers on the pattern are ignored here — callers pass stratified
 /// topology plus whatever candidate sets encode their pruning.
 class GenericMatcher {
  public:
+  /// The matcher's |V|-sized working buffers (injectivity set, per-depth
+  /// frontiers). A caller that builds matchers in a loop (DMatch: one per
+  /// focus candidate) passes the same arena to each so the buffers are
+  /// allocated once per thread, not once per focus.
+  struct Scratch {
+    SparseBitset used;
+    std::vector<std::vector<VertexId>> frontier_bufs;
+  };
+
   /// Return false to stop the enumeration early.
   using Callback = std::function<bool(const std::vector<VertexId>&)>;
   /// Extension predicate: may (u, v) appear in an embedding? Evaluated
@@ -47,10 +63,19 @@ class GenericMatcher {
     uint64_t max_isomorphisms = 0;
   };
 
-  /// `candidates[u]` must be sorted ascending; the engine binary-searches
-  /// them for membership when extending along adjacency lists.
+  /// `candidates[u]` must be sorted ascending; the engine intersects them
+  /// with adjacency lists when extending. The referenced vectors must
+  /// outlive the matcher.
   GenericMatcher(const Pattern& pattern, const Graph& g,
                  const std::vector<std::vector<VertexId>>& candidates);
+
+  /// Span-based variant for callers that assemble per-focus candidate
+  /// views without copying (DMatch's local sets). The spans' underlying
+  /// storage — and `scratch`, when given — must stay alive and unmoved
+  /// while the matcher is in use.
+  GenericMatcher(const Pattern& pattern, const Graph& g,
+                 std::vector<std::span<const VertexId>> candidates,
+                 Scratch* scratch = nullptr);
 
   /// Enumerates embeddings; invokes `cb` for each complete assignment
   /// (indexed by pattern node). Returns true if the enumeration ran to
@@ -78,12 +103,13 @@ class GenericMatcher {
 
   const Pattern& q_;
   const Graph& g_;
-  const std::vector<std::vector<VertexId>>& candidates_;
+  std::vector<std::span<const VertexId>> candidates_;
 
-  // Search state (single-threaded per instance).
+  // Search state (single-threaded per instance), reused across calls.
   std::vector<Step> plan_;
   std::vector<VertexId> assignment_;
-  std::vector<char> used_;  // injectivity; indexed by graph vertex
+  Scratch own_scratch_;          // used when no external arena was given
+  Scratch* scratch_ = nullptr;   // &own_scratch_ or the caller's arena
   uint64_t found_ = 0;
   bool stopped_ = false;
   bool overflow_ = false;

@@ -41,16 +41,32 @@ std::vector<VertexId> KHopBallFiltered(const Graph& g, VertexId src,
                                        int depth,
                                        const DynamicBitset& edge_labels,
                                        size_t max_size, bool* complete) {
+  BallScratch scratch;
+  std::span<const VertexId> ball = KHopBallFilteredScratch(
+      g, src, depth, edge_labels, max_size, &scratch, complete);
+  return {ball.begin(), ball.end()};
+}
+
+std::span<const VertexId> KHopBallFilteredScratch(
+    const Graph& g, VertexId src, int depth, const DynamicBitset& edge_labels,
+    size_t max_size, BallScratch* scratch, bool* complete) {
   *complete = true;
-  std::vector<VertexId> ball;
+  SparseBitset& visited = scratch->visited;
+  std::vector<VertexId>& ball = scratch->ball;
+  std::vector<VertexId>& frontier = scratch->frontier;
+  std::vector<VertexId>& next = scratch->next;
+  visited.EnsureUniverse(g.num_vertices());
+  visited.ResetTouched();
+  ball.clear();
+  frontier.clear();
+  next.clear();
   if (src >= g.num_vertices()) return ball;
-  DynamicBitset visited(g.num_vertices());
   visited.Set(src);
   ball.push_back(src);
-  std::vector<VertexId> frontier{src};
+  frontier.push_back(src);
   bool overflow = false;
   for (int hop = 0; hop < depth && !frontier.empty(); ++hop) {
-    std::vector<VertexId> next;
+    next.clear();
     for (VertexId v : frontier) {
       auto expand = [&](std::span<const Neighbor> nbrs) {
         for (const Neighbor& n : nbrs) {
@@ -74,7 +90,7 @@ std::vector<VertexId> KHopBallFiltered(const Graph& g, VertexId src,
         return ball;  // partial; caller falls back to global sets
       }
     }
-    frontier = std::move(next);
+    std::swap(frontier, next);
   }
   std::sort(ball.begin(), ball.end());
   return ball;

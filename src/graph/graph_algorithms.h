@@ -8,6 +8,7 @@
 
 #include "common/bitset.h"
 #include "common/result.h"
+#include "common/vertex_set.h"
 #include "graph/graph.h"
 
 namespace qgp {
@@ -28,6 +29,25 @@ std::vector<VertexId> KHopBallFiltered(const Graph& g, VertexId src,
                                        int depth,
                                        const DynamicBitset& edge_labels,
                                        size_t max_size, bool* complete);
+
+/// Reusable buffers for repeated ball extractions (one arena per thread in
+/// DMatch's per-focus loop). The visited set resets in O(|previous ball|),
+/// so per-focus cost no longer carries an O(|V|) allocate-and-zero term.
+struct BallScratch {
+  SparseBitset visited;
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  std::vector<VertexId> ball;
+};
+
+/// Scratch-arena variant of KHopBallFiltered. Fills `scratch->ball`
+/// (sorted ascending) and returns a span over it. After the call — and
+/// until `scratch` is next used — `scratch->visited` holds exactly the
+/// ball members, usable as an O(1) membership filter or as a word array
+/// for dense intersection.
+std::span<const VertexId> KHopBallFilteredScratch(
+    const Graph& g, VertexId src, int depth, const DynamicBitset& edge_labels,
+    size_t max_size, BallScratch* scratch, bool* complete);
 
 /// |KHopBall| plus the number of edges among ball members — the paper's
 /// |Nd(v)| counts the induced subgraph size (nodes + edges).

@@ -1,0 +1,149 @@
+// Unit tests for the candidate-set kernels: SparseBitset touched-word
+// reset semantics, galloping lower bound, and the intersection routines
+// across all dispatch branches (merge, gallop-either-side, word-AND),
+// checked against std::set_intersection on randomized runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <random>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/vertex_set.h"
+
+namespace qgp {
+namespace {
+
+std::vector<uint32_t> RandomSortedRun(std::mt19937& rng, size_t n,
+                                      uint32_t universe) {
+  std::uniform_int_distribution<uint32_t> dist(0, universe - 1);
+  std::vector<uint32_t> run;
+  run.reserve(n);
+  for (size_t i = 0; i < n; ++i) run.push_back(dist(rng));
+  std::sort(run.begin(), run.end());
+  run.erase(std::unique(run.begin(), run.end()), run.end());
+  return run;
+}
+
+std::vector<uint32_t> Reference(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(SparseBitsetTest, SetTestClearAndTouchedReset) {
+  SparseBitset bits;
+  bits.EnsureUniverse(1000);
+  EXPECT_FALSE(bits.Test(0));
+  EXPECT_TRUE(bits.TestAndSet(0));
+  EXPECT_FALSE(bits.TestAndSet(0));
+  bits.Set(999);
+  bits.Set(64);
+  EXPECT_TRUE(bits.Test(64));
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Test(64));
+  // Clear() keeps the word on the touched list: after setting another
+  // bit in the same word, reset must still wipe it.
+  bits.Set(65);
+  bits.ResetTouched();
+  for (size_t i : {0, 64, 65, 999}) EXPECT_FALSE(bits.Test(i));
+  // Reuse after reset behaves like a fresh bitset.
+  EXPECT_TRUE(bits.TestAndSet(999));
+}
+
+TEST(SparseBitsetTest, EnsureUniverseGrowsAndPreserves) {
+  SparseBitset bits;
+  bits.EnsureUniverse(10);
+  bits.Set(7);
+  bits.EnsureUniverse(5000);
+  EXPECT_EQ(bits.size(), 5000u);
+  EXPECT_TRUE(bits.Test(7));
+  EXPECT_FALSE(bits.Test(4999));
+  bits.EnsureUniverse(100);  // never shrinks
+  EXPECT_EQ(bits.size(), 5000u);
+}
+
+TEST(GallopLowerBoundTest, MatchesStdLowerBound) {
+  std::mt19937 rng(7);
+  std::vector<uint32_t> run = RandomSortedRun(rng, 400, 5000);
+  for (uint32_t key : {0u, 1u, 2500u, 4999u, 6000u}) {
+    const uint32_t* expect =
+        std::lower_bound(run.data(), run.data() + run.size(), key);
+    const uint32_t* got =
+        GallopLowerBound(run.data(), run.data() + run.size(), key);
+    EXPECT_EQ(got, expect) << "key " << key;
+  }
+  for (uint32_t v : run) {
+    EXPECT_EQ(*GallopLowerBound(run.data(), run.data() + run.size(), v), v);
+  }
+  // Empty run.
+  EXPECT_EQ(GallopLowerBound(run.data(), run.data(), 3u), run.data());
+}
+
+TEST(IntersectSortedTest, AllDispatchBranchesMatchReference) {
+  std::mt19937 rng(13);
+  // (|a|, |b|) chosen to hit: both empty, merge (comparable), gallop
+  // through b (a tiny), gallop through a (b tiny).
+  const std::pair<size_t, size_t> shapes[] = {
+      {0, 50},   {50, 0},    {300, 350},  {5, 4000},
+      {4000, 5}, {1, 1},     {64, 4096},  {4096, 64},
+  };
+  for (auto [na, nb] : shapes) {
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<uint32_t> a = RandomSortedRun(rng, na, 8192);
+      std::vector<uint32_t> b = RandomSortedRun(rng, nb, 8192);
+      std::vector<uint32_t> out;
+      IntersectSortedInto(a, b, out);
+      EXPECT_EQ(out, Reference(a, b)) << "|a|=" << na << " |b|=" << nb;
+    }
+  }
+}
+
+TEST(IntersectSortedTest, ProjectedVariantUsesProjection) {
+  struct Entry {
+    uint32_t id;
+    int payload;
+  };
+  std::vector<Entry> a = {{2, 9}, {5, 9}, {9, 9}, {11, 9}};
+  std::vector<uint32_t> b = {1, 5, 9, 12};
+  std::vector<uint32_t> out;
+  IntersectSortedInto(std::span<const Entry>(a),
+                      [](const Entry& e) { return e.id; },
+                      std::span<const uint32_t>(b), out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{5, 9}));
+}
+
+TEST(IntersectWordsTest, MatchesElementwiseReference) {
+  std::mt19937 rng(29);
+  const size_t universe = 2048;
+  std::vector<uint32_t> a = RandomSortedRun(rng, 700, universe);
+  std::vector<uint32_t> b = RandomSortedRun(rng, 900, universe);
+  DynamicBitset abits(universe);
+  DynamicBitset bbits(universe);
+  for (uint32_t v : a) abits.Set(v);
+  for (uint32_t v : b) bbits.Set(v);
+  std::vector<uint32_t> out;
+  IntersectWordsInto(abits.words(), bbits.words(), out);
+  EXPECT_EQ(out, Reference(a, b));
+  // Mismatched word-array lengths intersect over the common prefix.
+  DynamicBitset longer(universe * 4);
+  for (uint32_t v : b) longer.Set(v);
+  longer.Set(universe * 4 - 1);  // outside a's universe: must not appear
+  out.clear();
+  IntersectWordsInto(abits.words(), longer.words(), out);
+  EXPECT_EQ(out, Reference(a, b));
+}
+
+TEST(IntersectSortedTest, OutputAppendsWithoutClearing) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {2, 3, 4};
+  std::vector<uint32_t> out = {77};
+  IntersectSortedInto(a, b, out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{77, 2, 3}));
+}
+
+}  // namespace
+}  // namespace qgp

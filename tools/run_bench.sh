@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# One-command benchmark run: configure + build Release, execute every
+# bench binary at the chosen QGP_BENCH_SCALE, collect the per-binary
+# BENCH_<name>.json files (see bench/common/bench_common.h:BenchReporter)
+# into an output directory, validate that each parses, and aggregate them
+# into BENCH_SUMMARY.json — the machine-readable performance trajectory.
+#
+# Usage: tools/run_bench.sh [-s tiny|small|medium|large] [-o outdir]
+#                           [-f filter] [-j jobs]
+#   -s  benchmark scale (default: tiny)
+#   -o  output directory for BENCH_*.json (default: bench-results/<scale>)
+#   -f  only run bench binaries whose name contains this substring
+#   -j  parallel build jobs (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE=tiny
+OUTDIR=""
+FILTER=""
+JOBS="$(nproc)"
+while getopts "s:o:f:j:h" opt; do
+  case "$opt" in
+    s) SCALE="$OPTARG" ;;
+    o) OUTDIR="$OPTARG" ;;
+    f) FILTER="$OPTARG" ;;
+    j) JOBS="$OPTARG" ;;
+    h)
+      grep '^#' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+[ -n "$OUTDIR" ] || OUTDIR="bench-results/$SCALE"
+
+case "$SCALE" in
+  tiny | small | medium | large) ;;
+  *)
+    echo "error: unknown scale '$SCALE'" >&2
+    exit 2
+    ;;
+esac
+
+BUILD_DIR=build
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target all >/dev/null
+
+mkdir -p "$OUTDIR"
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export QGP_BENCH_SCALE="$SCALE" QGP_BENCH_OUT="$OUTDIR" QGP_GIT_REV="$GIT_REV"
+
+echo "== bench suite: scale=$SCALE rev=$GIT_REV out=$OUTDIR"
+failures=0
+ran=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  case "$name" in
+    *"$FILTER"*) ;;
+    *) continue ;;
+  esac
+  echo "-- $name"
+  if ! "$bin" >"$OUTDIR/$name.log" 2>&1; then
+    echo "   FAILED (see $OUTDIR/$name.log)" >&2
+    failures=$((failures + 1))
+  fi
+  ran=$((ran + 1))
+done
+[ "$ran" -gt 0 ] || {
+  echo "error: no bench binary matched filter '$FILTER'" >&2
+  exit 1
+}
+
+# Validate every BENCH_*.json and fold them into BENCH_SUMMARY.json.
+python3 - "$OUTDIR" "$SCALE" "$GIT_REV" <<'EOF'
+import glob, json, os, sys
+
+outdir, scale, rev = sys.argv[1:4]
+files = sorted(glob.glob(os.path.join(outdir, "BENCH_*.json")))
+files = [f for f in files if os.path.basename(f) != "BENCH_SUMMARY.json"]
+if not files:
+    sys.exit("error: no BENCH_*.json emitted")
+summary = {"scale": scale, "git_rev": rev, "benches": {}}
+bad = 0
+for path in files:
+    name = os.path.basename(path)
+    try:
+        with open(path) as fh:
+            summary["benches"][name] = json.load(fh)
+    except json.JSONDecodeError as exc:
+        print(f"error: {name} does not parse: {exc}", file=sys.stderr)
+        bad += 1
+if bad:
+    sys.exit(f"error: {bad} of {len(files)} BENCH files failed validation")
+with open(os.path.join(outdir, "BENCH_SUMMARY.json"), "w") as fh:
+    json.dump(summary, fh, indent=1)
+print(f"== {len(files)} BENCH files validated, summary at "
+      f"{os.path.join(outdir, 'BENCH_SUMMARY.json')}")
+EOF
+
+if [ "$failures" -gt 0 ]; then
+  echo "== $failures bench binaries failed" >&2
+  exit 1
+fi
