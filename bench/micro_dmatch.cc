@@ -1,13 +1,18 @@
 // Micro-benchmark for the DMatch hot path (no google-benchmark
 // dependency): candidate-set restriction kernels (the seed's sorted-span
-// scan vs the bitset/galloping hybrid) on dense and sparse balls, plus
-// QMatch end to end. Emits BENCH_micro_dmatch.json; the
-// "restrict/dense/optimized" row's speedup_vs_baseline metric is the
-// tracked number for the hot-path optimization.
+// scan vs the bitset/galloping hybrid) on dense and sparse balls,
+// CandidateSpace::Build (the cold-start phase) serial vs a thread-count
+// sweep plus the label/degree intern pool, and QMatch end to end with the
+// Build phase split out. Emits BENCH_micro_dmatch.json; the
+// "restrict/dense/optimized" and "build/*" rows are the tracked numbers
+// for the hot-path and construction-phase work, and tools/compare_bench.py
+// gates CI on them.
 #include <algorithm>
 #include <iterator>
 
 #include "bench/common/bench_common.h"
+#include "common/thread_pool.h"
+#include "core/candidate_cache.h"
 #include "core/candidate_space.h"
 #include "core/qmatch.h"
 #include "graph/graph_algorithms.h"
@@ -22,7 +27,7 @@ std::vector<std::vector<VertexId>> BaselineRestrict(
     const CandidateSpace& cs, std::span<const VertexId> ball) {
   std::vector<std::vector<VertexId>> local(cs.num_pattern_nodes());
   for (PatternNodeId u = 0; u < cs.num_pattern_nodes(); ++u) {
-    const std::vector<VertexId>& full = cs.stratified(u);
+    const std::span<const VertexId> full = cs.stratified(u);
     if (ball.size() < full.size()) {
       for (VertexId v : ball) {
         if (cs.InStratified(u, v)) local[u].push_back(v);
@@ -105,6 +110,100 @@ void RestrictCase(const char* name, const Graph& g, const CandidateSpace& cs,
                 {"speedup_vs_baseline", speedup}});
 }
 
+size_t TotalCandidates(const CandidateSpace& cs) {
+  size_t n = 0;
+  for (PatternNodeId u = 0; u < cs.num_pattern_nodes(); ++u) {
+    n += cs.stratified(u).size() + cs.good(u).size();
+  }
+  return n;
+}
+
+// Build-phase sweep: serial CandidateSpace::Build vs a pool at 1/2/4/8
+// threads (the default simulation-on path QMatch runs), plus the
+// non-simulation path with and without the intern pool. Every parallel
+// result is checked byte-identical against the serial one — the speedup
+// can never come from computing something different.
+void BuildCase(const Graph& g, const Pattern& positive,
+               BenchReporter& reporter) {
+  MatchOptions opts;
+  volatile size_t sink = 0;
+
+  size_t serial_iters = 0;
+  double serial_ms = TimePerCall(
+      [&] {
+        auto cs = CandidateSpace::Build(positive, g, opts, nullptr);
+        sink = sink + TotalCandidates(*cs);
+      },
+      &serial_iters);
+  std::printf("build/serial            %9.3f ms\n", serial_ms);
+  reporter.Add("build/serial", serial_ms,
+               {{"iters", static_cast<double>(serial_iters)}});
+
+  auto serial_cs = CandidateSpace::Build(positive, g, opts, nullptr);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    size_t iters = 0;
+    double ms = TimePerCall(
+        [&] {
+          auto cs =
+              CandidateSpace::Build(positive, g, opts, nullptr, &pool);
+          sink = sink + TotalCandidates(*cs);
+        },
+        &iters);
+    auto par_cs = CandidateSpace::Build(positive, g, opts, nullptr, &pool);
+    for (PatternNodeId u = 0; u < serial_cs->num_pattern_nodes(); ++u) {
+      const auto s = serial_cs->stratified(u);
+      const auto p = par_cs->stratified(u);
+      const auto sg = serial_cs->good(u);
+      const auto pg = par_cs->good(u);
+      if (!std::equal(s.begin(), s.end(), p.begin(), p.end()) ||
+          !std::equal(sg.begin(), sg.end(), pg.begin(), pg.end())) {
+        std::printf("FATAL: parallel Build diverged at %zu threads\n",
+                    threads);
+        std::exit(1);
+      }
+    }
+    double speedup = ms > 0 ? serial_ms / ms : 0.0;
+    std::printf("build/threads=%zu        %9.3f ms  speedup %5.2fx\n",
+                threads, ms, speedup);
+    reporter.Add("build/threads=" + std::to_string(threads), ms,
+                 {{"iters", static_cast<double>(iters)},
+                  {"speedup_vs_serial", speedup}});
+  }
+
+  // Intern pool: the plain (no-simulation) build path EnumMatcher and the
+  // PQMatch/PEnum fragment workers run, cold vs warm cache.
+  MatchOptions plain = opts;
+  plain.use_simulation = false;
+  size_t cold_iters = 0;
+  double cold_ms = TimePerCall(
+      [&] {
+        auto cs = CandidateSpace::Build(positive, g, plain, nullptr);
+        sink = sink + TotalCandidates(*cs);
+      },
+      &cold_iters);
+  CandidateCache cache(g);
+  (void)CandidateSpace::Build(positive, g, plain, nullptr, nullptr, &cache);
+  size_t warm_iters = 0;
+  double warm_ms = TimePerCall(
+      [&] {
+        auto cs =
+            CandidateSpace::Build(positive, g, plain, nullptr, nullptr,
+                                  &cache);
+        sink = sink + TotalCandidates(*cs);
+      },
+      &warm_iters);
+  double cache_speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  std::printf("build/plain/cold        %9.3f ms\n", cold_ms);
+  std::printf("build/plain/interned    %9.3f ms  speedup %5.2fx\n", warm_ms,
+              cache_speedup);
+  reporter.Add("build/plain/cold", cold_ms,
+               {{"iters", static_cast<double>(cold_iters)}});
+  reporter.Add("build/plain/interned", warm_ms,
+               {{"iters", static_cast<double>(warm_iters)},
+                {"speedup_vs_cold", cache_speedup}});
+}
+
 }  // namespace
 }  // namespace qgp::bench
 
@@ -161,20 +260,37 @@ int main() {
   VertexId median = by_degree[by_degree.size() / 2];
   RestrictCase("sparse", g, *cs, median, 1, reporter);
 
-  // End to end: sequential QMatch over the suite, counters included.
+  // Build phase (cold-start cost): serial vs thread sweep vs interning.
+  std::printf("\n");
+  BuildCase(g, pi->first, reporter);
+
+  // End to end: sequential QMatch over the suite, with the Build phase
+  // split out (the Π(Q) candidate-space construction per pattern) so the
+  // bench gate can track construction cost separately from matching.
   MatchStats stats;
   double seconds = 0;
+  double build_seconds = 0;
   size_t answers = 0;
   for (const Pattern& q : suite) {
+    auto q_pi = q.Pi();
+    if (q_pi.ok()) {
+      build_seconds += TimeSeconds([&] {
+        auto built = CandidateSpace::Build(q_pi->first, g, opts, nullptr);
+        if (!built.ok()) std::exit(1);
+      });
+    }
     seconds += TimeSeconds([&] {
       auto r = QMatch::Evaluate(q, g, opts, &stats);
       if (r.ok()) answers += r->size();
     });
   }
-  std::printf("\nQMatch end-to-end: %.3fs, answers=%zu\n", seconds, answers);
+  std::printf("\nQMatch end-to-end: %.3fs (build phase %.3fs), answers=%zu\n",
+              seconds, build_seconds, answers);
   reporter.Add("qmatch/suite", seconds * 1e3,
                {{"answers", static_cast<double>(answers)},
                 {"patterns", static_cast<double>(suite.size())}},
                &stats);
+  reporter.Add("qmatch/build_phase", build_seconds * 1e3,
+               {{"patterns", static_cast<double>(suite.size())}});
   return 0;
 }

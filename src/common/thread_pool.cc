@@ -35,18 +35,38 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForRange(n, 1, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForRange(
+    size_t n, size_t min_grain, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  size_t chunks = std::min(n, threads_.size() * 4);
+  if (min_grain == 0) min_grain = 1;
+  size_t chunks = std::min(threads_.size() * 4, (n + min_grain - 1) / min_grain);
+  // A single worker gains nothing from chunking — and a nested call from
+  // inside a worker must not Wait() on its own pool — so both run inline.
+  if (chunks <= 1 || threads_.size() == 1 || IsWorkerThread()) {
+    fn(0, n);
+    return;
+  }
   size_t per = (n + chunks - 1) / chunks;
   for (size_t c = 0; c < chunks; ++c) {
     size_t begin = c * per;
     size_t end = std::min(n, begin + per);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+    Submit([begin, end, &fn] { fn(begin, end); });
   }
   Wait();
+}
+
+bool ThreadPool::IsWorkerThread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& t : threads_) {
+    if (t.get_id() == self) return true;
+  }
+  return false;
 }
 
 void ThreadPool::WorkerLoop() {

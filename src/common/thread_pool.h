@@ -41,6 +41,21 @@ class ThreadPool {
   /// Chunked statically; `fn` must be thread-safe across distinct i.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Batched variant: splits [0, n) into at most `num_threads() * 4`
+  /// contiguous chunks of at least `min_grain` indices and applies
+  /// `fn(begin, end)` to each across the pool, then waits. Chunking is a
+  /// pure function of (n, min_grain, num_threads()), never of scheduling,
+  /// so callers that write only to index-owned slots get deterministic
+  /// results at any thread count. Runs inline (single chunk) when the
+  /// range is too small to be worth dispatching, and also when called
+  /// from inside one of this pool's own workers — a nested Wait() from a
+  /// worker would deadlock, so nested calls degrade to serial instead.
+  void ParallelForRange(size_t n, size_t min_grain,
+                        const std::function<void(size_t, size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool IsWorkerThread() const;
+
  private:
   void WorkerLoop();
 

@@ -1,0 +1,121 @@
+#include "core/candidate_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qgp {
+
+namespace {
+
+void SortUnique(std::vector<Label>& labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+}
+
+}  // namespace
+
+CandidateSetRef MakeCandidateSet(std::vector<VertexId> members,
+                                 size_t universe) {
+  auto set = std::make_shared<CandidateSet>();
+  set->members = std::move(members);
+  set->bits.Resize(universe);
+  for (VertexId v : set->members) set->bits.Set(v);
+  return set;
+}
+
+CandidateSetRef ComputeLabelDegreeSet(const Graph& g, Label node_label,
+                                      std::span<const Label> out_labels,
+                                      std::span<const Label> in_labels) {
+  std::vector<VertexId> members;
+  auto span = g.VerticesWithLabel(node_label);
+  members.reserve(span.size());
+  for (VertexId v : span) {
+    bool ok = true;
+    for (Label l : out_labels) {
+      if (g.OutDegreeWithLabel(v, l) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (Label l : in_labels) {
+        if (g.InDegreeWithLabel(v, l) == 0) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) members.push_back(v);
+  }
+  return MakeCandidateSet(std::move(members), g.num_vertices());
+}
+
+size_t CandidateCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(k.node_label);
+  mix(0x6f75);  // separator between label runs
+  for (Label l : k.out_labels) mix(l + 1);
+  mix(0x696e);
+  for (Label l : k.in_labels) mix(l + 1);
+  return static_cast<size_t>(h);
+}
+
+CandidateSetRef CandidateCache::Get(Label node_label,
+                                    std::vector<Label> out_labels,
+                                    std::vector<Label> in_labels) {
+  SortUnique(out_labels);
+  SortUnique(in_labels);
+  Key key{node_label, std::move(out_labels), std::move(in_labels)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pool_.find(key);
+    if (it != pool_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Compute outside the lock so distinct keys intern in parallel. A race
+  // on one key computes twice; both results are identical and the first
+  // insert establishes the shared identity.
+  CandidateSetRef set =
+      ComputeLabelDegreeSet(*g_, key.node_label, key.out_labels,
+                            key.in_labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = pool_.emplace(std::move(key), std::move(set));
+  if (inserted) {
+    ++stats_.misses;
+  } else {
+    ++stats_.hits;
+  }
+  return it->second;
+}
+
+size_t CandidateCache::EvictUnused() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->second.use_count() == 1) {
+      it = pool_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+size_t CandidateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+CandidateCache::Stats CandidateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qgp

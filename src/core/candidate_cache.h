@@ -1,0 +1,109 @@
+#ifndef QGP_CORE_CANDIDATE_CACHE_H_
+#define QGP_CORE_CANDIDATE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "graph/graph.h"
+
+namespace qgp {
+
+/// One immutable candidate set: sorted members plus an O(1) membership
+/// bitset over the graph's vertex universe. Instances are shared —
+/// between pattern nodes whose filters coincide, between the stratified
+/// and good families when no quantifier pruning applies, and across
+/// CandidateSpace builds through the CandidateCache intern pool — and
+/// refcounted via shared_ptr, so a set stays alive exactly as long as
+/// some CandidateSpace (or the pool) still references it.
+struct CandidateSet {
+  std::vector<VertexId> members;  // sorted ascending, duplicate-free
+  DynamicBitset bits;             // membership over [0, |V|)
+};
+
+/// Shared, immutable handle. Copying is a refcount bump, never a data
+/// copy; the pointee is never mutated after construction, so handles may
+/// be read concurrently from any number of threads.
+using CandidateSetRef = std::shared_ptr<const CandidateSet>;
+
+/// Wraps sorted `members` into a refcounted set, building its bitset.
+CandidateSetRef MakeCandidateSet(std::vector<VertexId> members,
+                                 size_t universe);
+
+/// The label/degree candidate filter every non-simulation build starts
+/// from: vertices labeled `node_label` that have at least one out-edge
+/// for every label in `out_labels` and one in-edge for every label in
+/// `in_labels` (the existential degree refinement of DegreeRefine).
+/// `out_labels` / `in_labels` must be sorted and duplicate-free.
+CandidateSetRef ComputeLabelDegreeSet(const Graph& g, Label node_label,
+                                      std::span<const Label> out_labels,
+                                      std::span<const Label> in_labels);
+
+/// Per-graph intern pool for label/degree candidate sets. Two pattern
+/// nodes with the same node label and the same sets of incident edge
+/// labels have identical degree-refined candidates; the pool computes
+/// that set once and hands out shared references, so repeated
+/// CandidateSpace builds against one graph — the positified patterns of
+/// a negated QGP, every fragment-local build a PQMatch/PEnum worker
+/// runs, EnumMatcher's plain builds — stop recomputing per-label work.
+///
+/// Thread-safe: concurrent Get() calls from parallel Build tasks are
+/// fine. Two racing misses on the same key may both compute the set
+/// (identical content either way); the first insert wins and the loser's
+/// copy is dropped, so returned handles for one key always alias one
+/// allocation once the pool has seen it.
+class CandidateCache {
+ public:
+  /// The pool is bound to `g` (keys are label ids of its dictionary);
+  /// callers must not use it with a different graph. `g` must outlive
+  /// the pool.
+  explicit CandidateCache(const Graph& g) : g_(&g) {}
+
+  CandidateCache(const CandidateCache&) = delete;
+  CandidateCache& operator=(const CandidateCache&) = delete;
+
+  /// Interned label/degree set for (node_label, out_labels, in_labels).
+  /// Label lists need not be sorted or unique; the key normalizes them.
+  CandidateSetRef Get(Label node_label, std::vector<Label> out_labels,
+                      std::vector<Label> in_labels);
+
+  /// Drops every entry no caller references anymore (use_count == 1);
+  /// returns how many were evicted. Entries still referenced by a live
+  /// CandidateSpace survive and keep their identity.
+  size_t EvictUnused();
+
+  /// Number of interned entries.
+  size_t size() const;
+
+  struct Stats {
+    uint64_t hits = 0;    // Get() served from the pool
+    uint64_t misses = 0;  // Get() had to compute
+  };
+  Stats stats() const;
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  struct Key {
+    Label node_label = 0;
+    std::vector<Label> out_labels;  // sorted, duplicate-free
+    std::vector<Label> in_labels;   // sorted, duplicate-free
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  const Graph* g_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, CandidateSetRef, KeyHash> pool_;
+  Stats stats_;
+};
+
+}  // namespace qgp
+
+#endif  // QGP_CORE_CANDIDATE_CACHE_H_

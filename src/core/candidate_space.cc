@@ -1,7 +1,9 @@
 #include "core/candidate_space.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/thread_pool.h"
 #include "common/vertex_set.h"
 #include "core/simulation.h"
 
@@ -9,33 +11,31 @@ namespace qgp {
 
 namespace {
 
-// Existential refinement without full simulation: keep v in C(u) only if
-// every pattern edge at u has at least one endpoint candidate among v's
-// neighbors (by labels alone). One pass; used when simulation is off.
-void DegreeRefine(const Pattern& q, const Graph& g,
-                  std::vector<std::vector<VertexId>>& sets) {
-  for (PatternNodeId u = 0; u < q.num_nodes(); ++u) {
-    std::vector<VertexId>& members = sets[u];
-    size_t kept = 0;
-    for (VertexId v : members) {
-      bool ok = true;
-      for (PatternEdgeId e : q.OutEdgeIds(u)) {
-        if (g.OutDegreeWithLabel(v, q.edge(e).label) == 0) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        for (PatternEdgeId e : q.InEdgeIds(u)) {
-          if (g.InDegreeWithLabel(v, q.edge(e).label) == 0) {
-            ok = false;
-            break;
-          }
-        }
-      }
-      if (ok) members[kept++] = v;
-    }
-    members.resize(kept);
+// Chunk floor for parallel per-member work (good-set upper-bound checks).
+constexpr size_t kBuildGrain = 256;
+
+// Distinct incident edge labels of u, the degree-refinement key halves.
+void IncidentLabels(const Pattern& q, PatternNodeId u,
+                    std::vector<Label>* out_labels,
+                    std::vector<Label>* in_labels) {
+  for (PatternEdgeId e : q.OutEdgeIds(u)) out_labels->push_back(q.edge(e).label);
+  for (PatternEdgeId e : q.InEdgeIds(u)) in_labels->push_back(q.edge(e).label);
+  std::sort(out_labels->begin(), out_labels->end());
+  out_labels->erase(std::unique(out_labels->begin(), out_labels->end()),
+                    out_labels->end());
+  std::sort(in_labels->begin(), in_labels->end());
+  in_labels->erase(std::unique(in_labels->begin(), in_labels->end()),
+                   in_labels->end());
+}
+
+// Runs `fn(begin, end)` over [0, n) — chunked across the pool when one is
+// given, inline otherwise.
+void ForRange(ThreadPool* pool, size_t n, size_t grain,
+              const std::function<void(size_t, size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelForRange(n, grain, fn);
+  } else {
+    if (n > 0) fn(0, n);
   }
 }
 
@@ -44,40 +44,91 @@ void DegreeRefine(const Pattern& q, const Graph& g,
 Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
                                              const Graph& g,
                                              const MatchOptions& options,
-                                             MatchStats* stats) {
+                                             MatchStats* stats,
+                                             ThreadPool* pool,
+                                             CandidateCache* cache) {
   if (!pattern.IsPositive()) {
     return Status::InvalidArgument(
         "candidate space requires a positive pattern (apply Pi() first)");
   }
   CandidateSpace cs;
   const size_t nq = pattern.num_nodes();
+  cs.stratified_.resize(nq);
 
   if (options.use_simulation) {
-    cs.stratified_ = DualSimulation(pattern, g);
+    // Simulation sets depend on the whole pattern topology, so they are
+    // never interned; the rounds themselves parallelize (see
+    // DualSimulation) and stay bit-identical at any thread count.
+    std::vector<std::vector<VertexId>> sim = DualSimulation(pattern, g, pool);
+    // Bitset construction per node is independent work.
+    ForRange(pool, nq, 1, [&](size_t begin, size_t end) {
+      for (size_t u = begin; u < end; ++u) {
+        cs.stratified_[u] = MakeCandidateSet(std::move(sim[u]),
+                                             g.num_vertices());
+      }
+    });
   } else {
-    cs.stratified_.resize(nq);
+    // Label + existential degree refinement is a pure function of
+    // (node label, incident edge labels): dedupe the keys, compute each
+    // distinct filter once — through the intern pool when one is given,
+    // so other builds on this graph share the result — and alias every
+    // node of the key to the same set.
+    struct KeyedNode {
+      Label label;
+      std::vector<Label> out_labels;
+      std::vector<Label> in_labels;
+      std::vector<PatternNodeId> nodes;  // nodes sharing this filter
+    };
+    std::vector<KeyedNode> keys;
     for (PatternNodeId u = 0; u < nq; ++u) {
-      auto span = g.VerticesWithLabel(pattern.node(u).label);
-      cs.stratified_[u].assign(span.begin(), span.end());
+      KeyedNode k;
+      k.label = pattern.node(u).label;
+      IncidentLabels(pattern, u, &k.out_labels, &k.in_labels);
+      auto it = std::find_if(keys.begin(), keys.end(), [&](const KeyedNode& e) {
+        return e.label == k.label && e.out_labels == k.out_labels &&
+               e.in_labels == k.in_labels;
+      });
+      if (it == keys.end()) {
+        k.nodes.push_back(u);
+        keys.push_back(std::move(k));
+      } else {
+        it->nodes.push_back(u);
+      }
     }
-    DegreeRefine(pattern, g, cs.stratified_);
+    std::vector<CandidateSetRef> per_key(keys.size());
+    ForRange(pool, keys.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        KeyedNode& k = keys[i];
+        per_key[i] = cache != nullptr
+                         ? cache->Get(k.label, k.out_labels, k.in_labels)
+                         : ComputeLabelDegreeSet(g, k.label, k.out_labels,
+                                                 k.in_labels);
+      }
+    });
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (PatternNodeId u : keys[i].nodes) cs.stratified_[u] = per_key[i];
+    }
   }
 
-  cs.stratified_bits_.assign(nq, DynamicBitset(g.num_vertices()));
-  for (PatternNodeId u = 0; u < nq; ++u) {
-    if (stats != nullptr) {
-      stats->candidates_initial += g.NumVerticesWithLabel(pattern.node(u).label);
+  // Stats are a sequential reduction so their totals never depend on a
+  // schedule.
+  if (stats != nullptr) {
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      stats->candidates_initial +=
+          g.NumVerticesWithLabel(pattern.node(u).label);
       stats->candidates_pruned +=
           g.NumVerticesWithLabel(pattern.node(u).label) -
-          cs.stratified_[u].size();
+          cs.stratified_[u]->members.size();
     }
-    for (VertexId v : cs.stratified_[u]) cs.stratified_bits_[u].Set(v);
   }
 
   // Good sets: prune by the quantifier upper bound U(v,e) against fixed
-  // Cπ. Existential edges impose nothing beyond Cπ membership.
+  // Cπ. Existential edges impose nothing beyond Cπ membership, in which
+  // case the good set IS the stratified set (shared, not copied). The
+  // per-candidate bound checks read only the (now frozen) stratified
+  // bitsets, so they fan out across the pool with a keep-flag per slot.
   cs.good_.resize(nq);
-  cs.good_bits_.assign(nq, DynamicBitset(g.num_vertices()));
+  std::vector<char> keep;
   for (PatternNodeId u = 0; u < nq; ++u) {
     std::vector<PatternEdgeId> quantified;
     for (PatternEdgeId e : pattern.OutEdgeIds(u)) {
@@ -85,39 +136,48 @@ Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
     }
     if (quantified.empty() || !options.use_quantifier_pruning) {
       cs.good_[u] = cs.stratified_[u];
-    } else {
-      for (VertexId v : cs.stratified_[u]) {
-        bool ok = true;
-        for (PatternEdgeId e : quantified) {
-          const PatternEdge& pe = pattern.edge(e);
-          uint64_t total = g.OutDegreeWithLabel(v, pe.label);
-          std::optional<uint64_t> needed =
-              pe.quantifier.MinCountNeeded(total);
-          if (!needed.has_value()) {
-            ok = false;  // unsatisfiable at this vertex (e.g. =p% non-integer)
-            break;
-          }
-          // U(v,e): children via the edge label that are stratified
-          // candidates of the target node.
-          uint64_t ub = 0;
-          for (const Neighbor& n : g.OutNeighborsWithLabel(v, pe.label)) {
-            if (cs.stratified_bits_[pe.dst].Test(n.v)) ++ub;
-            // Counting can stop once the bound is provably met.
-            if (ub >= *needed) break;
-          }
-          if (ub < *needed) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) cs.good_[u].push_back(v);
-      }
-      if (stats != nullptr) {
-        stats->candidates_pruned +=
-            cs.stratified_[u].size() - cs.good_[u].size();
-      }
+      continue;
     }
-    for (VertexId v : cs.good_[u]) cs.good_bits_[u].Set(v);
+    const std::vector<VertexId>& members = cs.stratified_[u]->members;
+    keep.assign(members.size(), 1);
+    ForRange(pool, members.size(), kBuildGrain,
+             [&](size_t begin, size_t end) {
+               for (size_t i = begin; i < end; ++i) {
+                 const VertexId v = members[i];
+                 for (PatternEdgeId e : quantified) {
+                   const PatternEdge& pe = pattern.edge(e);
+                   uint64_t total = g.OutDegreeWithLabel(v, pe.label);
+                   std::optional<uint64_t> needed =
+                       pe.quantifier.MinCountNeeded(total);
+                   if (!needed.has_value()) {
+                     // Unsatisfiable at this vertex (e.g. =p% non-integer).
+                     keep[i] = 0;
+                     break;
+                   }
+                   // U(v,e): children via the edge label that are
+                   // stratified candidates of the target node.
+                   uint64_t ub = 0;
+                   for (const Neighbor& n :
+                        g.OutNeighborsWithLabel(v, pe.label)) {
+                     if (cs.stratified_[pe.dst]->bits.Test(n.v)) ++ub;
+                     // Counting can stop once the bound is provably met.
+                     if (ub >= *needed) break;
+                   }
+                   if (ub < *needed) {
+                     keep[i] = 0;
+                     break;
+                   }
+                 }
+               }
+             });
+    std::vector<VertexId> good;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (keep[i]) good.push_back(members[i]);
+    }
+    if (stats != nullptr) {
+      stats->candidates_pruned += members.size() - good.size();
+    }
+    cs.good_[u] = MakeCandidateSet(std::move(good), g.num_vertices());
   }
   return cs;
 }
@@ -136,16 +196,16 @@ void CandidateSpace::RestrictStratifiedToBall(
   out->resize(stratified_.size());
   // A word-AND touches every word once; it wins over element-wise kernels
   // roughly when the sets carry more elements than the universe has words.
-  const size_t universe_words = stratified_.empty()
-                                    ? 0
-                                    : stratified_bits_[0].words().size();
+  const size_t universe_words =
+      stratified_.empty() ? 0 : stratified_[0]->bits.words().size();
   for (PatternNodeId u = 0; u < stratified_.size(); ++u) {
-    const std::vector<VertexId>& full = stratified_[u];
+    const std::vector<VertexId>& full = stratified_[u]->members;
+    const DynamicBitset& full_bits = stratified_[u]->bits;
     std::vector<VertexId>& dst = (*out)[u];
     dst.clear();
     if (!ball_words.empty() &&
         full.size() + sorted_ball.size() > 2 * universe_words) {
-      IntersectWordsInto(stratified_bits_[u].words(), ball_words, dst);
+      IntersectWordsInto(full_bits.words(), ball_words, dst);
     } else if (full.size() * kGallopRatio <= sorted_ball.size() &&
                !ball_words.empty()) {
       // Sparse candidate set inside a big ball: probe the ball bitset.
@@ -155,7 +215,7 @@ void CandidateSpace::RestrictStratifiedToBall(
     } else if (sorted_ball.size() * kGallopRatio <= full.size()) {
       // Tiny ball inside a big candidate set: probe the stratified bitset.
       for (VertexId v : sorted_ball) {
-        if (stratified_bits_[u].Test(v)) dst.push_back(v);
+        if (full_bits.Test(v)) dst.push_back(v);
       }
     } else {
       IntersectSortedInto(std::span<const VertexId>(full), sorted_ball, dst);

@@ -4,13 +4,15 @@
 #include <span>
 #include <vector>
 
-#include "common/bitset.h"
 #include "common/result.h"
+#include "core/candidate_cache.h"
 #include "core/match_types.h"
 #include "core/pattern.h"
 #include "graph/graph.h"
 
 namespace qgp {
+
+class ThreadPool;
 
 /// Global candidate sets for one positive pattern against one graph,
 /// maintaining the distinction the §2.2 semantics forces (DESIGN.md §2):
@@ -27,29 +29,56 @@ namespace qgp {
 ///    with the ratio threshold evaluated per vertex). Goodness is a
 ///    one-shot filter over fixed Cπ — it must NOT cascade, or counts
 ///    would be under-estimated and answers lost.
+///
+/// Sets are stored as shared, immutable CandidateSet handles rather than
+/// owned vectors: pattern nodes whose label/degree filters coincide share
+/// one allocation (via the CandidateCache intern pool), a node's good set
+/// aliases its stratified set whenever no quantifier pruning applies, and
+/// handing sets to matchers or across threads is a refcount bump. The
+/// accessors below are the stable API — callers see sorted spans and O(1)
+/// membership tests regardless of which build path produced the set.
 class CandidateSpace {
  public:
   /// Builds both set families. `pattern` must be positive.
+  ///
+  /// `pool` (optional) parallelizes construction: the dual-simulation
+  /// rounds, the per-key label/degree filters, the membership bitsets and
+  /// the good-set upper-bound checks all fan out across its workers. The
+  /// result is bit-identical to the serial build at any thread count —
+  /// parallel phases write disjoint slots against frozen inputs, and all
+  /// cross-phase reductions (stats, compaction) stay sequential.
+  ///
+  /// `cache` (optional) interns label/degree sets across builds on the
+  /// same graph; it must have been constructed for `g`.
   static Result<CandidateSpace> Build(const Pattern& pattern, const Graph& g,
                                       const MatchOptions& options,
-                                      MatchStats* stats);
+                                      MatchStats* stats,
+                                      ThreadPool* pool = nullptr,
+                                      CandidateCache* cache = nullptr);
 
   /// Cπ(u), sorted ascending.
-  const std::vector<VertexId>& stratified(PatternNodeId u) const {
-    return stratified_[u];
+  std::span<const VertexId> stratified(PatternNodeId u) const {
+    return stratified_[u]->members;
   }
 
   /// Good candidates for u, sorted ascending.
-  const std::vector<VertexId>& good(PatternNodeId u) const {
-    return good_[u];
+  std::span<const VertexId> good(PatternNodeId u) const {
+    return good_[u]->members;
   }
+
+  /// Shared handles, for callers that want to hold a set beyond this
+  /// CandidateSpace's lifetime or assert interning (tests, caches).
+  const CandidateSetRef& stratified_set(PatternNodeId u) const {
+    return stratified_[u];
+  }
+  const CandidateSetRef& good_set(PatternNodeId u) const { return good_[u]; }
 
   /// O(1) membership tests.
   bool InStratified(PatternNodeId u, VertexId v) const {
-    return stratified_bits_[u].Test(v);
+    return stratified_[u]->bits.Test(v);
   }
   bool InGood(PatternNodeId u, VertexId v) const {
-    return good_bits_[u].Test(v);
+    return good_[u]->bits.Test(v);
   }
 
   /// Intersects every stratified set with a sorted vertex ball, producing
@@ -72,10 +101,8 @@ class CandidateSpace {
   size_t num_pattern_nodes() const { return stratified_.size(); }
 
  private:
-  std::vector<std::vector<VertexId>> stratified_;
-  std::vector<std::vector<VertexId>> good_;
-  std::vector<DynamicBitset> stratified_bits_;
-  std::vector<DynamicBitset> good_bits_;
+  std::vector<CandidateSetRef> stratified_;
+  std::vector<CandidateSetRef> good_;  // good_[u] may alias stratified_[u]
 };
 
 }  // namespace qgp

@@ -59,14 +59,20 @@ class PositiveEvaluator {
   /// QMatch passes the ORIGINAL pattern's labels so balls cached during
   /// the Π(Q) run stay valid for every Π(Q⁺ᵉ) (they must cover the
   /// positified labels too).
+  /// `pool` (optional) parallelizes candidate-space construction across
+  /// its workers (bit-identical to the serial build); `cache` (optional)
+  /// interns label/degree candidate sets across builds on the same graph.
   static Result<PositiveEvaluator> Create(
       Pattern positive, const Graph& g, MatchOptions options,
       const std::vector<PatternEdgeId>* edge_to_original = nullptr,
       size_t num_original_edges = 0,
-      const DynamicBitset* ball_label_filter = nullptr);
+      const DynamicBitset* ball_label_filter = nullptr,
+      ThreadPool* pool = nullptr, CandidateCache* cache = nullptr);
 
-  /// Good focus candidates (the outer-loop domain of Fig. 5).
-  const std::vector<VertexId>& FocusCandidates() const {
+  /// Good focus candidates (the outer-loop domain of Fig. 5). The span
+  /// views the evaluator's shared candidate set and stays valid for the
+  /// evaluator's lifetime.
+  std::span<const VertexId> FocusCandidates() const {
     return cs_.good(pattern_.focus());
   }
 

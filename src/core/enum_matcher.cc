@@ -10,31 +10,38 @@ namespace qgp {
 
 Result<AnswerSet> EnumMatcher::EvaluatePositive(
     const Pattern& positive, const Graph& g, const MatchOptions& options,
-    MatchStats* stats, std::span<const VertexId> focus_subset) {
+    MatchStats* stats, std::span<const VertexId> focus_subset,
+    CandidateCache* cache) {
   if (!positive.IsPositive()) {
     return Status::InvalidArgument("EvaluatePositive requires positive QGP");
   }
   // Plain candidate sets: label + existential degree refinement only.
+  // These are exactly the sets the intern pool shares, so repeated builds
+  // against one graph (the positified patterns, PEnum fragments) hit.
   MatchOptions plain = options;
   plain.use_simulation = false;
   plain.use_quantifier_pruning = false;
-  QGP_ASSIGN_OR_RETURN(CandidateSpace cs,
-                       CandidateSpace::Build(positive, g, plain, stats));
+  QGP_ASSIGN_OR_RETURN(
+      CandidateSpace cs,
+      CandidateSpace::Build(positive, g, plain, stats, nullptr, cache));
 
   Pattern stratified = positive.Stratified();
   const PatternNodeId xo = positive.focus();
-  std::vector<std::vector<VertexId>> candidate_sets(positive.num_nodes());
+  // Views into the shared candidate sets — no per-node copies.
+  std::vector<std::span<const VertexId>> candidate_sets(positive.num_nodes());
   for (PatternNodeId u = 0; u < positive.num_nodes(); ++u) {
     candidate_sets[u] = cs.stratified(u);
   }
 
-  std::vector<VertexId> focus_list;
+  std::vector<VertexId> owned_focus_list;
+  std::span<const VertexId> focus_list;
   if (focus_subset.empty()) {
     focus_list = cs.stratified(xo);
   } else {
     for (VertexId v : focus_subset) {
-      if (cs.InStratified(xo, v)) focus_list.push_back(v);
+      if (cs.InStratified(xo, v)) owned_focus_list.push_back(v);
     }
+    focus_list = owned_focus_list;
   }
 
   AnswerSet answers;
@@ -100,16 +107,19 @@ Result<AnswerSet> EnumMatcher::Evaluate(const Pattern& pattern,
   QGP_RETURN_IF_ERROR(pattern.Validate(options.max_quantified_per_path));
   auto pi = pattern.Pi();
   if (!pi.ok()) return pi.status();
+  // One intern pool for Π(Q) and every Π(Q⁺ᵉ): the positified patterns
+  // differ only around the negated edge, so most nodes hit.
+  CandidateCache cache(g);
   QGP_ASSIGN_OR_RETURN(
       AnswerSet answers,
-      EvaluatePositive(pi.value().first, g, options, stats));
+      EvaluatePositive(pi.value().first, g, options, stats, {}, &cache));
   for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
     QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
     auto pi_pos = positified.Pi();
     if (!pi_pos.ok()) return pi_pos.status();
     QGP_ASSIGN_OR_RETURN(
         AnswerSet negative,
-        EvaluatePositive(pi_pos.value().first, g, options, stats));
+        EvaluatePositive(pi_pos.value().first, g, options, stats, {}, &cache));
     answers = SetDifference(answers, negative);
   }
   return answers;

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/result.h"
+#include "core/candidate_cache.h"
 #include "core/match_types.h"
 #include "core/pattern.h"
 #include "graph/graph.h"
@@ -28,9 +29,14 @@ class EnumMatcher {
 
   /// Positive-pattern evaluation, optionally restricted to a focus subset
   /// (PEnum's per-fragment entry point). Empty span = all candidates.
+  /// `cache` (optional, constructed for `g`) interns the plain
+  /// label/degree candidate sets this baseline builds, sharing them
+  /// across the positified patterns of Evaluate and across a PEnum
+  /// worker's calls on one fragment.
   static Result<AnswerSet> EvaluatePositive(
       const Pattern& positive, const Graph& g, const MatchOptions& options,
-      MatchStats* stats, std::span<const VertexId> focus_subset = {});
+      MatchStats* stats, std::span<const VertexId> focus_subset = {},
+      CandidateCache* cache = nullptr);
 };
 
 }  // namespace qgp

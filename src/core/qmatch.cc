@@ -1,5 +1,6 @@
 #include "core/qmatch.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "core/dmatch.h"
@@ -61,8 +62,12 @@ AnswerSet VerifyAcross(const PositiveEvaluator& ev,
 Result<AnswerSet> EvaluateImpl(const Pattern& pattern, const Graph& g,
                                std::span<const VertexId> focus_subset,
                                const MatchOptions& options, MatchStats* stats,
-                               ThreadPool* pool) {
+                               ThreadPool* pool, CandidateCache* cache) {
   QGP_RETURN_IF_ERROR(pattern.Validate(options.max_quantified_per_path));
+  // Intern label/degree candidate sets across Π(Q) and every Π(Q⁺ᵉ) even
+  // when the caller brought no cross-call cache.
+  std::optional<CandidateCache> local_cache;
+  if (cache == nullptr) cache = &local_cache.emplace(g);
   auto pi = pattern.Pi();
   if (!pi.ok()) return pi.status();
   Pattern& pi_pattern = pi.value().first;
@@ -81,18 +86,16 @@ Result<AnswerSet> EvaluateImpl(const Pattern& pattern, const Graph& g,
       PositiveEvaluator ev0,
       PositiveEvaluator::Create(std::move(pi_pattern), g, options,
                                 &pi_map.edge_to_original,
-                                pattern.num_edges(), &ball_labels));
+                                pattern.num_edges(), &ball_labels, pool,
+                                cache));
 
   const std::vector<PatternEdgeId> negated = pattern.NegatedEdgeIds();
   const bool want_caches =
       !negated.empty() && options.use_incremental_negation;
   std::unordered_map<VertexId, FocusCache> caches;
 
-  std::vector<VertexId> default_subset;
-  if (focus_subset.empty()) default_subset = ev0.FocusCandidates();
   std::span<const VertexId> subset =
-      focus_subset.empty() ? std::span<const VertexId>(default_subset)
-                           : focus_subset;
+      focus_subset.empty() ? ev0.FocusCandidates() : focus_subset;
   AnswerSet answers = VerifyAcross(ev0, subset, nullptr,
                                    want_caches ? &caches : nullptr, stats,
                                    pool);
@@ -106,7 +109,8 @@ Result<AnswerSet> EvaluateImpl(const Pattern& pattern, const Graph& g,
         PositiveEvaluator ev_e,
         PositiveEvaluator::Create(std::move(pi_pos.value().first), g, options,
                                   &pi_pos.value().second.edge_to_original,
-                                  pattern.num_edges(), &ball_labels));
+                                  pattern.num_edges(), &ball_labels, pool,
+                                  cache));
     AnswerSet negative;
     if (options.use_incremental_negation) {
       // IncQMatch: only cached answers are re-verified, with warm caches.
@@ -126,16 +130,18 @@ Result<AnswerSet> EvaluateImpl(const Pattern& pattern, const Graph& g,
 
 Result<AnswerSet> QMatch::Evaluate(const Pattern& pattern, const Graph& g,
                                    const MatchOptions& options,
-                                   MatchStats* stats, ThreadPool* pool) {
-  return EvaluateImpl(pattern, g, {}, options, stats, pool);
+                                   MatchStats* stats, ThreadPool* pool,
+                                   CandidateCache* cache) {
+  return EvaluateImpl(pattern, g, {}, options, stats, pool, cache);
 }
 
 Result<AnswerSet> QMatch::EvaluateSubset(const Pattern& pattern,
                                          const Graph& g,
                                          std::span<const VertexId> focus_subset,
                                          const MatchOptions& options,
-                                         MatchStats* stats, ThreadPool* pool) {
-  return EvaluateImpl(pattern, g, focus_subset, options, stats, pool);
+                                         MatchStats* stats, ThreadPool* pool,
+                                         CandidateCache* cache) {
+  return EvaluateImpl(pattern, g, focus_subset, options, stats, pool, cache);
 }
 
 Result<AnswerSet> QMatchNaiveEvaluate(const Pattern& pattern, const Graph& g,

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/candidate_cache.h"
 #include "core/match_types.h"
 #include "core/pattern.h"
 #include "graph/graph.h"
@@ -23,21 +24,32 @@ namespace qgp {
 ///
 /// Passing a ThreadPool parallelizes focus-candidate verification across
 /// its workers (the paper's mQMatch intra-fragment parallelism): focus
-/// verifications are independent, so this is a plain parallel map.
+/// verifications are independent, so this is a plain parallel map. The
+/// same pool also parallelizes the candidate-space Build phase of Π(Q)
+/// and of every positified Π(Q⁺ᵉ) — bit-identical to the serial build.
+///
+/// Passing a CandidateCache (constructed for `g`) interns label/degree
+/// candidate sets across those builds — and across QMatch calls that
+/// share the cache, which is how PQMatch workers reuse per-fragment
+/// filters instead of rebuilding them. When no cache is given, each
+/// evaluation interns within itself (Π(Q) and the positified patterns
+/// still share).
 class QMatch {
  public:
   /// Computes Q(xo, G).
   static Result<AnswerSet> Evaluate(const Pattern& pattern, const Graph& g,
                                     const MatchOptions& options = {},
                                     MatchStats* stats = nullptr,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr,
+                                    CandidateCache* cache = nullptr);
 
   /// Same, restricted to an explicit focus-candidate subset — PQMatch's
   /// per-fragment entry point (fragments own disjoint candidate sets).
   static Result<AnswerSet> EvaluateSubset(
       const Pattern& pattern, const Graph& g,
       std::span<const VertexId> focus_subset, const MatchOptions& options,
-      MatchStats* stats, ThreadPool* pool = nullptr);
+      MatchStats* stats, ThreadPool* pool = nullptr,
+      CandidateCache* cache = nullptr);
 };
 
 /// QMatchn: QMatch without incremental negation (recomputes every

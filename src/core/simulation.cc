@@ -6,8 +6,17 @@
 
 namespace qgp {
 
+namespace {
+
+// Chunk floor for parallel member checks: below this many members a
+// chunk is not worth a queue round-trip.
+constexpr size_t kSimGrain = 256;
+
+}  // namespace
+
 std::vector<std::vector<VertexId>> DualSimulation(const Pattern& pattern,
-                                                  const Graph& g) {
+                                                  const Graph& g,
+                                                  ThreadPool* pool) {
   const size_t nq = pattern.num_nodes();
   // Membership bitmaps per pattern node.
   std::vector<DynamicBitset> in_sim(nq, DynamicBitset(g.num_vertices()));
@@ -19,51 +28,66 @@ std::vector<std::vector<VertexId>> DualSimulation(const Pattern& pattern,
     }
   }
 
-  // Fixpoint refinement. Patterns are tiny, graphs are the big dimension,
-  // so a simple "recheck all members of dirty nodes" loop converges fast.
+  // Does v still simulate u, judged against the current bitmaps?
+  auto member_ok = [&](PatternNodeId u, VertexId v) {
+    for (PatternEdgeId e : pattern.OutEdgeIds(u)) {
+      const PatternEdge& pe = pattern.edge(e);
+      bool found = false;
+      for (const Neighbor& n : g.OutNeighborsWithLabel(v, pe.label)) {
+        if (in_sim[pe.dst].Test(n.v)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    for (PatternEdgeId e : pattern.InEdgeIds(u)) {
+      const PatternEdge& pe = pattern.edge(e);
+      bool found = false;
+      for (const Neighbor& n : g.InNeighborsWithLabel(v, pe.label)) {
+        if (in_sim[pe.src].Test(n.v)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+
+  // Synchronous refinement rounds. The flag phase only READS the bitmaps
+  // (all of them frozen for the round) and writes disjoint keep slots, so
+  // it parallelizes without coordination; the apply phase then compacts
+  // and clears serially. Deferring removals to the round boundary can
+  // cost extra rounds versus in-place clearing, but converges to the same
+  // unique greatest fixpoint — and makes the schedule irrelevant.
+  std::vector<std::vector<char>> keep(nq);
   bool changed = true;
   while (changed) {
     changed = false;
     for (PatternNodeId u = 0; u < nq; ++u) {
       std::vector<VertexId>& members = sim[u];
+      keep[u].assign(members.size(), 1);
+      std::vector<char>& flags = keep[u];
+      auto flag_range = [&, u](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (!member_ok(u, members[i])) flags[i] = 0;
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelForRange(members.size(), kSimGrain, flag_range);
+      } else {
+        flag_range(0, members.size());
+      }
+    }
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      std::vector<VertexId>& members = sim[u];
       size_t kept = 0;
       for (size_t i = 0; i < members.size(); ++i) {
-        VertexId v = members[i];
-        bool ok = true;
-        for (PatternEdgeId e : pattern.OutEdgeIds(u)) {
-          const PatternEdge& pe = pattern.edge(e);
-          bool found = false;
-          for (const Neighbor& n : g.OutNeighborsWithLabel(v, pe.label)) {
-            if (in_sim[pe.dst].Test(n.v)) {
-              found = true;
-              break;
-            }
-          }
-          if (!found) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) {
-          for (PatternEdgeId e : pattern.InEdgeIds(u)) {
-            const PatternEdge& pe = pattern.edge(e);
-            bool found = false;
-            for (const Neighbor& n : g.InNeighborsWithLabel(v, pe.label)) {
-              if (in_sim[pe.src].Test(n.v)) {
-                found = true;
-                break;
-              }
-            }
-            if (!found) {
-              ok = false;
-              break;
-            }
-          }
-        }
-        if (ok) {
-          members[kept++] = v;
+        if (keep[u][i]) {
+          members[kept++] = members[i];
         } else {
-          in_sim[u].Clear(v);
+          in_sim[u].Clear(members[i]);
           changed = true;
         }
       }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/pattern.h"
 #include "graph/graph.h"
 
@@ -21,8 +22,17 @@ namespace qgp {
 ///
 /// Returns, for each pattern node u, the sorted vertex set sim(u).
 /// Quantifiers on `pattern` are ignored (the relation is about Qπ).
+///
+/// The fixpoint runs in synchronous rounds: every (u, v) membership check
+/// of a round reads the sets as they stood when the round began, and all
+/// removals are applied between rounds. Within a round the checks are
+/// independent, which is what `pool` parallelizes (chunked over each
+/// sim(u)); because removals are order-free and the maximal dual
+/// simulation is a unique greatest fixpoint, the result is bit-identical
+/// at every thread count, including pool == nullptr (serial).
 std::vector<std::vector<VertexId>> DualSimulation(const Pattern& pattern,
-                                                  const Graph& g);
+                                                  const Graph& g,
+                                                  ThreadPool* pool = nullptr);
 
 }  // namespace qgp
 

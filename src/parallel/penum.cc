@@ -16,10 +16,13 @@ Result<AnswerSet> EnumFragment(const Pattern& pattern, const Graph& g,
                                MatchStats* stats) {
   auto pi = pattern.Pi();
   if (!pi.ok()) return pi.status();
+  // Per-fragment intern pool: the Π(Q) and Π(Q⁺ᵉ) enumerations share
+  // their plain label/degree candidate sets instead of rebuilding them.
+  CandidateCache cache(g);
   QGP_ASSIGN_OR_RETURN(
       AnswerSet answers,
       EnumMatcher::EvaluatePositive(pi.value().first, g, options, stats,
-                                    owned));
+                                    owned, &cache));
   for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
     QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
     auto pi_pos = positified.Pi();
@@ -27,7 +30,7 @@ Result<AnswerSet> EnumFragment(const Pattern& pattern, const Graph& g,
     QGP_ASSIGN_OR_RETURN(
         AnswerSet negative,
         EnumMatcher::EvaluatePositive(pi_pos.value().first, g, options,
-                                      stats, owned));
+                                      stats, owned, &cache));
     answers = SetDifference(answers, negative);
   }
   return answers;

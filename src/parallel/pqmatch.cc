@@ -37,9 +37,12 @@ Result<ParallelRunResult> PQMatch::Evaluate(const Pattern& pattern,
     if (config.threads_per_worker > 1) {
       pool = std::make_unique<ThreadPool>(config.threads_per_worker);
     }
+    // Per-fragment intern pool: Π(Q) and every positified Π(Q⁺ᵉ) of this
+    // fragment share label/degree candidate sets instead of rebuilding.
+    CandidateCache cache(f.sub.graph);
     Result<AnswerSet> local = QMatch::EvaluateSubset(
         pattern, f.sub.graph, f.owned_local, config.match, &local_stats[i],
-        pool.get());
+        pool.get(), &cache);
     if (!local.ok()) {
       local_status[i] = local.status();
       return;

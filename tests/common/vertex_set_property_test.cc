@@ -1,0 +1,208 @@
+// Property/fuzz suite for the vertex_set.h intersection kernels against a
+// std::set_intersection oracle. The kernels dispatch on size ratios
+// (merge / gallop-a / gallop-b / word-AND), so the generator deliberately
+// produces adversarial shapes — empty, singleton, disjoint ranges, fully
+// nested, dense duplicate-free runs, and heavily skewed sizes — to force
+// every path, and the oracle must agree on all of them.
+#include "common/vertex_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qgp {
+namespace {
+
+constexpr size_t kUniverse = 4096;
+
+std::vector<uint32_t> Oracle(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<uint64_t> ToWords(const std::vector<uint32_t>& run) {
+  std::vector<uint64_t> words(kUniverse / 64, 0);
+  for (uint32_t v : run) words[v >> 6] |= 1ULL << (v & 63);
+  return words;
+}
+
+// Sorted duplicate-free run of `size` values drawn from [lo, hi).
+std::vector<uint32_t> RandomRun(std::mt19937& rng, size_t size, uint32_t lo,
+                                uint32_t hi) {
+  std::set<uint32_t> s;
+  std::uniform_int_distribution<uint32_t> dist(lo, hi - 1);
+  while (s.size() < size && s.size() < static_cast<size_t>(hi - lo)) {
+    s.insert(dist(rng));
+  }
+  return std::vector<uint32_t>(s.begin(), s.end());
+}
+
+// One adversarial (a, b) pair per shape id; shapes cycle with the seed.
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> MakeCase(
+    std::mt19937& rng, int shape) {
+  switch (shape % 8) {
+    case 0:  // one side empty
+      return {{}, RandomRun(rng, 40, 0, kUniverse)};
+    case 1:  // singletons (hit and miss both covered across seeds)
+      return {{static_cast<uint32_t>(rng() % kUniverse)},
+              RandomRun(rng, 100, 0, kUniverse)};
+    case 2:  // disjoint value ranges: intersection provably empty
+      return {RandomRun(rng, 60, 0, kUniverse / 2),
+              RandomRun(rng, 60, kUniverse / 2, kUniverse)};
+    case 3: {  // nested: b is a sampled subset of a
+      std::vector<uint32_t> a = RandomRun(rng, 200, 0, kUniverse);
+      std::vector<uint32_t> b;
+      for (size_t i = 0; i < a.size(); i += 1 + rng() % 4) b.push_back(a[i]);
+      return {a, b};
+    }
+    case 4:  // dense duplicate-free: word-AND territory on both sides
+      return {RandomRun(rng, kUniverse / 2, 0, kUniverse),
+              RandomRun(rng, kUniverse / 2, 0, kUniverse)};
+    case 5:  // heavy skew: tiny a inside huge b (gallop over b)
+      return {RandomRun(rng, 5, 0, kUniverse),
+              RandomRun(rng, 2000, 0, kUniverse)};
+    case 6:  // heavy skew the other way (gallop over a)
+      return {RandomRun(rng, 2000, 0, kUniverse),
+              RandomRun(rng, 5, 0, kUniverse)};
+    default:  // comparable sizes: the two-pointer merge path
+      return {RandomRun(rng, 150, 0, kUniverse),
+              RandomRun(rng, 170, 0, kUniverse)};
+  }
+}
+
+TEST(VertexSetPropertyTest, SortedKernelsMatchOracleOnAdversarialShapes) {
+  size_t nonempty_results = 0;
+  for (uint64_t seed = 0; seed < 160; ++seed) {
+    std::mt19937 rng(seed * 2654435761u + 17);
+    auto [a, b] = MakeCase(rng, static_cast<int>(seed));
+    const std::vector<uint32_t> expected = Oracle(a, b);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " |a|=" +
+                 std::to_string(a.size()) + " |b|=" +
+                 std::to_string(b.size()));
+    std::vector<uint32_t> got;
+    IntersectSortedInto(std::span<const uint32_t>(a),
+                        std::span<const uint32_t>(b), got);
+    EXPECT_EQ(got, expected);
+    // Symmetry: the dispatch must not depend on argument order.
+    got.clear();
+    IntersectSortedInto(std::span<const uint32_t>(b),
+                        std::span<const uint32_t>(a), got);
+    EXPECT_EQ(got, expected);
+    // The kernels append without clearing: a pre-seeded output keeps its
+    // prefix (the scratch-reuse contract).
+    std::vector<uint32_t> seeded{static_cast<uint32_t>(kUniverse + 1)};
+    IntersectSortedInto(std::span<const uint32_t>(a),
+                        std::span<const uint32_t>(b), seeded);
+    ASSERT_GE(seeded.size(), 1u);
+    EXPECT_EQ(seeded[0], kUniverse + 1);
+    EXPECT_EQ(std::vector<uint32_t>(seeded.begin() + 1, seeded.end()),
+              expected);
+    if (!expected.empty()) ++nonempty_results;
+  }
+  // The generator must actually exercise non-trivial intersections.
+  EXPECT_GE(nonempty_results, 40u);
+}
+
+TEST(VertexSetPropertyTest, ProjectedKernelMatchesOracle) {
+  struct Labeled {
+    uint32_t v;
+    uint32_t payload;
+  };
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    std::mt19937 rng(seed * 48271 + 3);
+    auto [a, b] = MakeCase(rng, static_cast<int>(seed));
+    std::vector<Labeled> a_structs;
+    for (uint32_t v : a) a_structs.push_back({v, v ^ 0xdead});
+    const std::vector<uint32_t> expected = Oracle(a, b);
+    std::vector<uint32_t> got;
+    IntersectSortedInto(
+        std::span<const Labeled>(a_structs),
+        [](const Labeled& x) { return x.v; },
+        std::span<const uint32_t>(b), got);
+    EXPECT_EQ(got, expected) << "seed " << seed;
+  }
+}
+
+TEST(VertexSetPropertyTest, WordAndKernelMatchesOracle) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    std::mt19937 rng(seed * 69621 + 7);
+    auto [a, b] = MakeCase(rng, static_cast<int>(seed));
+    const std::vector<uint32_t> expected = Oracle(a, b);
+    std::vector<uint32_t> got;
+    IntersectWordsInto(ToWords(a), ToWords(b), got);
+    EXPECT_EQ(got, expected) << "seed " << seed;
+  }
+  // Mismatched word-array lengths intersect over the shorter prefix.
+  std::vector<uint64_t> shorter{~0ULL};
+  std::vector<uint64_t> longer{~0ULL, ~0ULL};
+  std::vector<uint32_t> got;
+  IntersectWordsInto(shorter, longer, got);
+  EXPECT_EQ(got.size(), 64u);
+  EXPECT_EQ(got.front(), 0u);
+  EXPECT_EQ(got.back(), 63u);
+}
+
+TEST(VertexSetPropertyTest, GallopLowerBoundMatchesStdLowerBound) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    std::mt19937 rng(seed * 16807 + 13);
+    std::vector<uint32_t> run = RandomRun(rng, 1 + rng() % 300, 0, kUniverse);
+    for (int probe = 0; probe < 50; ++probe) {
+      uint32_t key = rng() % (kUniverse + 2);
+      const uint32_t* expect =
+          std::lower_bound(run.data(), run.data() + run.size(), key);
+      const uint32_t* got =
+          GallopLowerBound(run.data(), run.data() + run.size(), key);
+      EXPECT_EQ(got, expect)
+          << "seed " << seed << " key " << key;
+    }
+  }
+}
+
+TEST(VertexSetPropertyTest, SparseBitsetLifecycleUnderRandomOps) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    std::mt19937 rng(seed * 22695477 + 1);
+    SparseBitset bits;
+    bits.EnsureUniverse(kUniverse);
+    std::set<uint32_t> model;
+    for (int round = 0; round < 4; ++round) {
+      for (int op = 0; op < 300; ++op) {
+        uint32_t v = rng() % kUniverse;
+        switch (rng() % 3) {
+          case 0:
+            bits.Set(v);
+            model.insert(v);
+            break;
+          case 1: {
+            bool was_clear = model.insert(v).second;
+            EXPECT_EQ(bits.TestAndSet(v), was_clear);
+            break;
+          }
+          default:
+            bits.Clear(v);
+            model.erase(v);
+            break;
+        }
+      }
+      for (uint32_t v = 0; v < kUniverse; ++v) {
+        ASSERT_EQ(bits.Test(v), model.count(v) != 0)
+            << "seed " << seed << " round " << round << " bit " << v;
+      }
+      // O(touched) reset really clears everything, every round.
+      bits.ResetTouched();
+      model.clear();
+      for (uint32_t v = 0; v < kUniverse; ++v) {
+        ASSERT_FALSE(bits.Test(v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,0 +1,162 @@
+// CandidateCache: interning semantics (one allocation per distinct
+// label/degree filter), refcount lifecycle (EvictUnused respects live
+// handles), equivalence with the serial degree refinement, and the
+// sharing CandidateSpace::Build is expected to exhibit (same-key nodes
+// alias one set; good aliases stratified when unpruned).
+#include "core/candidate_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/candidate_space.h"
+#include "testing/paper_graphs.h"
+
+namespace qgp {
+namespace {
+
+TEST(CandidateCacheTest, InterningReturnsOneAllocationPerKey) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  const Label person = dict.Intern("person");
+  const Label follow = dict.Intern("follow");
+  CandidateCache cache(g);
+  CandidateSetRef a = cache.Get(person, {follow}, {});
+  CandidateSetRef b = cache.Get(person, {follow}, {});
+  EXPECT_EQ(a.get(), b.get()) << "same key must intern to one set";
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // A different key is a different entry.
+  CandidateSetRef c = cache.Get(person, {}, {follow});
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CandidateCacheTest, KeyNormalizesLabelOrderAndDuplicates) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  const Label person = dict.Intern("person");
+  const Label follow = dict.Intern("follow");
+  const Label recom = dict.Intern("recom");
+  CandidateCache cache(g);
+  CandidateSetRef a = cache.Get(person, {follow, recom}, {});
+  CandidateSetRef b = cache.Get(person, {recom, follow, follow}, {});
+  EXPECT_EQ(a.get(), b.get())
+      << "label lists must be order- and duplicate-insensitive";
+}
+
+TEST(CandidateCacheTest, SetsMatchTheSerialDegreeRefinement) {
+  testing::G1Ids ids;
+  Graph g = testing::BuildG1(&ids);
+  LabelDict& dict = g.mutable_dict();
+  const Label person = dict.Intern("person");
+  const Label follow = dict.Intern("follow");
+  const Label recom = dict.Intern("recom");
+  CandidateCache cache(g);
+  // Persons with at least one follow out-edge: x1, x2, x3.
+  CandidateSetRef followers = cache.Get(person, {follow}, {});
+  EXPECT_EQ(followers->members,
+            (std::vector<VertexId>{ids.x1, ids.x2, ids.x3}));
+  // Persons with a recom out-edge AND a follow in-edge: v0..v3.
+  CandidateSetRef recommenders = cache.Get(person, {recom}, {follow});
+  EXPECT_EQ(recommenders->members,
+            (std::vector<VertexId>{ids.v0, ids.v1, ids.v2, ids.v3}));
+  // Bitset agrees with the member list.
+  for (VertexId v : recommenders->members) {
+    EXPECT_TRUE(recommenders->bits.Test(v));
+  }
+  EXPECT_FALSE(recommenders->bits.Test(ids.v4));
+  EXPECT_FALSE(recommenders->bits.Test(ids.x1));
+}
+
+TEST(CandidateCacheTest, EvictUnusedRespectsLiveReferences) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  const Label person = dict.Intern("person");
+  const Label follow = dict.Intern("follow");
+  const Label recom = dict.Intern("recom");
+  CandidateCache cache(g);
+  CandidateSetRef held = cache.Get(person, {follow}, {});
+  EXPECT_EQ(held.use_count(), 2) << "pool + caller";
+  {
+    CandidateSetRef dropped = cache.Get(person, {recom}, {});
+    EXPECT_EQ(cache.size(), 2u);
+    // `dropped` dies here; only the pool's reference remains.
+  }
+  EXPECT_EQ(cache.EvictUnused(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // The held set survived eviction, stays valid, and is still interned.
+  EXPECT_FALSE(held->members.empty());
+  CandidateSetRef again = cache.Get(person, {follow}, {});
+  EXPECT_EQ(held.get(), again.get());
+  // Once the last external handle dies, the entry becomes evictable.
+  held.reset();
+  again.reset();
+  EXPECT_EQ(cache.EvictUnused(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CandidateCacheTest, BuildSharesSetsBetweenSameKeyNodes) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  // Two pattern nodes with identical label/degree filters: z1 and z2 both
+  // "person with a recom out-edge".
+  Pattern p;
+  PatternNodeId xo = p.AddNode(dict.Intern("person"), "xo");
+  PatternNodeId z1 = p.AddNode(dict.Intern("person"), "z1");
+  PatternNodeId z2 = p.AddNode(dict.Intern("person"), "z2");
+  PatternNodeId r = p.AddNode(dict.Intern("redmi_2a"), "r");
+  (void)p.AddEdge(xo, z1, dict.Intern("follow"));
+  (void)p.AddEdge(xo, z2, dict.Intern("follow"));
+  (void)p.AddEdge(z1, r, dict.Intern("recom"));
+  (void)p.AddEdge(z2, r, dict.Intern("recom"));
+  (void)p.set_focus(xo);
+  MatchOptions plain;
+  plain.use_simulation = false;
+  CandidateCache cache(g);
+  auto cs = CandidateSpace::Build(p, g, plain, nullptr, nullptr, &cache);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->stratified_set(z1).get(), cs->stratified_set(z2).get())
+      << "same-key nodes must share one interned set";
+  EXPECT_NE(cs->stratified_set(xo).get(), cs->stratified_set(z1).get());
+  // No quantified out-edges anywhere: good aliases stratified.
+  for (PatternNodeId u = 0; u < p.num_nodes(); ++u) {
+    EXPECT_EQ(cs->good_set(u).get(), cs->stratified_set(u).get());
+  }
+  // A second build on the same cache hits instead of recomputing.
+  const uint64_t misses_before = cache.stats().misses;
+  auto cs2 = CandidateSpace::Build(p, g, plain, nullptr, nullptr, &cache);
+  ASSERT_TRUE(cs2.ok());
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  EXPECT_EQ(cs2->stratified_set(z1).get(), cs->stratified_set(z1).get());
+}
+
+TEST(CandidateCacheTest, ConcurrentGetsAgreeOnContent) {
+  Graph g = testing::BuildG1(nullptr);
+  LabelDict& dict = g.mutable_dict();
+  const Label person = dict.Intern("person");
+  const Label follow = dict.Intern("follow");
+  const Label recom = dict.Intern("recom");
+  CandidateCache cache(g);
+  constexpr size_t kThreads = 8;
+  std::vector<CandidateSetRef> got(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Half the threads race on one key, half on another.
+      got[t] = (t % 2 == 0) ? cache.Get(person, {follow}, {})
+                            : cache.Get(person, {recom}, {});
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_NE(got[t], nullptr);
+    EXPECT_EQ(got[t]->members, got[t % 2]->members);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qgp

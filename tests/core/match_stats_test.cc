@@ -64,7 +64,7 @@ TEST(MatchStatsTest, MonotonicInFocusSubset) {
     ASSERT_TRUE(pi.ok());
     auto ev = PositiveEvaluator::Create(std::move(pi->first), g, {});
     ASSERT_TRUE(ev.ok()) << ev.status().ToString();
-    const std::vector<VertexId>& all = ev->FocusCandidates();
+    const std::span<const VertexId> all = ev->FocusCandidates();
     if (all.size() < 2) continue;
     ++checked;
     std::span<const VertexId> half(all.data(), all.size() / 2);

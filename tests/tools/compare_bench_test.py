@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_bench.py on crafted JSON fixtures.
+
+Runs the comparator as a subprocess (the same way CI invokes it) and
+asserts on exit codes and output for: pass-within-threshold, regression,
+noise-floor exemption, scale mismatch, disappeared rows, malformed input.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+COMPARE = os.path.join(REPO_ROOT, "tools", "compare_bench.py")
+
+
+def bench_doc(rows, scale="small"):
+    return {
+        "schema": 1,
+        "bench": "fixture",
+        "scale": scale,
+        "rows": [{"config": c, "wall_ms": ms} for c, ms in rows],
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as fh:
+            if isinstance(doc, str):
+                fh.write(doc)
+            else:
+                json.dump(doc, fh)
+        return path
+
+    def run_compare(self, *args):
+        return subprocess.run(
+            [sys.executable, COMPARE, *args],
+            capture_output=True, text=True)
+
+    def test_within_threshold_passes(self):
+        base = self.write("base.json", bench_doc([("a", 10.0), ("b", 5.0)]))
+        cur = self.write("cur.json", bench_doc([("a", 12.0), ("b", 4.0)]))
+        result = self.run_compare(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_regression_fails(self):
+        base = self.write("base.json", bench_doc([("a", 10.0), ("b", 5.0)]))
+        cur = self.write("cur.json", bench_doc([("a", 13.0), ("b", 5.0)]))
+        result = self.run_compare(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("a: 10.0000 ms -> 13.0000 ms", result.stderr)
+
+    def test_exactly_at_threshold_passes(self):
+        base = self.write("base.json", bench_doc([("a", 10.0)]))
+        cur = self.write("cur.json", bench_doc([("a", 12.5)]))
+        result = self.run_compare(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_noise_floor_rows_never_gate(self):
+        # 10x slower but the baseline is microseconds: not a gate.
+        base = self.write("base.json",
+                          bench_doc([("tiny", 0.001), ("real", 8.0)]))
+        cur = self.write("cur.json",
+                         bench_doc([("tiny", 0.010), ("real", 8.1)]))
+        result = self.run_compare(base, cur, "--min-wall-ms", "0.05")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("noise floor", result.stdout)
+
+    def test_scale_mismatch_is_an_error_unless_allowed(self):
+        base = self.write("base.json", bench_doc([("a", 1.0)], scale="small"))
+        cur = self.write("cur.json", bench_doc([("a", 1.0)], scale="tiny"))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("scale mismatch", result.stderr)
+        result = self.run_compare(base, cur, "--allow-scale-mismatch")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_new_and_missing_rows_do_not_gate(self):
+        base = self.write("base.json", bench_doc([("old", 3.0), ("kept", 2.0)]))
+        cur = self.write("cur.json", bench_doc([("kept", 2.0), ("new", 9.9)]))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("WARNING: row disappeared", result.stdout)
+        self.assertIn("new", result.stdout)
+
+    def test_match_filter_limits_comparison(self):
+        base = self.write("base.json",
+                          bench_doc([("build/a", 1.0), ("other", 1.0)]))
+        cur = self.write("cur.json",
+                         bench_doc([("build/a", 1.1), ("other", 99.0)]))
+        result = self.run_compare(base, cur, "--match", "build/")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_malformed_json_is_a_usage_error(self):
+        base = self.write("base.json", bench_doc([("a", 1.0)]))
+        bad = self.write("bad.json", "{not json")
+        result = self.run_compare(base, bad)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("does not parse", result.stderr)
+
+    def test_missing_rows_key_is_a_usage_error(self):
+        base = self.write("base.json", bench_doc([("a", 1.0)]))
+        bad = self.write("bad.json", {"schema": 1})
+        result = self.run_compare(base, bad)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("missing rows", result.stderr)
+
+    def test_no_comparable_rows_is_a_usage_error(self):
+        base = self.write("base.json", bench_doc([("a", 1.0)]))
+        cur = self.write("cur.json", bench_doc([("b", 1.0)]))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

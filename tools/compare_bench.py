@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<name>.json files and fail on wall-ms regressions.
+
+Usage:
+  tools/compare_bench.py BASELINE CURRENT [--threshold 0.25]
+                         [--min-wall-ms 0.05] [--match SUBSTR]
+                         [--allow-scale-mismatch]
+
+Compares rows by their `config` key. A row regresses when
+  current_wall_ms > baseline_wall_ms * (1 + threshold)
+and the baseline row is at least --min-wall-ms (sub-noise rows are
+reported but never gate). Rows present on only one side are warnings,
+not failures — benches grow rows over time.
+
+Exit codes: 0 = no regression, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message):
+    """Usage/parse failure: distinct exit code from a real regression."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        die(f"error: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        die(f"error: {path} does not parse: {exc}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("rows"), list):
+        die(f"error: {path} is not a BENCH json (missing rows)")
+    rows = {}
+    for row in doc["rows"]:
+        config = row.get("config")
+        wall = row.get("wall_ms")
+        if not isinstance(config, str) or not isinstance(wall, (int, float)):
+            die(f"error: {path} has a malformed row: {row!r}")
+        rows[config] = float(wall)
+    return doc, rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when a BENCH json regresses vs the committed "
+        "baseline.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--min-wall-ms", type=float, default=0.05,
+                        help="ignore rows whose baseline is below this "
+                        "(noise floor, default 0.05 ms)")
+    parser.add_argument("--match", default="",
+                        help="only compare configs containing this substring")
+    parser.add_argument("--allow-scale-mismatch", action="store_true",
+                        help="compare even when QGP_BENCH_SCALE differs")
+    args = parser.parse_args(argv)
+
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+
+    base_doc, base_rows = load(args.baseline)
+    cur_doc, cur_rows = load(args.current)
+
+    base_scale = base_doc.get("scale")
+    cur_scale = cur_doc.get("scale")
+    if base_scale != cur_scale and not args.allow_scale_mismatch:
+        die(f"error: scale mismatch (baseline {base_scale!r} vs "
+            f"current {cur_scale!r}); wall-ms comparison would be "
+            "meaningless. Re-run at the baseline scale or pass "
+            "--allow-scale-mismatch.")
+
+    regressions = []
+    compared = 0
+    print(f"{'config':<44} {'base ms':>12} {'cur ms':>12} {'ratio':>7}")
+    for config in sorted(set(base_rows) | set(cur_rows)):
+        if args.match and args.match not in config:
+            continue
+        if config not in base_rows:
+            print(f"{config:<44} {'-':>12} {cur_rows[config]:>12.4f} "
+                  f"{'new':>7}")
+            continue
+        if config not in cur_rows:
+            print(f"{config:<44} {base_rows[config]:>12.4f} {'-':>12} "
+                  f"{'gone':>7}  WARNING: row disappeared")
+            continue
+        base = base_rows[config]
+        cur = cur_rows[config]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = ""
+        if base < args.min_wall_ms:
+            verdict = "  (below noise floor, not gated)"
+        elif cur > base * (1.0 + args.threshold):
+            verdict = "  REGRESSION"
+            regressions.append((config, base, cur, ratio))
+        print(f"{config:<44} {base:>12.4f} {cur:>12.4f} {ratio:>6.2f}x"
+              f"{verdict}")
+        compared += 1
+
+    if compared == 0:
+        die("error: no comparable rows (wrong file pair or --match "
+            "filter?)")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for config, base, cur, ratio in regressions:
+            print(f"  {config}: {base:.4f} ms -> {cur:.4f} ms "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} rows within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
