@@ -1,10 +1,15 @@
 #include "bench/common/bench_common.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
+#include <thread>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "core/enum_matcher.h"
+#include "parallel/dpar.h"
 
 namespace qgp::bench {
 
@@ -41,6 +46,55 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Revision stamped into every BENCH json: $QGP_GIT_REV when the harness
+// (tools/run_bench.sh) injected it, else `git rev-parse` at run time —
+// bench binaries run by hand from a repo checkout used to emit
+// "git_rev": "unknown" (BENCH_exp3_qgar.json was the repeat offender),
+// which made trajectories unattributable. The lookup is anchored to the
+// BINARY's directory (build/bench/ inside the checkout), not the cwd —
+// running a bench from some unrelated git repo must not stamp that
+// repo's HEAD onto this repo's numbers.
+std::string ResolveGitRev() {
+  std::string rev = GetEnvString("QGP_GIT_REV", "");
+  if (!rev.empty()) return rev;
+  // popen goes through /bin/sh, so the directory is interpolated only
+  // when it is provably inert under shell parsing. A binary whose path
+  // cannot be safely interpolated gets "unknown" — never the cwd lookup,
+  // which could stamp an unrelated checkout's HEAD.
+  auto shell_safe = [](const std::string& s) {
+    for (char c : s) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '/' || c == '.' ||
+                      c == '_' || c == '-' || c == '+';
+      if (!ok) return false;
+    }
+    return !s.empty();
+  };
+  std::string dir;
+  char exe[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (len > 0) {
+    exe[len] = '\0';
+    dir = exe;
+    const size_t slash = dir.rfind('/');
+    dir = slash != std::string::npos ? dir.substr(0, slash) : std::string();
+  }
+  if (!shell_safe(dir)) return "unknown";
+  const std::string cmd =
+      "git -C " + dir + " rev-parse --short HEAD 2>/dev/null";
+  if (std::FILE* p = ::popen(cmd.c_str(), "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      rev = buf;
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+    }
+    ::pclose(p);
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
 // JSON has no NaN/Inf; clamp to null-free 0 and format with enough
 // precision for millisecond timings.
 void PrintJsonNumber(std::FILE* f, double v) {
@@ -54,10 +108,12 @@ void PrintStats(std::FILE* f, const MatchStats& s) {
       "{\"isomorphisms_enumerated\":%" PRIu64 ",\"witness_searches\":%" PRIu64
       ",\"search_extensions\":%" PRIu64 ",\"candidates_initial\":%" PRIu64
       ",\"candidates_pruned\":%" PRIu64 ",\"focus_candidates_checked\":%" PRIu64
-      ",\"inc_candidates_checked\":%" PRIu64 ",\"balls_built\":%" PRIu64 "}",
+      ",\"inc_candidates_checked\":%" PRIu64 ",\"balls_built\":%" PRIu64
+      ",\"scheduler_tasks\":%" PRIu64 ",\"scheduler_steals\":%" PRIu64 "}",
       s.isomorphisms_enumerated, s.witness_searches, s.search_extensions,
       s.candidates_initial, s.candidates_pruned, s.focus_candidates_checked,
-      s.inc_candidates_checked, s.balls_built);
+      s.inc_candidates_checked, s.balls_built, s.scheduler_tasks,
+      s.scheduler_steals);
 }
 
 }  // namespace
@@ -92,7 +148,7 @@ bool BenchReporter::Write() {
   std::fprintf(f, "  \"scale_factor\": ");
   PrintJsonNumber(f, ScaleFactor());
   std::fprintf(f, ",\n  \"git_rev\": \"%s\",\n",
-               JsonEscape(GetEnvString("QGP_GIT_REV", "unknown")).c_str());
+               JsonEscape(ResolveGitRev()).c_str());
   std::fprintf(f, "  \"rows\": [");
   for (size_t i = 0; i < rows_.size(); ++i) {
     const Row& r = rows_[i];
@@ -118,6 +174,53 @@ bool BenchReporter::Write() {
   const bool ok = std::fclose(f) == 0;
   if (ok) std::printf("wrote %s\n", path.c_str());
   return ok;
+}
+
+bool PartitionsIdentical(const Partition& a, const Partition& b) {
+  if (a.d != b.d || a.num_border_nodes != b.num_border_nodes ||
+      a.base_region != b.base_region ||
+      a.fragments.size() != b.fragments.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.fragments.size(); ++i) {
+    if (a.fragments[i].owned_global != b.fragments[i].owned_global ||
+        a.fragments[i].owned_local != b.fragments[i].owned_local ||
+        a.fragments[i].sub.local_to_global !=
+            b.fragments[i].sub.local_to_global ||
+        a.fragments[i].sub.graph.num_edges() !=
+            b.fragments[i].sub.graph.num_edges()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReportPoolVsSerialDPar(const Graph& g, BenchReporter& reporter) {
+  DParConfig dc;
+  dc.num_fragments = 8;
+  dc.d = 2;
+  WallTimer serial_timer;
+  auto serial = DPar(g, dc);
+  const double serial_ms = serial_timer.ElapsedMillis();
+  if (!serial.ok()) return false;
+  const size_t hw = std::max(2u, std::thread::hardware_concurrency());
+  ThreadPool pool(hw);
+  WallTimer pool_timer;
+  auto pooled = DPar(g, dc, nullptr, &pool);
+  const double pool_ms = pool_timer.ElapsedMillis();
+  if (!pooled.ok()) return false;
+  if (!PartitionsIdentical(*serial, *pooled)) {
+    std::printf("FATAL: pooled DPar diverged from serial\n");
+    return false;
+  }
+  std::printf("pool-parallel DPar (n=8, d=2, %zu threads): "
+              "%.1f ms vs serial %.1f ms (%.2fx)\n",
+              hw, pool_ms, serial_ms,
+              pool_ms > 0 ? serial_ms / pool_ms : 0.0);
+  reporter.Add("n=8/d=2/pool_wall", pool_ms,
+               {{"threads", static_cast<double>(hw)},
+                {"serial_wall_ms", serial_ms}});
+  return true;
 }
 
 std::vector<Pattern> MakeSuite(const Graph& g, size_t count,

@@ -26,6 +26,10 @@
 #include "gen/synthetic_gen.h"
 #include "graph/graph.h"
 
+namespace qgp {
+struct Partition;  // parallel/partition.h — only the DPar benches need it
+}
+
 namespace qgp::bench {
 
 /// Workload multiplier from QGP_BENCH_SCALE.
@@ -159,6 +163,20 @@ double TimeSeconds(Fn&& fn) {
   fn();
   return timer.ElapsedSeconds();
 }
+
+/// Strict partition identity: the "parallel DPar == serial DPar"
+/// contract, in one place for every bench that asserts it. Compares the
+/// base regions, border count, and every fragment's ownership, vertex
+/// mapping and edge count. (Defined in bench_common.cc so the DPar and
+/// ThreadPool headers stay out of the other bench TUs.)
+bool PartitionsIdentical(const Partition& a, const Partition& b);
+
+/// Shared by the fig8d/8e DPar benches: one real-threads partitioning
+/// point (n=8, d=2) — serial wall time vs the work-stealing pool at
+/// this host's core count, identity-checked (the speedup can never come
+/// from partitioning differently). Emits an "n=8/d=2/pool_wall" row.
+/// Returns false on failure.
+bool ReportPoolVsSerialDPar(const Graph& g, BenchReporter& reporter);
 
 /// Header block: what figure this reproduces and what the paper reports.
 inline void PrintHeader(const std::string& figure,

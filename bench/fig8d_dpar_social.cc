@@ -2,7 +2,9 @@
 // substitute, varying n, for d = 2 and (incrementally extended) d = 3.
 // Reported time is the simulated parallel time: coordinator phases plus
 // the makespans of the per-fragment ball-extraction and materialization
-// phases (DESIGN.md §3).
+// phases (DESIGN.md §3). The n=8/d=2 point is additionally measured as
+// real wall time with partitioning fanned out over the work-stealing
+// pool, identity-checked against the serial partition.
 #include "bench/common/bench_common.h"
 #include "parallel/dpar.h"
 
@@ -47,5 +49,8 @@ int main() {
     std::printf("\nDPar speedup n=4 -> n=20 (d=2): %.2fx (paper: ~3.5x)\n",
                 first / last);
   }
+
+  // Real-threads partitioning: serial wall vs the work-stealing pool.
+  if (!ReportPoolVsSerialDPar(g, reporter)) return 1;
   return 0;
 }

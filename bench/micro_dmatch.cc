@@ -16,6 +16,7 @@
 #include "core/candidate_space.h"
 #include "core/qmatch.h"
 #include "graph/graph_algorithms.h"
+#include "parallel/dpar.h"
 
 namespace qgp::bench {
 namespace {
@@ -204,6 +205,134 @@ void BuildCase(const Graph& g, const Pattern& positive,
                 {"speedup_vs_cold", cache_speedup}});
 }
 
+// DPar partition phase: serial vs the work-stealing pool (boundary scan,
+// border BFS rounds, ball extraction + size estimation, materialization
+// all fan out). The pool-built partition is checked IDENTICAL to the
+// serial one — the speedup can never come from partitioning differently.
+void DParCase(const Graph& g, BenchReporter& reporter) {
+  DParConfig dc;
+  dc.num_fragments = 8;
+  dc.d = 2;
+  volatile size_t sink = 0;
+
+  size_t serial_iters = 0;
+  double serial_ms = TimePerCall(
+      [&] {
+        auto p = DPar(g, dc);
+        if (!p.ok()) std::exit(1);
+        sink = sink + p->num_border_nodes;
+      },
+      &serial_iters);
+  std::printf("dpar/partition_phase/serial    %9.3f ms\n", serial_ms);
+  reporter.Add("dpar/partition_phase/serial", serial_ms,
+               {{"iters", static_cast<double>(serial_iters)},
+                {"fragments", static_cast<double>(dc.num_fragments)}});
+
+  auto serial_part = DPar(g, dc);
+  ThreadPool pool(4);
+  size_t par_iters = 0;
+  double par_ms = TimePerCall(
+      [&] {
+        auto p = DPar(g, dc, nullptr, &pool);
+        if (!p.ok()) std::exit(1);
+        sink = sink + p->num_border_nodes;
+      },
+      &par_iters);
+  auto par_part = DPar(g, dc, nullptr, &pool);
+  if (!serial_part.ok() || !par_part.ok()) {
+    std::printf("FATAL: DPar identity-check run failed\n");
+    std::exit(1);
+  }
+  if (!PartitionsIdentical(*serial_part, *par_part)) {
+    std::printf("FATAL: pool-parallel DPar diverged from serial\n");
+    std::exit(1);
+  }
+  double speedup = par_ms > 0 ? serial_ms / par_ms : 0.0;
+  std::printf("dpar/partition_phase/parallel  %9.3f ms  speedup %5.2fx\n",
+              par_ms, speedup);
+  reporter.Add("dpar/partition_phase/parallel", par_ms,
+               {{"iters", static_cast<double>(par_iters)},
+                {"threads", 4.0},
+                {"speedup_vs_serial", speedup}});
+}
+
+// Work-stealing sweep on a deliberately skewed task set: the ~100x
+// heavy tasks are CLUSTERED in the first indices, so a static
+// contiguous chunking strands them all on the first worker's chunk
+// while the dynamic round-robin deal spreads the heavy chunks and idle
+// workers steal the rest. (A periodic heavy pattern would divide evenly
+// into the static chunks and measure nothing but dispatch overhead.)
+// Both schedules fill the same output slots; the results are asserted
+// identical before anything is reported.
+void StealSweepCase(BenchReporter& reporter) {
+  // Sized so every row sits comfortably ABOVE the bench gate's 2 ms
+  // noise floor (~8 ms here): rows that straddle the floor would flip
+  // between gated and ungated on every baseline regeneration.
+  constexpr size_t kTasks = 1024;
+  auto cost_of = [](size_t i) -> uint64_t { return i < 64 ? 60000 : 600; };
+  auto work = [&](size_t i) {
+    uint64_t h = i * 0x9e3779b97f4a7c15ULL + 1;
+    const uint64_t rounds = cost_of(i);
+    for (uint64_t r = 0; r < rounds; ++r) {
+      h ^= h << 13;
+      h ^= h >> 7;
+      h ^= h << 17;
+    }
+    return h;
+  };
+  std::vector<uint64_t> expected(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) expected[i] = work(i);
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> slots(kTasks, 0);
+    size_t static_iters = 0;
+    double static_ms = TimePerCall(
+        [&] {
+          pool.ParallelForRange(kTasks, 1, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) slots[i] = work(i);
+          });
+        },
+        &static_iters);
+    if (slots != expected) {
+      std::printf("FATAL: static schedule produced wrong slots\n");
+      std::exit(1);
+    }
+    const ThreadPool::SchedulerStats before = pool.scheduler_stats();
+    std::vector<uint64_t> dyn_slots(kTasks, 0);
+    size_t dyn_iters = 0;
+    double dyn_ms = TimePerCall(
+        [&] {
+          pool.ParallelForDynamic(kTasks, 4, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) dyn_slots[i] = work(i);
+          });
+        },
+        &dyn_iters);
+    if (dyn_slots != expected) {
+      std::printf("FATAL: dynamic schedule produced wrong slots\n");
+      std::exit(1);
+    }
+    const ThreadPool::SchedulerStats after = pool.scheduler_stats();
+    const double steals = static_cast<double>(after.total_stolen() -
+                                              before.total_stolen()) /
+                          static_cast<double>(dyn_iters + 1);
+    double speedup = dyn_ms > 0 ? static_ms / dyn_ms : 0.0;
+    std::printf(
+        "scheduler/steal_sweep threads=%zu  static %8.3f ms  dynamic "
+        "%8.3f ms  speedup %5.2fx  steals/run %6.1f\n",
+        threads, static_ms, dyn_ms, speedup, steals);
+    reporter.Add(
+        "scheduler/steal_sweep/static/threads=" + std::to_string(threads),
+        static_ms, {{"iters", static_cast<double>(static_iters)}});
+    reporter.Add(
+        "scheduler/steal_sweep/dynamic/threads=" + std::to_string(threads),
+        dyn_ms,
+        {{"iters", static_cast<double>(dyn_iters)},
+         {"speedup_vs_static", speedup},
+         {"steals_per_run", steals}});
+  }
+}
+
 }  // namespace
 }  // namespace qgp::bench
 
@@ -263,6 +392,14 @@ int main() {
   // Build phase (cold-start cost): serial vs thread sweep vs interning.
   std::printf("\n");
   BuildCase(g, pi->first, reporter);
+
+  // DPar partition phase: serial vs the work-stealing pool.
+  std::printf("\n");
+  DParCase(g, reporter);
+
+  // Scheduler: static vs work-stealing dynamic dispatch on skewed tasks.
+  std::printf("\n");
+  StealSweepCase(reporter);
 
   // End to end: sequential QMatch over the suite, with the Build phase
   // split out (the Π(Q) candidate-space construction per pattern) so the

@@ -6,9 +6,13 @@ namespace qgp {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -25,13 +29,34 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::SubmitStealable(size_t home, std::function<void()> task) {
+  // Count the task BEFORE making it visible in the deque: a thief that is
+  // already probing (woken by other work) may take and finish it
+  // immediately, and the completion accounting must never run ahead of
+  // the submission accounting (unsigned counters would wrap and wedge
+  // the sleep predicate). The reverse transient — counted but not yet
+  // pushed — only makes an idle worker re-probe until the push lands.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+    stealable_ready_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Worker& w = *workers_[home % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.deque.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -61,6 +86,26 @@ void ThreadPool::ParallelForRange(
   Wait();
 }
 
+void ThreadPool::ParallelForDynamic(
+    size_t n, size_t min_grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (min_grain == 0) min_grain = 1;
+  const size_t chunks = (n + min_grain - 1) / min_grain;
+  if (chunks <= 1 || threads_.size() == 1 || IsWorkerThread()) {
+    fn(0, n);
+    return;
+  }
+  // Deal chunks round-robin in index order: chunk c lands on worker
+  // c % num_threads, so each deque holds an interleaved, order-preserving
+  // slice of the caller's (typically size-sorted) chunk sequence.
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = c * min_grain;
+    size_t end = std::min(n, begin + min_grain);
+    SubmitStealable(c, [begin, end, &fn] { fn(begin, end); });
+  }
+  Wait();
+}
+
 bool ThreadPool::IsWorkerThread() const {
   const std::thread::id self = std::this_thread::get_id();
   for (const auto& t : threads_) {
@@ -69,26 +114,97 @@ bool ThreadPool::IsWorkerThread() const {
   return false;
 }
 
-void ThreadPool::WorkerLoop() {
+ThreadPool::SchedulerStats ThreadPool::scheduler_stats() const {
+  SchedulerStats stats;
+  stats.executed.reserve(workers_.size());
+  stats.stolen.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    stats.executed.push_back(w->executed.load(std::memory_order_relaxed));
+    stats.stolen.push_back(w->stolen.load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+bool ThreadPool::TakeTask(size_t id, std::function<void()>* task) {
+  // 1. Own deque, head end: the oldest of this worker's pending chunks,
+  // which under largest-first submission is its largest remaining one.
+  {
+    Worker& own = *workers_[id];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.deque.empty()) {
+      *task = std::move(own.deque.front());
+      own.deque.pop_front();
+      stealable_ready_.fetch_sub(1, std::memory_order_relaxed);
+      own.executed.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // 2. Central queue.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!queue_.empty()) {
+      *task = std::move(queue_.front());
+      queue_.pop_front();
+      workers_[id]->executed.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // 3. Steal: randomized victim selection — probe every other worker
+  // once, starting at a random offset, and take the TAIL of the first
+  // non-empty deque found (the end opposite the owner, per Chase-Lev).
+  const size_t n = workers_.size();
+  if (n > 1 && stealable_ready_.load(std::memory_order_relaxed) > 0) {
+    // Cheap per-worker xorshift; scheduling may be random, results never
+    // depend on it.
+    static thread_local uint64_t rng_state = 0;
+    if (rng_state == 0) rng_state = 0x9e3779b97f4a7c15ULL ^ (id + 1);
+    rng_state ^= rng_state << 13;
+    rng_state ^= rng_state >> 7;
+    rng_state ^= rng_state << 17;
+    const size_t start = static_cast<size_t>(rng_state % n);
+    for (size_t probe = 0; probe < n; ++probe) {
+      const size_t victim = (start + probe) % n;
+      if (victim == id) continue;
+      Worker& v = *workers_[victim];
+      std::lock_guard<std::mutex> lock(v.mu);
+      if (v.deque.empty()) continue;
+      *task = std::move(v.deque.back());
+      v.deque.pop_back();
+      stealable_ready_.fetch_sub(1, std::memory_order_relaxed);
+      workers_[id]->executed.fetch_add(1, std::memory_order_relaxed);
+      workers_[id]->stolen.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::FinishTask() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+  }
+  idle_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
   for (;;) {
     std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+    if (TakeTask(id, &task)) {
+      task();
+      task = nullptr;  // release captures before signalling completion
+      FinishTask();
+      continue;
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] {
+      return stop_ || !queue_.empty() ||
+             stealable_ready_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_ && queue_.empty() &&
+        stealable_ready_.load(std::memory_order_relaxed) == 0) {
+      return;
     }
-    idle_cv_.notify_all();
   }
 }
 

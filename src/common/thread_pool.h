@@ -4,19 +4,33 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace qgp {
 
-/// Fixed-size worker pool. Used for intra-fragment parallelism (mQMatch)
-/// and for running per-fragment work in PQMatch's real-thread mode.
+/// Fixed-size worker pool. Used for intra-fragment parallelism (mQMatch),
+/// for running per-fragment work in PQMatch's real-thread mode, and for
+/// the work-stealing match scheduler.
 ///
-/// Tasks are plain std::function<void()>; Wait() blocks until the queue is
-/// drained and all in-flight tasks have finished.
+/// Two task channels share the same workers:
+///  * `Submit` feeds a central FIFO queue (legacy path, still used for
+///    one-shot fan-outs where placement does not matter).
+///  * `SubmitStealable` feeds per-worker Chase-Lev-style deques: each
+///    worker drains its own deque from the head, and an idle worker
+///    steals from the tail of a randomly chosen victim. With tasks
+///    enqueued largest-first, a worker always runs its biggest pending
+///    chunk next while thieves peel the victim's smallest chunk off the
+///    opposite end — skewed workloads rebalance instead of serializing
+///    on one worker.
+///
+/// Wait() blocks until both channels are drained and all in-flight tasks
+/// have finished.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -28,10 +42,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.
+  /// Enqueues a task on the central queue.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Enqueues a task on worker `home`'s deque (modulo num_threads()).
+  /// The home worker drains its deque head-first (submission order),
+  /// idle workers steal tail-first (the opposite end). Submission order
+  /// from a single thread is therefore the home worker's execution
+  /// order — callers submit largest tasks first.
+  void SubmitStealable(size_t home, std::function<void()> task);
+
+  /// Blocks until all submitted tasks (both channels) have completed.
   void Wait();
 
   /// Number of worker threads.
@@ -53,18 +74,76 @@ class ThreadPool {
   void ParallelForRange(size_t n, size_t min_grain,
                         const std::function<void(size_t, size_t)>& fn);
 
+  /// Work-stealing variant: splits [0, n) into contiguous chunks of
+  /// exactly `min_grain` indices (last chunk may be short), deals them
+  /// round-robin onto the per-worker deques in index order, and waits.
+  /// Chunk boundaries are a pure function of (n, min_grain), so callers
+  /// that write only to index-owned slots get results identical to the
+  /// serial loop at any thread count — stealing moves chunks between
+  /// workers, never between slots. Callers that want largest-first
+  /// execution sort their index space before calling (see
+  /// qmatch.cc's focus map). Degrades to inline execution when nested
+  /// inside a worker or when a single chunk results.
+  void ParallelForDynamic(size_t n, size_t min_grain,
+                          const std::function<void(size_t, size_t)>& fn);
+
   /// True when the calling thread is one of this pool's workers.
   bool IsWorkerThread() const;
 
+  /// Cumulative scheduler counters since construction. `executed[w]` /
+  /// `stolen[w]` count tasks worker w ran / ran after stealing them from
+  /// another worker's deque (central-queue tasks count as executed,
+  /// never stolen). Snapshot is not atomic across workers — read it
+  /// while the pool is quiescent (after Wait()) for exact totals.
+  struct SchedulerStats {
+    std::vector<uint64_t> executed;
+    std::vector<uint64_t> stolen;
+    uint64_t total_executed() const {
+      uint64_t n = 0;
+      for (uint64_t e : executed) n += e;
+      return n;
+    }
+    uint64_t total_stolen() const {
+      uint64_t n = 0;
+      for (uint64_t s : stolen) n += s;
+      return n;
+    }
+  };
+  SchedulerStats scheduler_stats() const;
+
  private:
-  void WorkerLoop();
+  /// One worker's stealable-task deque plus its scheduler counters.
+  /// Chase-Lev in discipline (owner and thieves work opposite ends:
+  /// the owner drains the head, thieves take the newest-submitted task
+  /// at the tail — under largest-first submission, the victim's
+  /// smallest pending chunk); a per-deque mutex instead of the
+  /// lock-free protocol — match tasks are chunky (a focus
+  /// verification, a ball extraction), so the lock is nanoseconds
+  /// against microseconds-to-milliseconds of work, and it keeps the
+  /// scheduler trivially TSan-clean.
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> stolen{0};
+  };
+
+  void WorkerLoop(size_t id);
+  /// Own deque head, else central queue, else steal from a random
+  /// victim's tail. Returns false when no task was found anywhere.
+  bool TakeTask(size_t id, std::function<void()>* task);
+  void FinishTask();
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signalled when work arrives / stop
   std::condition_variable idle_cv_;   // signalled when a task finishes
   std::deque<std::function<void()>> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  size_t in_flight_ = 0;
+  /// Stealable tasks sitting in deques, not yet claimed. Guards the
+  /// sleep predicate: a worker only blocks when both channels are empty.
+  std::atomic<size_t> stealable_ready_{0};
+  size_t outstanding_ = 0;  // submitted but unfinished, both channels
   bool stop_ = false;
 };
 

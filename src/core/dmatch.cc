@@ -331,6 +331,10 @@ Result<PositiveEvaluator> PositiveEvaluator::Create(
   return ev;
 }
 
+uint64_t PositiveEvaluator::FocusCostHint(VertexId vx) const {
+  return static_cast<uint64_t>(g_->OutDegree(vx)) + g_->InDegree(vx);
+}
+
 bool PositiveEvaluator::VerifyFocus(VertexId vx, const FocusCache* warm,
                                     FocusCache* cache_out,
                                     MatchStats* stats) const {

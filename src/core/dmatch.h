@@ -98,6 +98,14 @@ class PositiveEvaluator {
   const Pattern& pattern() const { return pattern_; }
   const CandidateSpace& candidate_space() const { return cs_; }
   int radius() const { return radius_; }
+  const MatchOptions& options() const { return options_; }
+
+  /// Cheap upper-bound proxy for how expensive verifying `vx` will be:
+  /// the undirected degree, which drives the size of the radius-hop
+  /// ball the verifier extracts. The work-stealing focus map sorts
+  /// candidates by this, largest first, so hub-centred balls start
+  /// early and the tail of cheap foci backfills the workers.
+  uint64_t FocusCostHint(VertexId vx) const;
 
  private:
   PositiveEvaluator() = default;

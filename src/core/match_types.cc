@@ -14,6 +14,8 @@ void MatchStats::Add(const MatchStats& other) {
   focus_candidates_checked += other.focus_candidates_checked;
   inc_candidates_checked += other.inc_candidates_checked;
   balls_built += other.balls_built;
+  scheduler_tasks += other.scheduler_tasks;
+  scheduler_steals += other.scheduler_steals;
 }
 
 std::string MatchStats::ToString() const {
@@ -22,7 +24,9 @@ std::string MatchStats::ToString() const {
       << " witness=" << witness_searches << " ext=" << search_extensions
       << " cand0=" << candidates_initial << " pruned=" << candidates_pruned
       << " focus=" << focus_candidates_checked
-      << " inc=" << inc_candidates_checked << " balls=" << balls_built;
+      << " inc=" << inc_candidates_checked << " balls=" << balls_built
+      << " sched_tasks=" << scheduler_tasks
+      << " sched_steals=" << scheduler_steals;
   return out.str();
 }
 

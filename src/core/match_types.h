@@ -37,6 +37,11 @@ struct MatchOptions {
   /// ball exceeds it, DMatch falls back to global candidate sets, which
   /// is equally correct. 0 = auto: max(4096, |V| / 8).
   size_t ball_limit = 0;
+  /// Chunk grain for the work-stealing focus map (foci per stealable
+  /// task). 0 = auto (≈ |subset| / (threads · 8), at least 1). The
+  /// forced-steal stress tests pin this to 1 so every focus is its own
+  /// stealable task; answers never depend on it.
+  size_t scheduler_grain = 0;
 };
 
 /// Instrumentation counters. Verification work (the paper's cost measure
@@ -50,6 +55,14 @@ struct MatchStats {
   uint64_t focus_candidates_checked = 0; // DMatch outer loop size
   uint64_t inc_candidates_checked = 0;   // IncQMatch re-verifications
   uint64_t balls_built = 0;              // per-focus neighborhoods built
+
+  /// Work-stealing scheduler telemetry (tasks run / tasks that were
+  /// stolen from another worker's deque). Unlike every counter above,
+  /// these describe the SCHEDULE, not the work: they may vary run to run
+  /// and are excluded from the determinism contract the differential
+  /// suites assert.
+  uint64_t scheduler_tasks = 0;
+  uint64_t scheduler_steals = 0;
 
   /// Accumulates `other` into this (for cross-fragment aggregation).
   void Add(const MatchStats& other);

@@ -1,5 +1,6 @@
 #include "core/qmatch.h"
 
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
 
@@ -11,7 +12,12 @@ namespace {
 
 // Parallel map over focus candidates: verification is per-candidate
 // independent (PositiveEvaluator::VerifyFocus is const), so candidates
-// are verified across the pool and results merged deterministically.
+// are verified across the pool as size-ordered (largest-ball-first)
+// stealable tasks and results merged deterministically — each task
+// writes only its candidates' slots, and the merge folds slots in
+// original subset order, so answers and all work counters are identical
+// to the serial loop at any thread count (only the scheduler telemetry
+// varies with the schedule).
 AnswerSet VerifyAcross(const PositiveEvaluator& ev,
                        std::span<const VertexId> subset,
                        const std::unordered_map<VertexId, FocusCache>* warm,
@@ -35,25 +41,53 @@ AnswerSet VerifyAcross(const PositiveEvaluator& ev,
     Canonicalize(answers);
     return answers;
   }
-  std::vector<char> is_match(subset.size(), 0);
-  std::vector<FocusCache> cache_vec(caches != nullptr ? subset.size() : 0);
-  std::vector<MatchStats> stats_vec(stats != nullptr ? subset.size() : 0);
-  pool->ParallelFor(subset.size(), [&](size_t i) {
-    const FocusCache* w = nullptr;
-    if (warm != nullptr) {
-      auto it = warm->find(subset[i]);
-      if (it != warm->end()) w = &it->second;
-    }
-    is_match[i] = ev.VerifyFocus(
-        subset[i], w, caches != nullptr ? &cache_vec[i] : nullptr,
-        stats != nullptr ? &stats_vec[i] : nullptr);
+  const size_t n = subset.size();
+  // Largest-ball-first schedule: order positions by the focus degree
+  // proxy, descending, ties by subset position so the order is a pure
+  // function of the input. Skewed workloads (one hub focus dwarfing the
+  // rest) start their expensive foci immediately instead of discovering
+  // them at the tail of a static chunk.
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const uint64_t ca = ev.FocusCostHint(subset[a]);
+    const uint64_t cb = ev.FocusCostHint(subset[b]);
+    if (ca != cb) return ca > cb;
+    return a < b;
   });
-  for (size_t i = 0; i < subset.size(); ++i) {
+  size_t grain = ev.options().scheduler_grain;
+  if (grain == 0) {
+    grain = std::max<size_t>(1, n / (pool->num_threads() * 8));
+  }
+  std::vector<char> is_match(n, 0);
+  std::vector<FocusCache> cache_vec(caches != nullptr ? n : 0);
+  std::vector<MatchStats> stats_vec(stats != nullptr ? n : 0);
+  ThreadPool::SchedulerStats before;
+  if (stats != nullptr) before = pool->scheduler_stats();
+  pool->ParallelForDynamic(n, grain, [&](size_t begin, size_t end) {
+    for (size_t pos = begin; pos < end; ++pos) {
+      const size_t i = order[pos];
+      const FocusCache* w = nullptr;
+      if (warm != nullptr) {
+        auto it = warm->find(subset[i]);
+        if (it != warm->end()) w = &it->second;
+      }
+      is_match[i] = ev.VerifyFocus(
+          subset[i], w, caches != nullptr ? &cache_vec[i] : nullptr,
+          stats != nullptr ? &stats_vec[i] : nullptr);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
     if (stats != nullptr) stats->Add(stats_vec[i]);
     if (is_match[i]) {
       answers.push_back(subset[i]);
       if (caches != nullptr) caches->emplace(subset[i], std::move(cache_vec[i]));
     }
+  }
+  if (stats != nullptr) {
+    const ThreadPool::SchedulerStats after = pool->scheduler_stats();
+    stats->scheduler_tasks += after.total_executed() - before.total_executed();
+    stats->scheduler_steals += after.total_stolen() - before.total_stolen();
   }
   Canonicalize(answers);
   return answers;

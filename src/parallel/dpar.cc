@@ -1,10 +1,12 @@
 #include "parallel/dpar.h"
 
 #include <algorithm>
-#include <deque>
+#include <utility>
 
 #include "common/bitset.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/vertex_set.h"
 #include "parallel/base_partitioner.h"
 #include "parallel/mkp.h"
 
@@ -12,12 +14,69 @@ namespace qgp {
 
 namespace {
 
+// The partitioning phases below fan out as chunked tasks but must yield
+// the exact same Partition at any thread count (the serial schedule is
+// the spec). The discipline is the usual flag-then-compact: a parallel
+// phase writes only chunk-owned slots against inputs frozen for the
+// phase, and the merges are chunk-order-insensitive (integer sums, or a
+// sort to a canonical order) — so even the chunk COUNT, which depends on
+// the pool width, cannot leak into the result.
+
+// DPar keeps a small local dispatcher instead of ParallelForDynamic for
+// two reasons the pool API does not cover: the pool is OPTIONAL here
+// (nullptr is the common serial entry point), and the phases need the
+// chunk INDEX to address per-chunk output buffers whose count must be
+// known before dispatch.
+
+// Worker width usable for fan-out from the calling thread. 1 means "run
+// inline": no pool, a single-thread pool, or a nested call from inside
+// one of the pool's own workers (whose Wait() would deadlock).
+size_t UsableThreads(ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() == 1 || pool->IsWorkerThread()) {
+    return 1;
+  }
+  return pool->num_threads();
+}
+
+// Deterministic decomposition of [0, n) into at most `max_chunks`
+// contiguous near-equal ranges.
+std::vector<std::pair<size_t, size_t>> MakeChunks(size_t n,
+                                                  size_t max_chunks) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (n == 0) return chunks;
+  max_chunks = std::max<size_t>(1, max_chunks);
+  const size_t per = (n + max_chunks - 1) / max_chunks;
+  for (size_t begin = 0; begin < n; begin += per) {
+    chunks.emplace_back(begin, std::min(n, begin + per));
+  }
+  return chunks;
+}
+
+// Applies fn(chunk, begin, end) to every chunk: as stealable tasks dealt
+// round-robin across the pool when it is usable, inline otherwise.
+void RunChunks(ThreadPool* pool,
+               const std::vector<std::pair<size_t, size_t>>& chunks,
+               const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (chunks.empty()) return;
+  if (chunks.size() == 1 || UsableThreads(pool) == 1) {
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      fn(c, chunks[c].first, chunks[c].second);
+    }
+    return;
+  }
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    pool->SubmitStealable(
+        c, [c, &chunks, &fn] { fn(c, chunks[c].first, chunks[c].second); });
+  }
+  pool->Wait();
+}
+
 // Builds the d-hop preserving partition on top of an existing base
 // region assignment (shared by DPar and DParExtend).
 Result<Partition> BuildFromBase(const Graph& g,
                                 std::vector<uint32_t> base_region, int d,
                                 size_t n, double balance_factor,
-                                DParTimings* timings) {
+                                DParTimings* timings, ThreadPool* pool) {
   WallTimer phase_timer;
   if (n == 0) return Status::InvalidArgument("need >= 1 fragment");
   if (d < 0) return Status::InvalidArgument("d must be >= 0");
@@ -25,51 +84,81 @@ Result<Partition> BuildFromBase(const Graph& g,
     return Status::InvalidArgument("balance factor must be >= 1");
   }
   const size_t nv = g.num_vertices();
+  const size_t width = UsableThreads(pool);
 
   // --- Border detection: border(v) <=> some vertex of another region is
   // within d undirected hops <=> dist(v, boundary vertices) <= d-1, where
-  // boundary vertices have a direct foreign neighbor. One multi-source
-  // BFS truncated at depth d-1.
+  // boundary vertices have a direct foreign neighbor. The boundary scan
+  // fans out per-vertex; the truncated multi-source BFS runs in
+  // level-synchronous rounds (expand in parallel against a frozen dist
+  // array, claim sequentially, sort the next frontier canonical).
   std::vector<char> border(nv, 0);
   if (d >= 1) {
-    std::deque<VertexId> queue;
+    std::vector<char> boundary(nv, 0);
+    RunChunks(pool, MakeChunks(nv, width * 4),
+              [&](size_t, size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  const VertexId v = static_cast<VertexId>(i);
+                  bool is_boundary = false;
+                  for (const Neighbor& nb : g.OutNeighbors(v)) {
+                    if (base_region[nb.v] != base_region[v]) {
+                      is_boundary = true;
+                      break;
+                    }
+                  }
+                  if (!is_boundary) {
+                    for (const Neighbor& nb : g.InNeighbors(v)) {
+                      if (base_region[nb.v] != base_region[v]) {
+                        is_boundary = true;
+                        break;
+                      }
+                    }
+                  }
+                  boundary[i] = is_boundary ? 1 : 0;
+                }
+              });
     std::vector<uint32_t> dist(nv, UINT32_MAX);
+    std::vector<VertexId> frontier;
     for (VertexId v = 0; v < nv; ++v) {
-      bool boundary = false;
-      for (const Neighbor& nb : g.OutNeighbors(v)) {
-        if (base_region[nb.v] != base_region[v]) {
-          boundary = true;
-          break;
-        }
-      }
-      if (!boundary) {
-        for (const Neighbor& nb : g.InNeighbors(v)) {
-          if (base_region[nb.v] != base_region[v]) {
-            boundary = true;
-            break;
-          }
-        }
-      }
-      if (boundary) {
+      if (boundary[v]) {
         dist[v] = 0;
         border[v] = 1;
-        queue.push_back(v);
+        frontier.push_back(v);
       }
     }
     const uint32_t limit = static_cast<uint32_t>(d - 1);
-    while (!queue.empty()) {
-      VertexId v = queue.front();
-      queue.pop_front();
-      if (dist[v] >= limit) continue;
-      auto visit = [&](VertexId w) {
-        if (dist[w] == UINT32_MAX) {
-          dist[w] = dist[v] + 1;
-          border[w] = 1;
-          queue.push_back(w);
+    for (uint32_t level = 0; level < limit && !frontier.empty(); ++level) {
+      // Expand: dist is frozen this round, so concurrent reads are safe;
+      // each chunk appends discoveries (possibly duplicated across
+      // chunks) to its own buffer.
+      const auto chunks = MakeChunks(frontier.size(), width * 4);
+      std::vector<std::vector<VertexId>> found(chunks.size());
+      RunChunks(pool, chunks, [&](size_t c, size_t begin, size_t end) {
+        std::vector<VertexId>& out = found[c];
+        for (size_t i = begin; i < end; ++i) {
+          const VertexId v = frontier[i];
+          auto visit = [&](VertexId w) {
+            if (dist[w] == UINT32_MAX) out.push_back(w);
+          };
+          for (const Neighbor& nb : g.OutNeighbors(v)) visit(nb.v);
+          for (const Neighbor& nb : g.InNeighbors(v)) visit(nb.v);
         }
-      };
-      for (const Neighbor& nb : g.OutNeighbors(v)) visit(nb.v);
-      for (const Neighbor& nb : g.InNeighbors(v)) visit(nb.v);
+      });
+      // Claim: sequential dedup; every claim gets the same level value,
+      // and the sort makes the next frontier canonical, so neither the
+      // chunking nor the schedule can affect dist or border.
+      std::vector<VertexId> next;
+      for (const std::vector<VertexId>& f : found) {
+        for (VertexId w : f) {
+          if (dist[w] == UINT32_MAX) {
+            dist[w] = level + 1;
+            border[w] = 1;
+            next.push_back(w);
+          }
+        }
+      }
+      std::sort(next.begin(), next.end());
+      frontier = std::move(next);
     }
   }
 
@@ -79,44 +168,69 @@ Result<Partition> BuildFromBase(const Graph& g,
     timings->materialize_seconds.assign(n, 0.0);
   }
 
-  // --- Base fragment sizes (vertices + induced edges).
+  // --- Base fragment sizes (vertices + induced edges), merged from
+  // per-chunk partial counts (integer sums: merge order irrelevant).
   std::vector<uint64_t> est_size(n, 0);
-  for (VertexId v = 0; v < nv; ++v) est_size[base_region[v]] += 1;
-  for (VertexId v = 0; v < nv; ++v) {
-    for (const Neighbor& nb : g.OutNeighbors(v)) {
-      if (base_region[nb.v] == base_region[v]) ++est_size[base_region[v]];
+  {
+    const auto chunks = MakeChunks(nv, width * 4);
+    std::vector<std::vector<uint64_t>> partial(
+        chunks.size(), std::vector<uint64_t>(n, 0));
+    RunChunks(pool, chunks, [&](size_t c, size_t begin, size_t end) {
+      std::vector<uint64_t>& p = partial[c];
+      for (size_t i = begin; i < end; ++i) {
+        const VertexId v = static_cast<VertexId>(i);
+        p[base_region[v]] += 1;
+        for (const Neighbor& nb : g.OutNeighbors(v)) {
+          if (base_region[nb.v] == base_region[v]) ++p[base_region[v]];
+        }
+      }
+    });
+    for (const std::vector<uint64_t>& p : partial) {
+      for (size_t k = 0; k < n; ++k) est_size[k] += p[k];
     }
   }
 
-  // --- Balls for border nodes.
+  // --- Balls for border nodes: extraction and size estimation fan out
+  // per border node (each task writes only balls[i] / items[i]); the
+  // reusable membership bitset is per-chunk scratch.
   std::vector<VertexId> border_nodes;
   for (VertexId v = 0; v < nv; ++v) {
     if (border[v]) border_nodes.push_back(v);
   }
   std::vector<std::vector<VertexId>> balls(border_nodes.size());
   std::vector<MkpItem> items(border_nodes.size());
-  DynamicBitset member(nv);
-  for (size_t i = 0; i < border_nodes.size(); ++i) {
-    phase_timer.Restart();
-    balls[i] = KHopBall(g, border_nodes[i], d);
-    uint64_t edges = 0;
-    for (VertexId v : balls[i]) member.Set(v);
-    for (VertexId v : balls[i]) {
-      for (const Neighbor& nb : g.OutNeighbors(v)) {
-        if (member.Test(nb.v)) ++edges;
-      }
-    }
-    for (VertexId v : balls[i]) member.Clear(v);
-    items[i] = MkpItem{balls[i].size() + edges, i};
-    if (timings != nullptr) {
-      // Ball work is done by the border node's home worker.
-      timings->ball_seconds[base_region[border_nodes[i]]] +=
-          phase_timer.ElapsedSeconds();
+  std::vector<double> ball_secs(border_nodes.size(), 0.0);
+  RunChunks(pool, MakeChunks(border_nodes.size(), width * 8),
+            [&](size_t, size_t begin, size_t end) {
+              SparseBitset member;
+              member.EnsureUniverse(nv);
+              for (size_t i = begin; i < end; ++i) {
+                WallTimer ball_timer;
+                balls[i] = KHopBall(g, border_nodes[i], d);
+                uint64_t edges = 0;
+                for (VertexId v : balls[i]) member.Set(v);
+                for (VertexId v : balls[i]) {
+                  for (const Neighbor& nb : g.OutNeighbors(v)) {
+                    if (member.Test(nb.v)) ++edges;
+                  }
+                }
+                member.ResetTouched();
+                items[i] = MkpItem{balls[i].size() + edges, i};
+                ball_secs[i] = ball_timer.ElapsedSeconds();
+              }
+            });
+  if (timings != nullptr) {
+    // Ball work is done by the border node's home worker.
+    for (size_t i = 0; i < border_nodes.size(); ++i) {
+      timings->ball_seconds[base_region[border_nodes[i]]] += ball_secs[i];
     }
   }
   phase_timer.Restart();
 
-  // --- MKP assignment of balls to fragments.
+  // --- MKP assignment of balls to fragments. Kept sequential over items
+  // in border-node index order — the greedy solve and the completion
+  // step are order-sensitive, and a fixed order regardless of which
+  // thread produced each item is what keeps the partition deterministic.
   const uint64_t graph_size = nv + g.num_edges();
   const uint64_t cap = static_cast<uint64_t>(
       balance_factor * static_cast<double>(graph_size) /
@@ -162,7 +276,9 @@ Result<Partition> BuildFromBase(const Graph& g,
     timings->mkp_seconds = phase_timer.ElapsedSeconds();
   }
 
-  // --- Materialize fragments.
+  // --- Materialize fragments: the scatter stays sequential (cheap), the
+  // per-fragment sort + induced-subgraph extraction fans out one
+  // fragment per task.
   std::vector<std::vector<VertexId>> node_sets(n);
   std::vector<std::vector<VertexId>> owned(n);
   for (VertexId v = 0; v < nv; ++v) {
@@ -181,23 +297,34 @@ Result<Partition> BuildFromBase(const Graph& g,
   partition.num_border_nodes = border_nodes.size();
   partition.base_region = std::move(base_region);
   partition.fragments.resize(n);
+  std::vector<Status> frag_status(n, Status::Ok());
+  std::vector<double> mat_secs(n, 0.0);
+  RunChunks(pool, MakeChunks(n, n), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      WallTimer mat_timer;
+      std::sort(node_sets[i].begin(), node_sets[i].end());
+      node_sets[i].erase(
+          std::unique(node_sets[i].begin(), node_sets[i].end()),
+          node_sets[i].end());
+      Result<InducedSubgraph> sub = ExtractInducedSubgraph(g, node_sets[i]);
+      if (!sub.ok()) {
+        frag_status[i] = sub.status();
+        continue;
+      }
+      Fragment& frag = partition.fragments[i];
+      frag.sub = std::move(sub).value();
+      mat_secs[i] = mat_timer.ElapsedSeconds();
+      std::sort(owned[i].begin(), owned[i].end());
+      frag.owned_global = owned[i];
+      frag.owned_local.reserve(owned[i].size());
+      for (VertexId v : owned[i]) {
+        frag.owned_local.push_back(frag.sub.global_to_local.at(v));
+      }
+    }
+  });
   for (size_t i = 0; i < n; ++i) {
-    phase_timer.Restart();
-    std::sort(node_sets[i].begin(), node_sets[i].end());
-    node_sets[i].erase(std::unique(node_sets[i].begin(), node_sets[i].end()),
-                       node_sets[i].end());
-    QGP_ASSIGN_OR_RETURN(partition.fragments[i].sub,
-                         ExtractInducedSubgraph(g, node_sets[i]));
-    if (timings != nullptr) {
-      timings->materialize_seconds[i] = phase_timer.ElapsedSeconds();
-    }
-    std::sort(owned[i].begin(), owned[i].end());
-    partition.fragments[i].owned_global = owned[i];
-    partition.fragments[i].owned_local.reserve(owned[i].size());
-    for (VertexId v : owned[i]) {
-      partition.fragments[i].owned_local.push_back(
-          partition.fragments[i].sub.global_to_local.at(v));
-    }
+    QGP_RETURN_IF_ERROR(frag_status[i]);
+    if (timings != nullptr) timings->materialize_seconds[i] = mat_secs[i];
   }
   return partition;
 }
@@ -225,7 +352,7 @@ double DParTimings::SequentialSeconds() const {
 }
 
 Result<Partition> DPar(const Graph& g, const DParConfig& config,
-                       DParTimings* timings) {
+                       DParTimings* timings, ThreadPool* pool) {
   WallTimer base_timer;
   QGP_ASSIGN_OR_RETURN(std::vector<uint32_t> base,
                        BasePartition(g, config.num_fragments));
@@ -233,11 +360,12 @@ Result<Partition> DPar(const Graph& g, const DParConfig& config,
     timings->base_partition_seconds = base_timer.ElapsedSeconds();
   }
   return BuildFromBase(g, std::move(base), config.d, config.num_fragments,
-                       config.balance_factor, timings);
+                       config.balance_factor, timings, pool);
 }
 
 Result<Partition> DParExtend(const Graph& g, const Partition& partition,
-                             int new_d, double balance_factor) {
+                             int new_d, double balance_factor,
+                             ThreadPool* pool) {
   if (new_d <= partition.d) {
     return Status::InvalidArgument("DParExtend requires new_d > current d");
   }
@@ -246,7 +374,8 @@ Result<Partition> DParExtend(const Graph& g, const Partition& partition,
         "partition lacks a base region assignment for this graph");
   }
   return BuildFromBase(g, partition.base_region, new_d,
-                       partition.fragments.size(), balance_factor, nullptr);
+                       partition.fragments.size(), balance_factor, nullptr,
+                       pool);
 }
 
 }  // namespace qgp

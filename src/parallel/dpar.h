@@ -8,6 +8,8 @@
 
 namespace qgp {
 
+class ThreadPool;
+
 /// DPar configuration (§5.2).
 struct DParConfig {
   /// Number of fragments / workers n.
@@ -44,7 +46,8 @@ struct DParTimings {
 ///   1. Base partition: BFS region growing (METIS stand-in).
 ///   2. Border detection: a vertex is a border node iff some vertex of a
 ///      different base region lies within d undirected hops — computed
-///      with one multi-source BFS from all region-boundary vertices.
+///      with a boundary scan plus a multi-source BFS from all
+///      region-boundary vertices, truncated at depth d-1.
 ///   3. Ball assignment: each border node's Nd(v) becomes a unit-value
 ///      MKP item with weight |Nd(v)|; bins are fragments with remaining
 ///      capacity c|G|/n − |Fi|. Greedy worst-fit packing (the ε = 1 PTAS
@@ -54,15 +57,25 @@ struct DParTimings {
 ///   4. Fragment materialization: induced subgraph over base region ∪
 ///      assigned balls; ownership = internal nodes of the region plus
 ///      assigned border nodes.
+///
+/// `pool` (optional) parallelizes the partitioning itself: the boundary
+/// scan, the truncated border BFS (level-synchronous rounds), base
+/// fragment size estimation, per-border K-hop ball extraction +
+/// ball-size estimation, and per-fragment materialization all fan out
+/// over the pool as stealable chunk tasks. The greedy MKP solve stays
+/// sequential over items in border-node index order, so the resulting
+/// partition is IDENTICAL to the serial one at any thread count.
 Result<Partition> DPar(const Graph& g, const DParConfig& config,
-                       DParTimings* timings = nullptr);
+                       DParTimings* timings = nullptr,
+                       ThreadPool* pool = nullptr);
 
 /// Incremental radius extension (§5.2 Remark): widens an existing
 /// partition from its current d to `new_d` > d by recomputing border
 /// balls at the larger radius, reusing the base regions. Equivalent to
 /// DPar at new_d; cheaper because the base partition is not rebuilt.
 Result<Partition> DParExtend(const Graph& g, const Partition& partition,
-                             int new_d, double balance_factor = 1.6);
+                             int new_d, double balance_factor = 1.6,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace qgp
 

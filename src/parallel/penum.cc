@@ -53,6 +53,13 @@ Result<ParallelRunResult> PEnum::Evaluate(const Pattern& pattern,
   std::vector<MatchStats> local_stats(n);
   std::vector<Status> local_status(n, Status::Ok());
 
+  // Same size-ordered stealable schedule as PQMatch: heaviest fragment
+  // first, idle workers steal the rest.
+  std::vector<uint64_t> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = partition.fragments[i].SizeCost();
+  }
+
   WorkerSet workers(n, config.mode);
   WorkerSet::Report report = workers.Run([&](size_t i) {
     const Fragment& f = partition.fragments[i];
@@ -66,7 +73,7 @@ Result<ParallelRunResult> PEnum::Evaluate(const Pattern& pattern,
     for (VertexId lv : local.value()) {
       local_answers[i].push_back(f.sub.local_to_global[lv]);
     }
-  });
+  }, weights);
   for (size_t i = 0; i < n; ++i) {
     QGP_RETURN_IF_ERROR(local_status[i]);
   }
@@ -77,6 +84,8 @@ Result<ParallelRunResult> PEnum::Evaluate(const Pattern& pattern,
                           local_answers[i].end());
     result.stats.Add(local_stats[i]);
   }
+  result.stats.scheduler_tasks += report.tasks_executed;
+  result.stats.scheduler_steals += report.tasks_stolen;
   Canonicalize(result.answers);
   result.coordinator_seconds = assemble.ElapsedSeconds();
   result.fragment_seconds = report.worker_seconds;

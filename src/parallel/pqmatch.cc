@@ -26,6 +26,14 @@ Result<ParallelRunResult> PQMatch::Evaluate(const Pattern& pattern,
   std::vector<MatchStats> local_stats(n);
   std::vector<Status> local_status(n, Status::Ok());
 
+  // Fragment cost estimates for the work-stealing schedule: |Fi| (local
+  // nodes + edges), the same size the MKP balance bound speaks about.
+  // A skewed fragment starts first; idle workers steal the rest.
+  std::vector<uint64_t> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = partition.fragments[i].SizeCost();
+  }
+
   WorkerSet workers(n, config.mode);
   WorkerSet::Report report = workers.Run([&](size_t i) {
     const Fragment& f = partition.fragments[i];
@@ -51,7 +59,7 @@ Result<ParallelRunResult> PQMatch::Evaluate(const Pattern& pattern,
     for (VertexId lv : local.value()) {
       local_answers[i].push_back(f.sub.local_to_global[lv]);
     }
-  });
+  }, weights);
 
   for (size_t i = 0; i < n; ++i) {
     QGP_RETURN_IF_ERROR(local_status[i]);
@@ -65,6 +73,8 @@ Result<ParallelRunResult> PQMatch::Evaluate(const Pattern& pattern,
                           local_answers[i].end());
     result.stats.Add(local_stats[i]);
   }
+  result.stats.scheduler_tasks += report.tasks_executed;
+  result.stats.scheduler_steals += report.tasks_stolen;
   Canonicalize(result.answers);
   result.coordinator_seconds = assemble.ElapsedSeconds();
 

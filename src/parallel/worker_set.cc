@@ -7,7 +7,8 @@
 
 namespace qgp {
 
-WorkerSet::Report WorkerSet::Run(const std::function<void(size_t)>& fn) const {
+WorkerSet::Report WorkerSet::Run(const std::function<void(size_t)>& fn,
+                                 std::span<const uint64_t> weights) const {
   Report report;
   report.worker_seconds.assign(num_workers_, 0.0);
   WallTimer wall;
@@ -18,15 +19,32 @@ WorkerSet::Report WorkerSet::Run(const std::function<void(size_t)>& fn) const {
       report.worker_seconds[i] = t.ElapsedSeconds();
     }
   } else {
+    // Size-ordered work-stealing schedule: heaviest logical worker
+    // first (ties by index, so the order is a pure function of the
+    // weights), dealt round-robin onto the pool's deques. Each task
+    // writes only its own report slot, so the report is deterministic
+    // even though the schedule is not.
+    std::vector<size_t> order(num_workers_);
+    for (size_t i = 0; i < num_workers_; ++i) order[i] = i;
+    if (weights.size() == num_workers_) {
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (weights[a] != weights[b]) return weights[a] > weights[b];
+        return a < b;
+      });
+    }
     ThreadPool pool(num_workers_);
-    for (size_t i = 0; i < num_workers_; ++i) {
-      pool.Submit([&, i] {
+    for (size_t pos = 0; pos < num_workers_; ++pos) {
+      const size_t i = order[pos];
+      pool.SubmitStealable(pos, [&, i] {
         WallTimer t;
         fn(i);
         report.worker_seconds[i] = t.ElapsedSeconds();
       });
     }
     pool.Wait();
+    const ThreadPool::SchedulerStats sched = pool.scheduler_stats();
+    report.tasks_executed = sched.total_executed();
+    report.tasks_stolen = sched.total_stolen();
   }
   report.wall_seconds = wall.ElapsedSeconds();
   for (double s : report.worker_seconds) {

@@ -1,7 +1,9 @@
 #ifndef QGP_PARALLEL_WORKER_SET_H_
 #define QGP_PARALLEL_WORKER_SET_H_
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 namespace qgp {
@@ -30,11 +32,20 @@ class WorkerSet {
                                          // parallel time)
     double wall_seconds = 0;             // actual elapsed time
     double total_work_seconds = 0;       // sum of worker times
+    uint64_t tasks_executed = 0;         // scheduler telemetry (kThreads)
+    uint64_t tasks_stolen = 0;
   };
 
   /// Executes fn(i) for i in [0, num_workers). In kThreads mode `fn`
-  /// must be thread-safe across distinct i.
-  Report Run(const std::function<void(size_t)>& fn) const;
+  /// must be thread-safe across distinct i, and the logical workers run
+  /// as stealable tasks on a work-stealing pool instead of one pinned
+  /// thread each: tasks are submitted heaviest-first when `weights`
+  /// (one cost estimate per logical worker, e.g. fragment |Fi|) is
+  /// given, so a skewed fragment starts immediately and lighter
+  /// fragments pack around it. `weights` never affects results — fn(i)
+  /// runs exactly once per i either way — only the schedule.
+  Report Run(const std::function<void(size_t)>& fn,
+             std::span<const uint64_t> weights = {}) const;
 
   size_t num_workers() const { return num_workers_; }
   ExecutionMode mode() const { return mode_; }

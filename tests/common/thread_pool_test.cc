@@ -73,5 +73,132 @@ TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
   EXPECT_EQ(total, 999 * 1000 / 2);
 }
 
+// --- Work-stealing scheduler ---
+
+TEST(ThreadPoolSchedulerTest, StealableTasksAllRunExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    pool.SubmitStealable(i, [&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.Wait();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const ThreadPool::SchedulerStats stats = pool.scheduler_stats();
+  EXPECT_EQ(stats.total_executed(), hits.size());
+  EXPECT_EQ(stats.executed.size(), 4u);
+}
+
+// Forced-steal stress: every task lands on worker 0's deque, so any work
+// the other three workers do is, by construction, stolen. All tasks must
+// still run exactly once and the counters must account for every task.
+TEST(ThreadPoolSchedulerTest, ForcedStealDrainsOneWorkersDeque) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.SubmitStealable(0, [&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.Wait();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const ThreadPool::SchedulerStats stats = pool.scheduler_stats();
+  EXPECT_EQ(stats.total_executed(), kTasks);
+  uint64_t stolen_by_others = 0;
+  for (size_t w = 1; w < 4; ++w) {
+    // A non-home worker can only have executed stolen tasks.
+    EXPECT_EQ(stats.executed[w], stats.stolen[w]);
+    stolen_by_others += stats.stolen[w];
+  }
+  EXPECT_EQ(stats.total_stolen(), stolen_by_others + stats.stolen[0]);
+  EXPECT_EQ(stats.stolen[0], 0u);  // can't steal from yourself
+}
+
+TEST(ThreadPoolSchedulerTest, ParallelForDynamicCoversAllIndices) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(313);
+    pool.ParallelForDynamic(hits.size(), 7, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolSchedulerTest, ParallelForDynamicEmptyAndSingleChunk) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.ParallelForDynamic(0, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  // n <= grain: one chunk, runs inline.
+  std::vector<int> slots(5, 0);
+  pool.ParallelForDynamic(slots.size(), 100, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) slots[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), 0), 5);
+}
+
+// Slot-owned writes merge to the same result at any thread count and any
+// grain — the determinism contract every match-path caller relies on.
+TEST(ThreadPoolSchedulerTest, ParallelForDynamicDeterministicSlots) {
+  std::vector<uint64_t> expected(1000);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = i * 2654435761u;
+  }
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (size_t grain : {1u, 3u, 64u}) {
+      ThreadPool pool(threads);
+      std::vector<uint64_t> slots(expected.size(), 0);
+      pool.ParallelForDynamic(slots.size(), grain,
+                              [&](size_t begin, size_t end) {
+                                for (size_t i = begin; i < end; ++i) {
+                                  slots[i] = i * 2654435761u;
+                                }
+                              });
+      EXPECT_EQ(slots, expected)
+          << "threads=" << threads << " grain=" << grain;
+    }
+  }
+}
+
+// Nested dynamic dispatch from inside a worker degrades to inline
+// execution instead of deadlocking on the pool's own Wait().
+TEST(ThreadPoolSchedulerTest, NestedParallelForDynamicRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  pool.Submit([&] {
+    pool.ParallelForDynamic(10, 1, [&](size_t begin, size_t end) {
+      inner_hits.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  pool.Wait();
+  EXPECT_EQ(inner_hits.load(), 10);
+}
+
+// Central-queue and stealable tasks share the workers and Wait() covers
+// both channels.
+TEST(ThreadPoolSchedulerTest, MixedChannelsDrainTogether) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.Submit([&] { counter.fetch_add(1); });
+    pool.SubmitStealable(static_cast<size_t>(round),
+                         [&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(ThreadPoolSchedulerTest, DestructorDrainsStealableDeques) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.SubmitStealable(static_cast<size_t>(i),
+                           [&counter] { counter.fetch_add(1); });
+    }
+    // Destructor must complete pending stealable tasks too.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
 }  // namespace
 }  // namespace qgp

@@ -102,6 +102,45 @@ class CompareBenchTest(unittest.TestCase):
         result = self.run_compare(base, cur, "--match", "build/")
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
 
+    def test_row_threshold_override_loosens_matching_rows(self):
+        # dpar/* is 50% slower: fails the global 25% gate, passes with a
+        # 60% per-row override; the non-matching row still gates.
+        base = self.write("base.json",
+                          bench_doc([("dpar/partition", 10.0), ("a", 10.0)]))
+        cur = self.write("cur.json",
+                         bench_doc([("dpar/partition", 15.0), ("a", 10.0)]))
+        result = self.run_compare(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 1)
+        result = self.run_compare(base, cur, "--threshold", "0.25",
+                                  "--row-threshold", "dpar/=0.6")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("row threshold 60%", result.stdout)
+
+    def test_row_threshold_can_tighten_and_still_gates(self):
+        base = self.write("base.json", bench_doc([("hot/loop", 10.0)]))
+        cur = self.write("cur.json", bench_doc([("hot/loop", 11.5)]))
+        result = self.run_compare(base, cur, "--threshold", "0.25",
+                                  "--row-threshold", "hot/=0.10")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_row_threshold_longest_match_wins(self):
+        base = self.write("base.json", bench_doc([("dpar/partition", 10.0)]))
+        cur = self.write("cur.json", bench_doc([("dpar/partition", 15.0)]))
+        result = self.run_compare(
+            base, cur, "--threshold", "0.25",
+            "--row-threshold", "dpar/=0.1",
+            "--row-threshold", "dpar/partition=0.6")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_row_threshold_malformed_spec_is_a_usage_error(self):
+        base = self.write("base.json", bench_doc([("a", 1.0)]))
+        cur = self.write("cur.json", bench_doc([("a", 1.0)]))
+        result = self.run_compare(base, cur, "--row-threshold", "nofraction")
+        self.assertEqual(result.returncode, 2)
+        result = self.run_compare(base, cur, "--row-threshold", "a=notnum")
+        self.assertEqual(result.returncode, 2)
+
     def test_malformed_json_is_a_usage_error(self):
         base = self.write("base.json", bench_doc([("a", 1.0)]))
         bad = self.write("bad.json", "{not json")

@@ -4,6 +4,7 @@
 Usage:
   tools/compare_bench.py BASELINE CURRENT [--threshold 0.25]
                          [--min-wall-ms 0.05] [--match SUBSTR]
+                         [--row-threshold SUBSTR=FRACTION ...]
                          [--allow-scale-mismatch]
 
 Compares rows by their `config` key. A row regresses when
@@ -11,6 +12,12 @@ Compares rows by their `config` key. A row regresses when
 and the baseline row is at least --min-wall-ms (sub-noise rows are
 reported but never gate). Rows present on only one side are warnings,
 not failures — benches grow rows over time.
+
+--row-threshold overrides the global threshold for every row whose
+config contains SUBSTR (repeatable; the longest matching SUBSTR wins).
+This is how known-noisy rows — e.g. small-scale DPar partition phases,
+whose wall time sits near the scheduler dispatch floor — get a looser
+gate without loosening it for the chunky rows that matter.
 
 Exit codes: 0 = no regression, 1 = regression, 2 = usage/parse error.
 """
@@ -46,6 +53,35 @@ def load(path):
     return doc, rows
 
 
+def parse_row_thresholds(specs):
+    """Parses repeated SUBSTR=FRACTION specs into an override list."""
+    overrides = []
+    for spec in specs:
+        substr, sep, value = spec.rpartition("=")
+        if not sep or not substr:
+            die(f"error: --row-threshold needs SUBSTR=FRACTION, got {spec!r}")
+        try:
+            fraction = float(value)
+        except ValueError:
+            die(f"error: --row-threshold fraction does not parse: {spec!r}")
+        if fraction < 0:
+            die(f"error: --row-threshold must be >= 0: {spec!r}")
+        overrides.append((substr, fraction))
+    return overrides
+
+
+def threshold_for(config, default, overrides):
+    """Longest matching substring override wins; ties prefer the later
+    flag (argparse order), matching the usual last-one-wins CLI rule."""
+    best = default
+    best_len = -1
+    for substr, fraction in overrides:
+        if substr in config and len(substr) >= best_len:
+            best = fraction
+            best_len = len(substr)
+    return best
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail when a BENCH json regresses vs the committed "
@@ -59,12 +95,17 @@ def main(argv=None):
                         "(noise floor, default 0.05 ms)")
     parser.add_argument("--match", default="",
                         help="only compare configs containing this substring")
+    parser.add_argument("--row-threshold", action="append", default=[],
+                        metavar="SUBSTR=FRACTION",
+                        help="per-row threshold override for configs "
+                        "containing SUBSTR (repeatable; longest match wins)")
     parser.add_argument("--allow-scale-mismatch", action="store_true",
                         help="compare even when QGP_BENCH_SCALE differs")
     args = parser.parse_args(argv)
 
     if args.threshold < 0:
         parser.error("--threshold must be >= 0")
+    overrides = parse_row_thresholds(args.row_threshold)
 
     base_doc, base_rows = load(args.baseline)
     cur_doc, cur_rows = load(args.current)
@@ -94,12 +135,15 @@ def main(argv=None):
         base = base_rows[config]
         cur = cur_rows[config]
         ratio = cur / base if base > 0 else float("inf")
+        threshold = threshold_for(config, args.threshold, overrides)
         verdict = ""
         if base < args.min_wall_ms:
             verdict = "  (below noise floor, not gated)"
-        elif cur > base * (1.0 + args.threshold):
+        elif cur > base * (1.0 + threshold):
             verdict = "  REGRESSION"
             regressions.append((config, base, cur, ratio))
+        elif threshold != args.threshold:
+            verdict = f"  (row threshold {threshold:.0%})"
         print(f"{config:<44} {base:>12.4f} {cur:>12.4f} {ratio:>6.2f}x"
               f"{verdict}")
         compared += 1
@@ -108,8 +152,8 @@ def main(argv=None):
         die("error: no comparable rows (wrong file pair or --match "
             "filter?)")
     if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond "
-              f"{args.threshold:.0%}:", file=sys.stderr)
+        print(f"\n{len(regressions)} regression(s) beyond their "
+              "threshold:", file=sys.stderr)
         for config, base, cur, ratio in regressions:
             print(f"  {config}: {base:.4f} ms -> {cur:.4f} ms "
                   f"({ratio:.2f}x)", file=sys.stderr)
