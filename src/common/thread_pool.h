@@ -1,6 +1,11 @@
 #ifndef QGP_COMMON_THREAD_POOL_H_
 #define QGP_COMMON_THREAD_POOL_H_
 
+/// \file
+/// The fixed-size worker pool and its work-stealing scheduler — the one
+/// concurrency substrate every parallel phase of the repo runs on (see
+/// docs/ARCHITECTURE.md for where it sits in the stack).
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -96,13 +101,15 @@ class ThreadPool {
   /// never stolen). Snapshot is not atomic across workers — read it
   /// while the pool is quiescent (after Wait()) for exact totals.
   struct SchedulerStats {
-    std::vector<uint64_t> executed;
-    std::vector<uint64_t> stolen;
+    std::vector<uint64_t> executed;  ///< per worker: tasks it ran
+    std::vector<uint64_t> stolen;    ///< per worker: ran after stealing
+    /// Sum of `executed` across workers.
     uint64_t total_executed() const {
       uint64_t n = 0;
       for (uint64_t e : executed) n += e;
       return n;
     }
+    /// Sum of `stolen` across workers.
     uint64_t total_stolen() const {
       uint64_t n = 0;
       for (uint64_t s : stolen) n += s;

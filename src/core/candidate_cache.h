@@ -1,6 +1,12 @@
 #ifndef QGP_CORE_CANDIDATE_CACHE_H_
 #define QGP_CORE_CANDIDATE_CACHE_H_
 
+/// \file
+/// Shared, refcounted candidate sets and the per-graph intern pool that
+/// shares them across CandidateSpace builds — within one evaluation,
+/// across a PQMatch/PEnum worker's fragment builds, and across whole
+/// queries when a QueryEngine owns the pool for the graph's lifetime.
+
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,8 +27,8 @@ namespace qgp {
 /// refcounted via shared_ptr, so a set stays alive exactly as long as
 /// some CandidateSpace (or the pool) still references it.
 struct CandidateSet {
-  std::vector<VertexId> members;  // sorted ascending, duplicate-free
-  DynamicBitset bits;             // membership over [0, |V|)
+  std::vector<VertexId> members;  ///< sorted ascending, duplicate-free
+  DynamicBitset bits;             ///< membership over [0, |V|)
 };
 
 /// Shared, immutable handle. Copying is a refcount bump, never a data
@@ -79,12 +85,15 @@ class CandidateCache {
   /// Number of interned entries.
   size_t size() const;
 
+  /// Pool telemetry, cumulative since construction.
   struct Stats {
-    uint64_t hits = 0;    // Get() served from the pool
-    uint64_t misses = 0;  // Get() had to compute
+    uint64_t hits = 0;    ///< Get() served from the pool
+    uint64_t misses = 0;  ///< Get() had to compute
   };
+  /// Snapshot of the hit/miss counters (exact when quiescent).
   Stats stats() const;
 
+  /// The graph the pool is bound to.
   const Graph& graph() const { return *g_; }
 
  private:

@@ -39,6 +39,36 @@ void ForRange(ThreadPool* pool, size_t n, size_t grain,
   }
 }
 
+// The label/degree filter is a pure function of (node label, incident
+// edge labels): group pattern nodes by that key so each distinct filter
+// is computed (or fetched from the intern pool) exactly once.
+struct KeyedNode {
+  Label label;
+  std::vector<Label> out_labels;
+  std::vector<Label> in_labels;
+  std::vector<PatternNodeId> nodes;  // nodes sharing this filter
+};
+
+std::vector<KeyedNode> DedupeFilterKeys(const Pattern& pattern) {
+  std::vector<KeyedNode> keys;
+  for (PatternNodeId u = 0; u < pattern.num_nodes(); ++u) {
+    KeyedNode k;
+    k.label = pattern.node(u).label;
+    IncidentLabels(pattern, u, &k.out_labels, &k.in_labels);
+    auto it = std::find_if(keys.begin(), keys.end(), [&](const KeyedNode& e) {
+      return e.label == k.label && e.out_labels == k.out_labels &&
+             e.in_labels == k.in_labels;
+    });
+    if (it == keys.end()) {
+      k.nodes.push_back(u);
+      keys.push_back(std::move(k));
+    } else {
+      it->nodes.push_back(u);
+    }
+  }
+  return keys;
+}
+
 }  // namespace
 
 Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
@@ -57,9 +87,32 @@ Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
 
   if (options.use_simulation) {
     // Simulation sets depend on the whole pattern topology, so they are
-    // never interned; the rounds themselves parallelize (see
-    // DualSimulation) and stay bit-identical at any thread count.
-    std::vector<std::vector<VertexId>> sim = DualSimulation(pattern, g, pool);
+    // never interned themselves — but their STARTING sets are: when an
+    // intern pool is available, each node's label/degree filter is
+    // fetched (or computed once) through it and seeds the fixpoint
+    // iteration. The greatest fixpoint is contained in every seed, so
+    // the result is identical to the unseeded label-scan start; warm
+    // queries just skip the per-label scans and open with tighter
+    // first-round sets. Nodes sharing a filter key fetch one entry.
+    std::vector<CandidateSetRef> seeds;
+    if (cache != nullptr) {
+      const std::vector<KeyedNode> keys = DedupeFilterKeys(pattern);
+      std::vector<CandidateSetRef> per_key(keys.size());
+      ForRange(pool, keys.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          per_key[i] =
+              cache->Get(keys[i].label, keys[i].out_labels, keys[i].in_labels);
+        }
+      });
+      seeds.resize(nq);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        for (PatternNodeId u : keys[i].nodes) seeds[u] = per_key[i];
+      }
+    }
+    // The rounds themselves parallelize (see DualSimulation) and stay
+    // bit-identical at any thread count.
+    std::vector<std::vector<VertexId>> sim =
+        DualSimulation(pattern, g, pool, cache != nullptr ? &seeds : nullptr);
     // Bitset construction per node is independent work.
     ForRange(pool, nq, 1, [&](size_t begin, size_t end) {
       for (size_t u = begin; u < end; ++u) {
@@ -68,37 +121,15 @@ Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
       }
     });
   } else {
-    // Label + existential degree refinement is a pure function of
-    // (node label, incident edge labels): dedupe the keys, compute each
-    // distinct filter once — through the intern pool when one is given,
-    // so other builds on this graph share the result — and alias every
-    // node of the key to the same set.
-    struct KeyedNode {
-      Label label;
-      std::vector<Label> out_labels;
-      std::vector<Label> in_labels;
-      std::vector<PatternNodeId> nodes;  // nodes sharing this filter
-    };
-    std::vector<KeyedNode> keys;
-    for (PatternNodeId u = 0; u < nq; ++u) {
-      KeyedNode k;
-      k.label = pattern.node(u).label;
-      IncidentLabels(pattern, u, &k.out_labels, &k.in_labels);
-      auto it = std::find_if(keys.begin(), keys.end(), [&](const KeyedNode& e) {
-        return e.label == k.label && e.out_labels == k.out_labels &&
-               e.in_labels == k.in_labels;
-      });
-      if (it == keys.end()) {
-        k.nodes.push_back(u);
-        keys.push_back(std::move(k));
-      } else {
-        it->nodes.push_back(u);
-      }
-    }
+    // Label + existential degree refinement: dedupe the keys, compute
+    // each distinct filter once — through the intern pool when one is
+    // given, so other builds on this graph share the result — and alias
+    // every node of the key to the same set.
+    const std::vector<KeyedNode> keys = DedupeFilterKeys(pattern);
     std::vector<CandidateSetRef> per_key(keys.size());
     ForRange(pool, keys.size(), 1, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        KeyedNode& k = keys[i];
+        const KeyedNode& k = keys[i];
         per_key[i] = cache != nullptr
                          ? cache->Get(k.label, k.out_labels, k.in_labels)
                          : ComputeLabelDegreeSet(g, k.label, k.out_labels,

@@ -1,5 +1,6 @@
 #include "core/enum_matcher.h"
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -103,23 +104,26 @@ Result<AnswerSet> EnumMatcher::EvaluatePositive(
 Result<AnswerSet> EnumMatcher::Evaluate(const Pattern& pattern,
                                         const Graph& g,
                                         const MatchOptions& options,
-                                        MatchStats* stats) {
+                                        MatchStats* stats,
+                                        CandidateCache* cache) {
   QGP_RETURN_IF_ERROR(pattern.Validate(options.max_quantified_per_path));
   auto pi = pattern.Pi();
   if (!pi.ok()) return pi.status();
   // One intern pool for Π(Q) and every Π(Q⁺ᵉ): the positified patterns
-  // differ only around the negated edge, so most nodes hit.
-  CandidateCache cache(g);
+  // differ only around the negated edge, so most nodes hit. A
+  // caller-provided pool extends the sharing across Evaluate calls.
+  std::optional<CandidateCache> local_cache;
+  if (cache == nullptr) cache = &local_cache.emplace(g);
   QGP_ASSIGN_OR_RETURN(
       AnswerSet answers,
-      EvaluatePositive(pi.value().first, g, options, stats, {}, &cache));
+      EvaluatePositive(pi.value().first, g, options, stats, {}, cache));
   for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
     QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
     auto pi_pos = positified.Pi();
     if (!pi_pos.ok()) return pi_pos.status();
     QGP_ASSIGN_OR_RETURN(
         AnswerSet negative,
-        EvaluatePositive(pi_pos.value().first, g, options, stats, {}, &cache));
+        EvaluatePositive(pi_pos.value().first, g, options, stats, {}, cache));
     answers = SetDifference(answers, negative);
   }
   return answers;

@@ -22,10 +22,15 @@ namespace qgp {
 /// exactly the contrast Figures 8(a), 8(h)–8(k) measure.
 class EnumMatcher {
  public:
-  /// Full QGP evaluation.
+  /// Full QGP evaluation. `cache` (optional, constructed for `g`)
+  /// interns the plain label/degree candidate sets across Π(Q), every
+  /// positified Π(Q⁺ᵉ), and — when the QueryEngine shares one cache
+  /// across calls — across whole queries; when null, an evaluation-local
+  /// pool still shares them between the positified patterns.
   static Result<AnswerSet> Evaluate(const Pattern& pattern, const Graph& g,
                                     const MatchOptions& options = {},
-                                    MatchStats* stats = nullptr);
+                                    MatchStats* stats = nullptr,
+                                    CandidateCache* cache = nullptr);
 
   /// Positive-pattern evaluation, optionally restricted to a focus subset
   /// (PEnum's per-fragment entry point). Empty span = all candidates.

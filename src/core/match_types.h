@@ -1,6 +1,11 @@
 #ifndef QGP_CORE_MATCH_TYPES_H_
 #define QGP_CORE_MATCH_TYPES_H_
 
+/// \file
+/// The types every matcher speaks: answer sets, the shared MatchOptions
+/// knobs, and the MatchStats work counters whose cross-implementation
+/// identity the differential suites assert.
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,14 +52,14 @@ struct MatchOptions {
 /// Instrumentation counters. Verification work (the paper's cost measure
 /// for incremental optimality, §4.2) is `search_extensions`.
 struct MatchStats {
-  uint64_t isomorphisms_enumerated = 0;  // complete embeddings seen
-  uint64_t witness_searches = 0;         // pinned-pair searches run
-  uint64_t search_extensions = 0;        // candidate extensions tried
-  uint64_t candidates_initial = 0;       // sum of |C(u)| before pruning
-  uint64_t candidates_pruned = 0;        // removed by filters
-  uint64_t focus_candidates_checked = 0; // DMatch outer loop size
-  uint64_t inc_candidates_checked = 0;   // IncQMatch re-verifications
-  uint64_t balls_built = 0;              // per-focus neighborhoods built
+  uint64_t isomorphisms_enumerated = 0;  ///< complete embeddings seen
+  uint64_t witness_searches = 0;         ///< pinned-pair searches run
+  uint64_t search_extensions = 0;        ///< candidate extensions tried
+  uint64_t candidates_initial = 0;       ///< sum of |C(u)| before pruning
+  uint64_t candidates_pruned = 0;        ///< removed by filters
+  uint64_t focus_candidates_checked = 0; ///< DMatch outer loop size
+  uint64_t inc_candidates_checked = 0;   ///< IncQMatch re-verifications
+  uint64_t balls_built = 0;              ///< per-focus neighborhoods built
 
   /// Work-stealing scheduler telemetry (tasks run / tasks that were
   /// stolen from another worker's deque). Unlike every counter above,

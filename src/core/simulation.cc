@@ -14,14 +14,24 @@ constexpr size_t kSimGrain = 256;
 
 }  // namespace
 
-std::vector<std::vector<VertexId>> DualSimulation(const Pattern& pattern,
-                                                  const Graph& g,
-                                                  ThreadPool* pool) {
+std::vector<std::vector<VertexId>> DualSimulation(
+    const Pattern& pattern, const Graph& g, ThreadPool* pool,
+    const std::vector<CandidateSetRef>* seeds) {
   const size_t nq = pattern.num_nodes();
-  // Membership bitmaps per pattern node.
+  // Membership bitmaps per pattern node. A seeded node starts from its
+  // (tighter) interned label/degree set instead of the label scan; both
+  // starts contain the greatest fixpoint, so the rounds below converge
+  // to the same sets either way (see the header note).
   std::vector<DynamicBitset> in_sim(nq, DynamicBitset(g.num_vertices()));
   std::vector<std::vector<VertexId>> sim(nq);
   for (PatternNodeId u = 0; u < nq; ++u) {
+    const CandidateSet* seed =
+        (seeds != nullptr && u < seeds->size()) ? (*seeds)[u].get() : nullptr;
+    if (seed != nullptr) {
+      sim[u] = seed->members;
+      for (VertexId v : sim[u]) in_sim[u].Set(v);
+      continue;
+    }
     for (VertexId v : g.VerticesWithLabel(pattern.node(u).label)) {
       in_sim[u].Set(v);
       sim[u].push_back(v);

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/candidate_cache.h"
 #include "core/pattern.h"
 #include "graph/graph.h"
 
@@ -30,9 +31,21 @@ namespace qgp {
 /// sim(u)); because removals are order-free and the maximal dual
 /// simulation is a unique greatest fixpoint, the result is bit-identical
 /// at every thread count, including pool == nullptr (serial).
-std::vector<std::vector<VertexId>> DualSimulation(const Pattern& pattern,
-                                                  const Graph& g,
-                                                  ThreadPool* pool = nullptr);
+///
+/// `seeds` (optional; one entry per pattern node, entries may be null)
+/// replaces node u's label-scan starting set with seeds[u] — typically
+/// the interned label/degree filter a CandidateCache hands out, which is
+/// how warm engine queries skip the per-label scans. Each seed must
+/// contain the maximal dual simulation of its node (any superset of the
+/// label/degree refinement qualifies: every member of the fixpoint has
+/// at least one out-/in-edge per incident pattern edge label). The
+/// refinement operator is monotone and preserves "superset of the
+/// fixpoint" round by round, so iterating down from a seeded start
+/// converges to the SAME unique greatest fixpoint — seeding changes how
+/// fast the rounds shrink, never the result.
+std::vector<std::vector<VertexId>> DualSimulation(
+    const Pattern& pattern, const Graph& g, ThreadPool* pool = nullptr,
+    const std::vector<CandidateSetRef>* seeds = nullptr);
 
 }  // namespace qgp
 

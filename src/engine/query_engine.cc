@@ -1,0 +1,265 @@
+#include "engine/query_engine.h"
+
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/enum_matcher.h"
+#include "core/qmatch.h"
+#include "parallel/dpar.h"
+#include "parallel/penum.h"
+#include "parallel/pqmatch.h"
+
+namespace qgp {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::shared_ptr<const Graph> OwnGraph(Graph graph) {
+  return std::make_shared<const Graph>(std::move(graph));
+}
+
+std::shared_ptr<const Graph> BorrowGraph(const Graph* graph) {
+  // Aliasing handle with a no-op deleter: the engine machinery uniformly
+  // holds a shared_ptr, the caller keeps ownership and must outlive us.
+  return std::shared_ptr<const Graph>(graph, [](const Graph*) {});
+}
+
+// Canonical result-cache key. Deliberately NOT PatternParser::Serialize:
+// that renders node names, and two distinct patterns can share names.
+// Numeric node ids + label ids + quantifier text identify the structure
+// exactly; the algorithm and every MatchOptions field are folded in
+// because a stored outcome replays the original run's MatchStats, which
+// the option toggles change (answers never depend on them, stats do).
+std::string ResultKey(const QuerySpec& spec) {
+  std::ostringstream key;
+  const MatchOptions& o = spec.options;
+  key << EngineAlgoName(spec.algo) << '|' << o.use_simulation
+      << o.use_quantifier_pruning << o.use_potential_ordering
+      << o.early_stop_counting << o.use_incremental_negation << '|'
+      << o.max_quantified_per_path << '|' << o.max_isomorphisms << '|'
+      << o.ball_limit << '|' << o.scheduler_grain << '|';
+  const Pattern& q = spec.pattern;
+  for (PatternNodeId u = 0; u < q.num_nodes(); ++u) {
+    key << 'n' << q.node(u).label << ';';
+  }
+  for (PatternEdgeId e = 0; e < q.num_edges(); ++e) {
+    const PatternEdge& pe = q.edge(e);
+    key << 'e' << pe.src << ',' << pe.dst << ',' << pe.label << ','
+        << pe.quantifier.ToString() << ';';
+  }
+  key << 'f' << q.focus();
+  return std::move(key).str();
+}
+
+}  // namespace
+
+const char* EngineAlgoName(EngineAlgo algo) {
+  switch (algo) {
+    case EngineAlgo::kQMatch:
+      return "qmatch";
+    case EngineAlgo::kQMatchn:
+      return "qmatchn";
+    case EngineAlgo::kEnum:
+      return "enum";
+    case EngineAlgo::kPQMatch:
+      return "pqmatch";
+    case EngineAlgo::kPEnum:
+      return "penum";
+  }
+  return "unknown";
+}
+
+std::optional<EngineAlgo> ParseEngineAlgo(std::string_view name) {
+  if (name == "qmatch") return EngineAlgo::kQMatch;
+  if (name == "qmatchn") return EngineAlgo::kQMatchn;
+  if (name == "enum") return EngineAlgo::kEnum;
+  if (name == "pqmatch") return EngineAlgo::kPQMatch;
+  if (name == "penum") return EngineAlgo::kPEnum;
+  return std::nullopt;
+}
+
+QueryEngine::QueryEngine(Graph graph, const EngineOptions& options)
+    : graph_(OwnGraph(std::move(graph))),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(options.num_threads))),
+      cache_(*graph_) {}
+
+QueryEngine::QueryEngine(const Graph* graph, const EngineOptions& options)
+    : graph_(BorrowGraph(graph)),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(options.num_threads))),
+      cache_(*graph_) {}
+
+Result<QueryOutcome> QueryEngine::Submit(const QuerySpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SubmitLocked(spec);
+}
+
+Result<std::vector<QueryOutcome>> QueryEngine::RunBatch(
+    std::span<const QuerySpec> specs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(specs.size());
+  for (const QuerySpec& spec : specs) {
+    QGP_ASSIGN_OR_RETURN(QueryOutcome outcome, SubmitLocked(spec));
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+Result<QueryOutcome> QueryEngine::SubmitLocked(const QuerySpec& spec) {
+  QueryOutcome outcome;
+  outcome.tag = spec.tag;
+  // Result-cache probe: a repeat of an answered query is served from
+  // memory, replaying the original answers and work counters. Queries
+  // that bypass the shared state (share_cache = false) neither probe
+  // nor populate.
+  const bool use_results = options_.enable_result_cache && spec.share_cache;
+  std::string result_key;
+  if (use_results) {
+    result_key = ResultKey(spec);
+    auto it = results_.find(result_key);
+    if (it != results_.end()) {
+      WallTimer hit_timer;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh LRU slot
+      outcome.answers = it->second.answers;
+      outcome.stats = it->second.stats;
+      outcome.result_cache_hit = true;
+      outcome.wall_ms = hit_timer.ElapsedSeconds() * 1000.0;
+      ++stats_.queries;
+      ++stats_.result_hits;
+      stats_.match.Add(outcome.stats);
+      stats_.wall_ms += outcome.wall_ms;
+      return outcome;
+    }
+    // The miss is counted at the store point below: failed evaluations
+    // are never cacheable, so they should not drag ResultHitRatio down.
+  }
+  CandidateCache* cache = spec.share_cache ? &cache_ : nullptr;
+  const CandidateCache::Stats cache_before = cache_.stats();
+  WallTimer timer;
+  Result<AnswerSet> answers = Status::Ok();
+  switch (spec.algo) {
+    case EngineAlgo::kQMatch:
+      answers = QMatch::Evaluate(spec.pattern, *graph_, spec.options,
+                                 &outcome.stats, pool_.get(), cache);
+      break;
+    case EngineAlgo::kQMatchn: {
+      MatchOptions naive = spec.options;
+      naive.use_incremental_negation = false;
+      answers = QMatch::Evaluate(spec.pattern, *graph_, naive, &outcome.stats,
+                                 pool_.get(), cache);
+      break;
+    }
+    case EngineAlgo::kEnum:
+      answers = EnumMatcher::Evaluate(spec.pattern, *graph_, spec.options,
+                                      &outcome.stats, cache);
+      break;
+    case EngineAlgo::kPQMatch:
+    case EngineAlgo::kPEnum: {
+      auto part = PartitionLocked();
+      if (!part.ok()) {
+        answers = part.status();
+        break;
+      }
+      ParallelConfig config;
+      config.mode = options_.partition_mode;
+      config.threads_per_worker = options_.threads_per_worker;
+      config.match = spec.options;
+      Result<ParallelRunResult> run =
+          spec.algo == EngineAlgo::kPQMatch
+              ? PQMatch::Evaluate(spec.pattern, **part, config)
+              : PEnum::Evaluate(spec.pattern, **part, config);
+      if (!run.ok()) {
+        answers = run.status();
+        break;
+      }
+      outcome.stats.Add(run->stats);
+      answers = std::move(run->answers);
+      break;
+    }
+  }
+  outcome.wall_ms = timer.ElapsedSeconds() * 1000.0;
+  if (!answers.ok()) {
+    ++stats_.failed;
+    return answers.status();
+  }
+  const CandidateCache::Stats cache_after = cache_.stats();
+  outcome.cache_hits = cache_after.hits - cache_before.hits;
+  outcome.cache_misses = cache_after.misses - cache_before.misses;
+  outcome.answers = std::move(answers).value();
+
+  ++stats_.queries;
+  stats_.match.Add(outcome.stats);
+  stats_.wall_ms += outcome.wall_ms;
+  stats_.cache_hits += outcome.cache_hits;
+  stats_.cache_misses += outcome.cache_misses;
+  // Pressure policy: shed sets no live evaluation references once the
+  // pool outgrows the configured bound. Interned sets are equal by value
+  // to freshly computed ones, so eviction can only cost recomputation,
+  // never answers.
+  if (options_.cache_max_entries > 0 &&
+      cache_.size() > options_.cache_max_entries) {
+    stats_.cache_evicted += cache_.EvictUnused();
+  }
+  if (use_results) {
+    ++stats_.result_misses;
+    lru_.push_front(result_key);
+    results_[std::move(result_key)] =
+        ResultEntry{outcome.answers, outcome.stats, lru_.begin()};
+    if (options_.result_cache_max_entries > 0 &&
+        results_.size() > options_.result_cache_max_entries) {
+      results_.erase(lru_.back());  // least recently used
+      lru_.pop_back();
+    }
+  }
+  return outcome;
+}
+
+size_t QueryEngine::ClearResultCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t cleared = results_.size();
+  results_.clear();
+  lru_.clear();
+  return cleared;
+}
+
+size_t QueryEngine::EvictUnused() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t evicted = cache_.EvictUnused();
+  stats_.cache_evicted += evicted;
+  return evicted;
+}
+
+Result<const Partition*> QueryEngine::partition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PartitionLocked();
+}
+
+Result<const Partition*> QueryEngine::PartitionLocked() {
+  if (!partition_.has_value()) {
+    DParConfig config;
+    config.num_fragments = options_.partition_fragments;
+    config.d = options_.partition_d;
+    // The pool-parallel DPar build is identical to the serial one
+    // (scheduler_determinism_test locks partition identity down).
+    QGP_ASSIGN_OR_RETURN(Partition built,
+                         DPar(*graph_, config, nullptr, pool_.get()));
+    partition_ = std::move(built);
+  }
+  return &partition_.value();
+}
+
+EngineStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qgp

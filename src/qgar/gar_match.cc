@@ -33,6 +33,25 @@ Result<GarMatchResult> GarMatch(const Qgar& rule, const Graph& g, double eta,
   return AssembleResult(rule, g, eta, std::move(q1), std::move(q2));
 }
 
+Result<GarMatchResult> GarMatch(const Qgar& rule, QueryEngine& engine,
+                                double eta, const MatchOptions& options,
+                                MatchStats* stats) {
+  QGP_RETURN_IF_ERROR(rule.Validate(options.max_quantified_per_path));
+  QuerySpec spec;
+  spec.algo = EngineAlgo::kQMatch;
+  spec.options = options;
+  spec.pattern = rule.antecedent;
+  QGP_ASSIGN_OR_RETURN(QueryOutcome o1, engine.Submit(spec));
+  spec.pattern = rule.consequent;
+  QGP_ASSIGN_OR_RETURN(QueryOutcome o2, engine.Submit(spec));
+  if (stats != nullptr) {
+    stats->Add(o1.stats);
+    stats->Add(o2.stats);
+  }
+  return AssembleResult(rule, engine.graph(), eta, std::move(o1.answers),
+                        std::move(o2.answers));
+}
+
 Result<GarMatchResult> DGarMatch(const Qgar& rule, const Graph& g,
                                  const Partition& partition, double eta,
                                  const ParallelConfig& config) {

@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "core/match_types.h"
+#include "engine/query_engine.h"
 #include "graph/graph.h"
 #include "parallel/pqmatch.h"
 #include "qgar/qgar.h"
@@ -22,6 +23,16 @@ struct GarMatchResult {
 /// garMatch: sequential QEI via two QMatch runs + the LCWA metrics.
 Result<GarMatchResult> GarMatch(const Qgar& rule, const Graph& g, double eta,
                                 const MatchOptions& options = {},
+                                MatchStats* stats = nullptr);
+
+/// garMatch through a QueryEngine: both patterns are evaluated as engine
+/// queries against engine.graph(), so the antecedent, the consequent,
+/// and every other rule sharing the engine reuse one interned candidate
+/// pool and one worker pool (rule mining evaluates hundreds of
+/// structurally overlapping patterns — the miner's hot path). Answers
+/// and metrics are identical to the per-graph overload.
+Result<GarMatchResult> GarMatch(const Qgar& rule, QueryEngine& engine,
+                                double eta, const MatchOptions& options = {},
                                 MatchStats* stats = nullptr);
 
 /// dgarMatch: parallel QEI over a d-hop preserving partition (both

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "engine/query_engine.h"
 #include "gen/frequent_features.h"
 #include "qgar/gar_match.h"
 
@@ -69,10 +70,18 @@ Result<std::vector<MinedRule>> MineQgars(const Graph& g,
     return Status::NotFound("graph has no edges to mine");
   }
 
+  // One engine for the whole mining run: every candidate rule reuses the
+  // same interned label/degree candidate sets and worker pool instead of
+  // rebuilding them twice per GarMatch. Rules share most of their
+  // structure (the same path antecedents under different quantifiers,
+  // the same single-edge consequents), so the cache hit ratio is high.
+  EngineOptions engine_options;
+  engine_options.num_threads = config.threads;
+  QueryEngine engine(&g, engine_options);
   size_t evaluations = 0;
   auto evaluate = [&](const Qgar& rule) -> Result<GarMatchResult> {
     ++evaluations;
-    return GarMatch(rule, g, /*eta=*/0.0, config.match, nullptr);
+    return GarMatch(rule, engine, /*eta=*/0.0, config.match, nullptr);
   };
 
   std::vector<MinedRule> mined;

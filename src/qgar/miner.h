@@ -29,6 +29,10 @@ struct MinerConfig {
   size_t max_evaluations = 60;
   MatchOptions match;
   uint64_t seed = 17;
+  /// Worker threads of the QueryEngine the miner evaluates through
+  /// (0 = hardware concurrency). Mined rules are identical at any
+  /// setting — evaluation is deterministic across thread counts.
+  size_t threads = 0;
 };
 
 /// A mined rule with its measured interestingness.

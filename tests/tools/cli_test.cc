@@ -87,6 +87,34 @@ TEST(CliTest, MatchQuantifiedPattern) {
   EXPECT_EQ(bad.code, 2);
 }
 
+TEST(CliTest, MatchBatchSharesOneEngine) {
+  std::string graph = TempPath("batch.txt");
+  WriteTinyGraph(graph);
+  std::string pattern_a = TempPath("batch_a.qgp");
+  {
+    std::ofstream f(pattern_a);
+    f << "node xo person\nnode z person\nnode r product\n"
+         "edge xo z follow =100%\nedge z r recom\nfocus xo\n";
+  }
+  std::string pattern_b = TempPath("batch_b.qgp");
+  {
+    std::ofstream f(pattern_b);
+    f << "node xo person\nnode z person\n"
+         "edge xo z follow\nfocus xo\n";
+  }
+  // Two pattern files = one engine batch: per-pattern results are
+  // prefixed with the file tag, and --stats appends the engine's
+  // cumulative cache line.
+  CliResult r = RunTool(
+      {"match", graph, pattern_a, pattern_b, "--stats", "--threads=2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find(pattern_a + ": matches: 1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find(pattern_b + ": matches:"), std::string::npos);
+  EXPECT_NE(r.out.find("engine: queries=2"), std::string::npos);
+  EXPECT_NE(r.out.find("hit_ratio="), std::string::npos);
+}
+
 TEST(CliTest, MatchRejectsBadPattern) {
   std::string graph = TempPath("badpat.txt");
   WriteTinyGraph(graph);

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation suite.
+
+Scans every tracked ``*.md`` at the repo root and under ``docs/`` for
+inline links and images (``[text](target)`` / ``![alt](target)``) and
+verifies that each relative target exists on disk. External schemes
+(http/https/mailto) are deliberately NOT fetched — the check must be
+fast and non-flaky in CI — and pure in-page anchors (``#section``) are
+skipped. A ``path#anchor`` target is checked for the path only.
+
+Runs from anywhere (resolves the repo root from its own location);
+exits non-zero listing every broken link. Used by the CI ``docs`` job
+and registered as a ctest (see tests/tools/CMakeLists.txt).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline link/image: [text](target) — target may carry an optional
+# 'title'. Fenced code blocks are stripped first so example links inside
+# ``` blocks (e.g. JSON snippets) are not checked.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files():
+    yield from sorted(REPO_ROOT.glob("*.md"))
+    yield from sorted((REPO_ROOT / "docs").glob("**/*.md"))
+
+
+def check_file(path: Path):
+    """Yields (target, reason) for every broken link in `path`."""
+    text = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            yield target, f"target does not exist ({resolved})"
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        for target, reason in check_file(path):
+            broken.append((path.relative_to(REPO_ROOT), target, reason))
+    if broken:
+        print(f"check_docs: {len(broken)} broken link(s):")
+        for path, target, reason in broken:
+            print(f"  {path}: [{target}] — {reason}")
+        return 1
+    print(f"check_docs: OK ({checked} markdown files, no broken links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,14 @@
 
 #include <fstream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "common/string_util.h"
 #include "common/timer.h"
-#include "core/enum_matcher.h"
 #include "core/pattern_parser.h"
-#include "core/qmatch.h"
+#include "engine/query_engine.h"
 #include "gen/knowledge_gen.h"
 #include "gen/social_gen.h"
 #include "gen/synthetic_gen.h"
@@ -80,8 +80,9 @@ int Usage(std::ostream& err) {
   err << "usage: qgp <command> [args]\n"
          "  stats <graph>\n"
          "  convert <graph-in> <graph-out.bin>\n"
-         "  match <graph> <pattern-file> [--algo=qmatch|qmatchn|enum] "
-         "[--stats] [--limit=N]\n"
+         "  match <graph> <pattern-file>... "
+         "[--algo=qmatch|qmatchn|enum|pqmatch|penum]\n"
+         "        [--stats] [--limit=N] [--threads=N] [--n=4] [--d=2]\n"
          "  generate <social|knowledge|synthetic> <out> [--size=N] "
          "[--seed=N] [--binary]\n"
          "  partition <graph> [--n=4] [--d=2]\n"
@@ -117,56 +118,90 @@ int CmdConvert(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// `match` evaluates one or more pattern files through a QueryEngine:
+// the graph is loaded once, and every pattern of the invocation shares
+// the engine's candidate cache and worker pool (a multi-pattern
+// invocation is a batch in the server sense). --algo selects the
+// matcher, --threads the pool width, --n/--d the partition the
+// pqmatch/penum algorithms evaluate over.
 int CmdMatch(const Args& args, std::ostream& out, std::ostream& err) {
-  if (args.positional.size() != 3) return Usage(err);
+  if (args.positional.size() < 3) return Usage(err);
   auto graph = LoadGraph(args.positional[1]);
   if (!graph.ok()) {
     err << graph.status().ToString() << "\n";
     return 1;
   }
   Graph g = std::move(graph).value();
-  std::ifstream pf(args.positional[2]);
-  if (!pf) {
-    err << "cannot open pattern file '" << args.positional[2] << "'\n";
-    return 1;
-  }
-  std::stringstream text;
-  text << pf.rdbuf();
-  auto pattern = PatternParser::Parse(text.str(), g.mutable_dict());
-  if (!pattern.ok()) {
-    err << pattern.status().ToString() << "\n";
-    return 1;
-  }
-  const std::string algo = args.Flag("algo", "qmatch");
-  MatchOptions opts;
-  WallTimer timer;
-  MatchStats stats;
-  Result<AnswerSet> answers = Status::Ok();
-  if (algo == "enum") {
-    opts.max_isomorphisms = 10'000'000;
-    answers = EnumMatcher::Evaluate(*pattern, g, opts, &stats);
-  } else if (algo == "qmatchn") {
-    answers = QMatchNaiveEvaluate(*pattern, g, opts, &stats);
-  } else if (algo == "qmatch") {
-    answers = QMatch::Evaluate(*pattern, g, opts, &stats);
-  } else {
-    err << "unknown --algo '" << algo << "'\n";
+  const std::string algo_name = args.Flag("algo", "qmatch");
+  std::optional<EngineAlgo> algo = ParseEngineAlgo(algo_name);
+  if (!algo.has_value()) {
+    err << "unknown --algo '" << algo_name << "'\n";
     return 2;
   }
-  if (!answers.ok()) {
-    err << answers.status().ToString() << "\n";
-    return 1;
+  std::vector<QuerySpec> specs;
+  for (size_t p = 2; p < args.positional.size(); ++p) {
+    const std::string& path = args.positional[p];
+    std::ifstream pf(path);
+    if (!pf) {
+      err << "cannot open pattern file '" << path << "'\n";
+      return 1;
+    }
+    std::stringstream text;
+    text << pf.rdbuf();
+    auto pattern = PatternParser::Parse(text.str(), g.mutable_dict());
+    if (!pattern.ok()) {
+      err << pattern.status().ToString() << "\n";
+      return 1;
+    }
+    QuerySpec spec;
+    spec.pattern = std::move(pattern).value();
+    spec.algo = *algo;
+    spec.tag = path;
+    if (*algo == EngineAlgo::kEnum || *algo == EngineAlgo::kPEnum) {
+      spec.options.max_isomorphisms = 10'000'000;
+    }
+    specs.push_back(std::move(spec));
   }
-  double seconds = timer.ElapsedSeconds();
-  out << "matches: " << answers->size() << " (in " << seconds << "s)\n";
+
+  const int64_t threads = args.FlagInt("threads", 0);
+  const int64_t fragments = args.FlagInt("n", 4);
+  const int64_t depth = args.FlagInt("d", 2);
+  if (threads < 0 || fragments < 1 || depth < 0) {
+    err << "--threads/--n/--d must be non-negative (--n at least 1)\n";
+    return 2;
+  }
+  EngineOptions engine_options;
+  engine_options.num_threads = static_cast<size_t>(threads);
+  engine_options.partition_fragments = static_cast<size_t>(fragments);
+  engine_options.partition_d = static_cast<int>(depth);
+  QueryEngine engine(std::move(g), engine_options);
+
+  const bool multi = specs.size() > 1;
   int64_t limit = args.FlagInt("limit", 20);
-  for (size_t i = 0; i < answers->size() &&
-                     i < static_cast<size_t>(limit < 0 ? 0 : limit);
-       ++i) {
-    out << "  " << (*answers)[i] << "\n";
+  for (const QuerySpec& spec : specs) {
+    auto outcome = engine.Submit(spec);
+    if (!outcome.ok()) {
+      err << outcome.status().ToString() << "\n";
+      return 1;
+    }
+    if (multi) out << spec.tag << ": ";
+    out << "matches: " << outcome->answers.size() << " (in "
+        << outcome->wall_ms / 1000.0 << "s)\n";
+    for (size_t i = 0; i < outcome->answers.size() &&
+                       i < static_cast<size_t>(limit < 0 ? 0 : limit);
+         ++i) {
+      out << "  " << outcome->answers[i] << "\n";
+    }
+    if (args.flags.count("stats") != 0) {
+      out << "stats: " << outcome->stats.ToString() << "\n";
+    }
   }
   if (args.flags.count("stats") != 0) {
-    out << "stats: " << stats.ToString() << "\n";
+    const EngineStats es = engine.stats();
+    out << "engine: queries=" << es.queries
+        << " cache_hits=" << es.cache_hits
+        << " cache_misses=" << es.cache_misses << " hit_ratio="
+        << es.HitRatio() << " wall_ms=" << es.wall_ms << "\n";
   }
   return 0;
 }

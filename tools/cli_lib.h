@@ -14,8 +14,14 @@ namespace qgp::cli {
 /// Subcommands:
 ///   qgp stats <graph>
 ///   qgp convert <graph-in> <graph-out.bin>
-///   qgp match <graph> <pattern-file> [--algo=qmatch|qmatchn|enum]
-///             [--stats] [--limit=N]
+///   qgp match <graph> <pattern-file>...
+///             [--algo=qmatch|qmatchn|enum|pqmatch|penum]
+///             [--stats] [--limit=N] [--threads=N] [--n=4] [--d=2]
+///
+/// `match` evaluates every pattern file through one QueryEngine
+/// (src/engine/query_engine.h): the graph is loaded once, candidate
+/// filters are interned across the patterns, and `--stats` appends the
+/// engine's cumulative cache hit ratio after the per-pattern results.
 ///   qgp generate <social|knowledge|synthetic> <out> [--size=N] [--seed=N]
 ///   qgp partition <graph> [--n=4] [--d=2]
 ///   qgp mine <graph> [--eta=0.5] [--support=20] [--rules=5]
