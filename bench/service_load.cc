@@ -1,0 +1,293 @@
+// Network query service load bench: the TCP substrate measured apart
+// from evaluation. A QueryService is booted on a loopback port over an
+// engine with the result cache on; after a cold priming pass (answers
+// verified against a direct engine run), every measured request is a
+// result-cache hit, so the rows isolate what the service itself costs —
+// codec, socket hops, admission and dispatch:
+//
+//   * closed-loop serial client (request/response, 1 connection),
+//   * the same volume pipelined (all writes before the first read),
+//   * 4 concurrent closed-loop clients,
+//   * an open-loop generator (fixed-rate schedule, 2 connections)
+//     reporting achieved QPS and p50/p95/p99 latency.
+//
+// The closed-loop rows are the regression-gate surface; the open-loop
+// row's wall clock is schedule-dominated by construction, its value is
+// the latency percentiles carried as extra metrics.
+// Emits BENCH_service_load.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/bench_common.h"
+#include "core/pattern_parser.h"
+#include "engine/query_engine.h"
+#include "service/client.h"
+#include "service/query_service.h"
+
+using namespace qgp;
+using namespace qgp::bench;
+using service::QueryService;
+using service::ServiceClient;
+using service::ServiceOptions;
+using service::ServiceRequest;
+using service::ServiceResponse;
+
+namespace {
+
+void Die(const char* what) {
+  std::printf("FATAL: %s\n", what);
+  std::exit(1);
+}
+
+// Two §7-style families interleaved, carried both as wire requests (the
+// serialized DSL the protocol ships) and as direct QuerySpecs for the
+// reference run the service answers are verified against.
+struct Workload {
+  std::vector<ServiceRequest> requests;
+  std::vector<QuerySpec> specs;
+};
+
+Workload MakeServiceWorkload(const Graph& g) {
+  std::vector<Pattern> family_a =
+      MakeSuite(g, 5, PatternConfig(4, 5, 30.0, 0), /*seed=*/101);
+  std::vector<Pattern> family_b =
+      MakeSuite(g, 5, PatternConfig(5, 6, 50.0, 1), /*seed=*/202);
+  Workload w;
+  auto add = [&](const Pattern& q, const char* family, size_t i) {
+    ServiceRequest r;
+    r.pattern_text = PatternParser::Serialize(q, g.dict());
+    r.tag = std::string(family) + "/" + std::to_string(i);
+    w.requests.push_back(std::move(r));
+    QuerySpec spec;
+    spec.pattern = q;
+    w.specs.push_back(std::move(spec));
+  };
+  for (size_t i = 0; i < family_a.size() || i < family_b.size(); ++i) {
+    if (i < family_a.size()) add(family_a[i], "A", i);
+    if (i < family_b.size()) add(family_b[i], "B", i);
+  }
+  return w;
+}
+
+// One closed-loop pass over the workload: serial request/response on an
+// established connection. Answers must be ok; returns the count served.
+size_t ServeOnce(ServiceClient& client,
+                 const std::vector<ServiceRequest>& requests) {
+  for (const ServiceRequest& request : requests) {
+    auto response = client.Call(request);
+    if (!response.ok() || !response->ok) Die("closed-loop request failed");
+  }
+  return requests.size();
+}
+
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[idx];
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("service_load — TCP query service substrate",
+              "loopback QueryService, result-cache-served repeat traffic",
+              "codec + socket + admission cost, apart from evaluation");
+  Graph g = MakePokecLike(800);
+  PrintGraphLine("graph", g);
+  BenchReporter reporter("service_load");
+
+  Workload workload = MakeServiceWorkload(g);
+  const size_t n = workload.requests.size();
+  if (n == 0) Die("pattern generation produced an empty workload");
+  // Closed-loop volume: enough repeat traffic per configuration that the
+  // per-request cost dominates connection setup.
+  const size_t reps = std::max<size_t>(2, static_cast<size_t>(20 * ScaleFactor()));
+  std::printf("workload: %zu requests x %zu reps\n\n", n, reps);
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.enable_result_cache = true;
+  QueryEngine engine(&g, engine_options);
+
+  // Reference answers from a direct engine run — the service may never
+  // answer differently than the engine it fronts.
+  QueryEngine reference(&g, engine_options);
+  auto expected = reference.RunBatch(workload.specs);
+  if (!expected.ok()) Die("reference batch failed");
+
+  // Admission limits off: this bench measures the substrate, not the
+  // shedding policy (tests/service covers that); the pipelined and
+  // open-loop sections would otherwise trip the per-client limit.
+  ServiceOptions service_options;
+  service_options.max_inflight = 0;
+  service_options.max_inflight_per_client = 0;
+  QueryService server(&engine, service_options);
+  if (!server.Start().ok()) Die("service failed to start");
+
+  auto client = ServiceClient::Connect(server.port());
+  if (!client.ok()) Die("loopback connect failed");
+
+  // --- Cold priming pass: evaluation through the service, verified.
+  double prime_s = TimeSeconds([&] {
+    for (size_t i = 0; i < n; ++i) {
+      auto response = client->Call(workload.requests[i]);
+      if (!response.ok() || !response->ok) Die("prime request failed");
+      if (response->answers != (*expected)[i].answers) {
+        Die("service answers differ from the direct engine run");
+      }
+    }
+  });
+  reporter.Add("service/prime/cold", prime_s * 1000.0,
+               {{"requests", static_cast<double>(n)}});
+  std::printf("prime (cold, verified): %8.2f ms\n", prime_s * 1000.0);
+
+  // --- Closed-loop serial client, warm: every request a result-cache
+  // hit, so the row is the request/response substrate cost.
+  size_t serial_served = 0;
+  double serial_s = TimeSeconds([&] {
+    for (size_t r = 0; r < reps; ++r) {
+      serial_served += ServeOnce(*client, workload.requests);
+    }
+  });
+  reporter.Add("service/closed_loop/serial", serial_s * 1000.0,
+               {{"requests", static_cast<double>(serial_served)},
+                {"qps", serial_s > 0 ? serial_served / serial_s : 0.0}});
+  std::printf("closed-loop serial    : %8.2f ms  (%.0f req/s)\n",
+              serial_s * 1000.0, serial_s > 0 ? serial_served / serial_s : 0.0);
+
+  // --- Same volume pipelined: all writes issued before the first read;
+  // the per-connection reorder buffer must hand responses back in
+  // request order (tags asserted).
+  double pipelined_s = TimeSeconds([&] {
+    for (size_t r = 0; r < reps; ++r) {
+      for (const ServiceRequest& request : workload.requests) {
+        if (!client->Send(request).ok()) Die("pipelined send failed");
+      }
+      for (const ServiceRequest& request : workload.requests) {
+        auto response = client->ReadResponse();
+        if (!response.ok() || !response->ok) Die("pipelined read failed");
+        if (response->tag != request.tag) Die("pipelined response out of order");
+      }
+    }
+  });
+  const size_t pipelined_served = n * reps;
+  reporter.Add(
+      "service/closed_loop/pipelined", pipelined_s * 1000.0,
+      {{"requests", static_cast<double>(pipelined_served)},
+       {"qps", pipelined_s > 0 ? pipelined_served / pipelined_s : 0.0}});
+  std::printf("pipelined burst       : %8.2f ms  (%.0f req/s)\n",
+              pipelined_s * 1000.0,
+              pipelined_s > 0 ? pipelined_served / pipelined_s : 0.0);
+
+  // --- 4 concurrent closed-loop clients, each on its own connection.
+  constexpr size_t kClients = 4;
+  std::atomic<size_t> concurrent_served{0};
+  double concurrent_s = TimeSeconds([&] {
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&] {
+        auto conn = ServiceClient::Connect(server.port());
+        if (!conn.ok()) Die("concurrent connect failed");
+        for (size_t r = 0; r < reps; ++r) {
+          concurrent_served += ServeOnce(*conn, workload.requests);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  });
+  reporter.Add(
+      "service/closed_loop/clients=4", concurrent_s * 1000.0,
+      {{"requests", static_cast<double>(concurrent_served.load())},
+       {"qps",
+        concurrent_s > 0 ? concurrent_served.load() / concurrent_s : 0.0}});
+  std::printf("closed-loop 4 clients : %8.2f ms  (%.0f req/s)\n",
+              concurrent_s * 1000.0,
+              concurrent_s > 0 ? concurrent_served.load() / concurrent_s : 0.0);
+
+  // --- Open-loop generator: a fixed-rate send schedule per connection
+  // (sends never wait for responses), a reader thread per connection
+  // pairing the i-th response with the i-th send time. Offered rate is
+  // deliberately below the closed-loop capacity measured above, so the
+  // percentiles reflect substrate + queueing, not saturation collapse.
+  {
+    constexpr size_t kConnections = 2;
+    const auto interval = std::chrono::microseconds(1000);  // 1k qps/conn
+    const size_t per_conn =
+        std::max<size_t>(30, static_cast<size_t>(300 * ScaleFactor()));
+    const double offered_qps =
+        kConnections * 1e6 / std::chrono::duration<double, std::micro>(interval).count();
+
+    std::vector<double> latencies_ms;
+    std::mutex latencies_mu;
+    using Clock = std::chrono::steady_clock;
+    double open_s = TimeSeconds([&] {
+      std::vector<std::thread> threads;
+      for (size_t c = 0; c < kConnections; ++c) {
+        threads.emplace_back([&] {
+          auto conn = ServiceClient::Connect(server.port());
+          if (!conn.ok()) Die("open-loop connect failed");
+          std::vector<Clock::time_point> sent(per_conn);
+          std::thread sender([&] {
+            const auto start = Clock::now();
+            for (size_t i = 0; i < per_conn; ++i) {
+              std::this_thread::sleep_until(start + i * interval);
+              sent[i] = Clock::now();
+              if (!conn->Send(workload.requests[i % n]).ok()) {
+                Die("open-loop send failed");
+              }
+            }
+          });
+          std::vector<double> mine;
+          mine.reserve(per_conn);
+          for (size_t i = 0; i < per_conn; ++i) {
+            auto response = conn->ReadResponse();
+            if (!response.ok() || !response->ok) Die("open-loop read failed");
+            // Responses come back in request order on a connection, so
+            // the pairing is positional. sent[i] is written before the
+            // request goes out, hence before its response can arrive.
+            mine.push_back(std::chrono::duration<double, std::milli>(
+                               Clock::now() - sent[i])
+                               .count());
+          }
+          sender.join();
+          std::lock_guard<std::mutex> lock(latencies_mu);
+          latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    });
+
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const size_t total = kConnections * per_conn;
+    const double achieved = open_s > 0 ? total / open_s : 0.0;
+    const double p50 = Percentile(latencies_ms, 0.50);
+    const double p95 = Percentile(latencies_ms, 0.95);
+    const double p99 = Percentile(latencies_ms, 0.99);
+    reporter.Add("service/open_loop/offered=2000", open_s * 1000.0,
+                 {{"requests", static_cast<double>(total)},
+                  {"offered_qps", offered_qps},
+                  {"achieved_qps", achieved},
+                  {"p50_ms", p50},
+                  {"p95_ms", p95},
+                  {"p99_ms", p99}});
+    std::printf(
+        "open loop @%.0f req/s  : %8.2f ms  (achieved %.0f req/s, "
+        "p50/p95/p99 = %.3f/%.3f/%.3f ms)\n",
+        offered_qps, open_s * 1000.0, achieved, p50, p95, p99);
+  }
+
+  server.Stop();
+  const service::ServiceStats stats = server.stats();
+  if (stats.queries_failed != 0 || stats.rejected != 0 || stats.malformed != 0) {
+    Die("service reported failed/rejected/malformed requests");
+  }
+  if (!reporter.Write()) Die("failed to write BENCH_service_load.json");
+  std::printf("\nall service answers verified against the engine: OK\n");
+  return 0;
+}

@@ -1,37 +1,44 @@
-// Query server scenario: one long-lived QueryEngine serving a stream of
-// quantified-pattern requests against a loaded social graph — the
-// ROADMAP's "multi-pattern workloads sharing one CandidateCache" story,
-// as a runnable walkthrough.
+// Query server scenario, end to end over TCP: boots the network query
+// service (src/service/query_service.h) on a loopback port, then drives
+// it as a real client — the ROADMAP's "network-facing query service"
+// story as a runnable walkthrough.
 //
 // The driver:
-//   1. generates a Pokec-like social graph and constructs an engine
-//      over it (shared CandidateCache + ThreadPool, engine-lifetime);
+//   1. generates a Pokec-like social graph, constructs a QueryEngine
+//      over it and starts a QueryService on an ephemeral 127.0.0.1 port;
 //   2. builds a request mix from two pattern families and serves it
-//      twice — a cold pass (empty cache) and a warm pass (same engine)
-//      — printing a per-request server log with latency and cache hits;
-//   3. interleaves an EvictUnused() pressure event mid-stream and shows
-//      answers are unaffected;
-//   4. prints the cumulative engine stats (hit ratio, wall time).
+//      twice through a ServiceClient — a cold pass (empty cache) and a
+//      warm pass — printing a per-request client log with latency and
+//      cache hits;
+//   3. pipelines the warm pass (all requests sent before the first
+//      response is read) to show per-connection response ordering;
+//   4. polls the stats op from a second connection while queries run,
+//      and prints the final engine + service telemetry.
 //
 //   ./examples/query_server [num_users]
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
+#include "core/pattern_parser.h"
 #include "engine/query_engine.h"
 #include "gen/pattern_gen.h"
 #include "gen/social_gen.h"
+#include "service/client.h"
+#include "service/query_service.h"
 
 using namespace qgp;
+using service::ServiceClient;
+using service::ServiceRequest;
+using service::ServiceResponse;
 
 namespace {
 
-std::vector<QuerySpec> MakeWorkload(const Graph& g) {
-  // Two §7-style pattern families (different sizes and quantifiers),
-  // interleaved the way concurrent clients would mix them. Patterns in
-  // one family share node/edge-label structure, so their label/degree
-  // candidate filters intern into the same cache entries.
+// The request mix: two §7-style pattern families (different sizes and
+// quantifiers) interleaved the way concurrent clients would mix them,
+// serialized to the PatternParser DSL the wire protocol carries.
+std::vector<ServiceRequest> MakeWorkload(Graph& g) {
   PatternGenConfig family_a;
   family_a.num_nodes = 4;
   family_a.num_edges = 5;
@@ -46,95 +53,152 @@ std::vector<QuerySpec> MakeWorkload(const Graph& g) {
 
   std::vector<Pattern> a = GeneratePatternSuite(g, 6, family_a, 1001);
   std::vector<Pattern> b = GeneratePatternSuite(g, 6, family_b, 2002);
-  std::vector<QuerySpec> workload;
+  std::vector<ServiceRequest> workload;
   for (size_t i = 0; i < a.size() || i < b.size(); ++i) {
     if (i < a.size()) {
-      QuerySpec s;
-      s.pattern = a[i];
-      s.tag = "familyA/" + std::to_string(i);
-      workload.push_back(std::move(s));
+      ServiceRequest r;
+      r.pattern_text = PatternParser::Serialize(a[i], g.dict());
+      r.tag = "familyA/" + std::to_string(i);
+      workload.push_back(std::move(r));
     }
     if (i < b.size()) {
-      QuerySpec s;
-      s.pattern = b[i];
-      s.tag = "familyB/" + std::to_string(i);
-      workload.push_back(std::move(s));
+      ServiceRequest r;
+      r.pattern_text = PatternParser::Serialize(b[i], g.dict());
+      r.tag = "familyB/" + std::to_string(i);
+      workload.push_back(std::move(r));
     }
   }
   return workload;
 }
 
-// Serves the workload request by request, like a server draining its
-// queue, evicting unused cache entries halfway through (a memory
-// pressure event). Returns the per-request answers.
-std::vector<AnswerSet> Serve(QueryEngine& engine,
-                             const std::vector<QuerySpec>& workload,
-                             const char* pass) {
-  std::vector<AnswerSet> answers;
-  for (size_t i = 0; i < workload.size(); ++i) {
-    if (i == workload.size() / 2) {
-      size_t evicted = engine.EvictUnused();
-      std::printf("[%s] -- cache pressure: evicted %zu unused sets --\n",
-                  pass, evicted);
-    }
-    auto outcome = engine.Submit(workload[i]);
-    if (!outcome.ok()) {
-      std::printf("[%s] %s FAILED: %s\n", pass, workload[i].tag.c_str(),
-                  outcome.status().ToString().c_str());
-      std::exit(1);
+// Serves the workload request by request over one connection, like a
+// client draining its queue. Fills `answers` with the per-request
+// answer sets; errors propagate to the caller (no exit from helpers —
+// destructors of the service and engine must run).
+Status Serve(ServiceClient& client, const std::vector<ServiceRequest>& workload,
+             const char* pass, std::vector<AnswerSet>* answers) {
+  for (const ServiceRequest& request : workload) {
+    QGP_ASSIGN_OR_RETURN(ServiceResponse response, client.Call(request));
+    if (!response.ok) {
+      return Status::Internal(request.tag + ": server error " +
+                              response.error_code + ": " +
+                              response.error_message);
     }
     std::printf(
         "[%s] %-10s answers=%4zu  %7.2f ms  cache %llu hit / %llu miss%s\n",
-        pass, outcome->tag.c_str(), outcome->answers.size(), outcome->wall_ms,
-        static_cast<unsigned long long>(outcome->cache_hits),
-        static_cast<unsigned long long>(outcome->cache_misses),
-        outcome->result_cache_hit ? "  [result cache]" : "");
-    answers.push_back(std::move(outcome->answers));
+        pass, response.tag.c_str(), response.answers.size(), response.wall_ms,
+        static_cast<unsigned long long>(response.cache_hits),
+        static_cast<unsigned long long>(response.cache_misses),
+        response.result_cache_hit ? "  [result cache]" : "");
+    answers->push_back(std::move(response.answers));
   }
-  return answers;
+  return Status::Ok();
 }
 
-}  // namespace
+// The warm pass again, pipelined: every request is written before the
+// first response is read. The reorder buffer guarantees responses come
+// back in request order, so pairing them back up is positional.
+Status ServePipelined(ServiceClient& client,
+                      const std::vector<ServiceRequest>& workload,
+                      std::vector<AnswerSet>* answers) {
+  for (const ServiceRequest& request : workload) {
+    QGP_RETURN_IF_ERROR(client.Send(request));
+  }
+  for (const ServiceRequest& request : workload) {
+    QGP_ASSIGN_OR_RETURN(ServiceResponse response, client.ReadResponse());
+    if (!response.ok) {
+      return Status::Internal(request.tag + ": server error " +
+                              response.error_code + ": " +
+                              response.error_message);
+    }
+    if (response.tag != request.tag) {
+      return Status::Internal("response order violated: sent " + request.tag +
+                              ", got " + response.tag);
+    }
+    answers->push_back(std::move(response.answers));
+  }
+  return Status::Ok();
+}
 
-int main(int argc, char** argv) {
+Status Run(size_t num_users) {
   SocialConfig config;
-  config.num_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  config.num_users = num_users;
   config.seed = 7;
-  Graph g = std::move(GenerateSocialGraph(config)).value();
+  QGP_ASSIGN_OR_RETURN(Graph g, GenerateSocialGraph(config));
   std::printf("graph: |V|=%zu |E|=%zu\n", g.num_vertices(), g.num_edges());
 
-  std::vector<QuerySpec> workload = MakeWorkload(g);
-  std::printf("workload: %zu requests from 2 pattern families\n\n",
+  std::vector<ServiceRequest> workload = MakeWorkload(g);
+  std::printf("workload: %zu requests from 2 pattern families\n",
               workload.size());
 
   EngineOptions options;
   options.enable_result_cache = true;  // serve repeat requests from memory
   QueryEngine engine(std::move(g), options);
+  service::ServiceOptions service_options;
+  // The pipelined pass bursts the whole workload on one connection;
+  // leave headroom over the default per-client in-flight limit of 8
+  // (at the default, the burst's tail would get "Unavailable" — the
+  // admission tests cover that path).
+  service_options.max_inflight_per_client = workload.size() + 1;
+  service::QueryService server(&engine, service_options);
+  QGP_RETURN_IF_ERROR(server.Start());
+  std::printf("service: 127.0.0.1:%d\n\n", server.port());
 
-  // Cold pass: every label/degree filter is computed for the first time.
-  std::vector<AnswerSet> cold = Serve(engine, workload, "cold");
-  // Warm pass: the same requests again — a server's steady state. Repeat
-  // requests are served straight from the result cache (near-zero
-  // latency); answers must be identical.
-  std::vector<AnswerSet> warm = Serve(engine, workload, "warm");
-  if (cold != warm) {
-    std::printf("FATAL: warm-cache answers differ from cold run\n");
-    return 1;
+  {
+    QGP_ASSIGN_OR_RETURN(ServiceClient client,
+                         ServiceClient::Connect(server.port()));
+    // Cold pass: every label/degree filter is computed for the first
+    // time. Warm pass: the same requests again — a server's steady
+    // state, answered from the result cache; answers must be identical.
+    std::vector<AnswerSet> cold, warm, pipelined;
+    QGP_RETURN_IF_ERROR(Serve(client, workload, "cold", &cold));
+    QGP_RETURN_IF_ERROR(Serve(client, workload, "warm", &warm));
+    if (cold != warm) {
+      return Status::Internal("warm-cache answers differ from cold run");
+    }
+    QGP_RETURN_IF_ERROR(ServePipelined(client, workload, &pipelined));
+    if (cold != pipelined) {
+      return Status::Internal("pipelined answers differ from serial run");
+    }
+    std::printf("\nwarm == cold == pipelined answers: OK\n");
+
+    // Telemetry from a second connection — the stats op never queues
+    // behind query traffic, so a monitor sees fresh numbers on demand.
+    QGP_ASSIGN_OR_RETURN(ServiceClient monitor,
+                         ServiceClient::Connect(server.port()));
+    ServiceRequest stats_request;
+    stats_request.op = ServiceRequest::Op::kStats;
+    QGP_ASSIGN_OR_RETURN(ServiceResponse stats, monitor.Call(stats_request));
+    std::printf("stats op: %s\n", stats.body.Dump().c_str());
   }
 
-  const EngineStats stats = engine.stats();
+  server.Stop();
+  const EngineStats es = engine.stats();
   std::printf("\nengine totals: queries=%llu wall=%.1f ms\n",
-              static_cast<unsigned long long>(stats.queries), stats.wall_ms);
-  std::printf("candidate cache: %llu hits / %llu misses (hit ratio %.2f), "
-              "%llu evicted under pressure\n",
-              static_cast<unsigned long long>(stats.cache_hits),
-              static_cast<unsigned long long>(stats.cache_misses),
-              stats.HitRatio(),
-              static_cast<unsigned long long>(stats.cache_evicted));
+              static_cast<unsigned long long>(es.queries), es.wall_ms);
+  std::printf("candidate cache: %llu hits / %llu misses (hit ratio %.2f)\n",
+              static_cast<unsigned long long>(es.cache_hits),
+              static_cast<unsigned long long>(es.cache_misses), es.HitRatio());
   std::printf("result cache   : %llu hits / %llu misses (hit ratio %.2f)\n",
-              static_cast<unsigned long long>(stats.result_hits),
-              static_cast<unsigned long long>(stats.result_misses),
-              stats.ResultHitRatio());
-  std::printf("warm == cold answers: OK\n");
+              static_cast<unsigned long long>(es.result_hits),
+              static_cast<unsigned long long>(es.result_misses),
+              es.ResultHitRatio());
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t num_users = 2000;
+  if (argc > 1 && (!ParseInt64(argv[1], &num_users) || num_users < 1)) {
+    std::fprintf(stderr, "usage: %s [num_users]  (positive integer, got %s)\n",
+                 argv[0], argv[1]);
+    return 2;
+  }
+  Status status = Run(static_cast<size_t>(num_users));
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

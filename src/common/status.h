@@ -18,6 +18,9 @@ enum class StatusCode {
   kInternal = 6,
   kIoError = 7,
   kCorruption = 8,
+  /// Transient overload: the caller should back off and retry (used by
+  /// the network query service's admission control).
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +68,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

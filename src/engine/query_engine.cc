@@ -98,23 +98,23 @@ QueryEngine::QueryEngine(const Graph* graph, const EngineOptions& options)
       cache_(*graph_) {}
 
 Result<QueryOutcome> QueryEngine::Submit(const QuerySpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return SubmitLocked(spec);
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return SubmitAdmitted(spec);
 }
 
 Result<std::vector<QueryOutcome>> QueryEngine::RunBatch(
     std::span<const QuerySpec> specs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(admission_mu_);
   std::vector<QueryOutcome> outcomes;
   outcomes.reserve(specs.size());
   for (const QuerySpec& spec : specs) {
-    QGP_ASSIGN_OR_RETURN(QueryOutcome outcome, SubmitLocked(spec));
+    QGP_ASSIGN_OR_RETURN(QueryOutcome outcome, SubmitAdmitted(spec));
     outcomes.push_back(std::move(outcome));
   }
   return outcomes;
 }
 
-Result<QueryOutcome> QueryEngine::SubmitLocked(const QuerySpec& spec) {
+Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   QueryOutcome outcome;
   outcome.tag = spec.tag;
   // Result-cache probe: a repeat of an answered query is served from
@@ -125,14 +125,20 @@ Result<QueryOutcome> QueryEngine::SubmitLocked(const QuerySpec& spec) {
   std::string result_key;
   if (use_results) {
     result_key = ResultKey(spec);
-    auto it = results_.find(result_key);
-    if (it != results_.end()) {
-      WallTimer hit_timer;
-      lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh LRU slot
-      outcome.answers = it->second.answers;
-      outcome.stats = it->second.stats;
-      outcome.result_cache_hit = true;
+    WallTimer hit_timer;
+    {
+      std::lock_guard<std::mutex> results_lock(results_mu_);
+      auto it = results_.find(result_key);
+      if (it != results_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh LRU
+        outcome.answers = it->second.answers;
+        outcome.stats = it->second.stats;
+        outcome.result_cache_hit = true;
+      }
+    }
+    if (outcome.result_cache_hit) {
       outcome.wall_ms = hit_timer.ElapsedSeconds() * 1000.0;
+      std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
       ++stats_.queries;
       ++stats_.result_hits;
       stats_.match.Add(outcome.stats);
@@ -164,7 +170,7 @@ Result<QueryOutcome> QueryEngine::SubmitLocked(const QuerySpec& spec) {
       break;
     case EngineAlgo::kPQMatch:
     case EngineAlgo::kPEnum: {
-      auto part = PartitionLocked();
+      auto part = PartitionAdmitted();
       if (!part.ok()) {
         answers = part.status();
         break;
@@ -187,30 +193,25 @@ Result<QueryOutcome> QueryEngine::SubmitLocked(const QuerySpec& spec) {
     }
   }
   outcome.wall_ms = timer.ElapsedSeconds() * 1000.0;
-  if (!answers.ok()) {
-    ++stats_.failed;
-    return answers.status();
-  }
   const CandidateCache::Stats cache_after = cache_.stats();
   outcome.cache_hits = cache_after.hits - cache_before.hits;
   outcome.cache_misses = cache_after.misses - cache_before.misses;
-  outcome.answers = std::move(answers).value();
-
-  ++stats_.queries;
-  stats_.match.Add(outcome.stats);
-  stats_.wall_ms += outcome.wall_ms;
-  stats_.cache_hits += outcome.cache_hits;
-  stats_.cache_misses += outcome.cache_misses;
-  // Pressure policy: shed sets no live evaluation references once the
-  // pool outgrows the configured bound. Interned sets are equal by value
-  // to freshly computed ones, so eviction can only cost recomputation,
-  // never answers.
-  if (options_.cache_max_entries > 0 &&
-      cache_.size() > options_.cache_max_entries) {
-    stats_.cache_evicted += cache_.EvictUnused();
+  if (!answers.ok()) {
+    // Failures are load too: their wall time and cache traffic feed the
+    // cumulative stats, and the pressure valve below still runs — an
+    // error-heavy workload must neither under-report itself nor grow
+    // the candidate cache past its bound.
+    AccountAndShedPressure(outcome, /*failed=*/true);
+    return answers.status();
   }
+  outcome.answers = std::move(answers).value();
+  AccountAndShedPressure(outcome, /*failed=*/false);
   if (use_results) {
-    ++stats_.result_misses;
+    {
+      std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
+      ++stats_.result_misses;
+    }
+    std::lock_guard<std::mutex> results_lock(results_mu_);
     lru_.push_front(result_key);
     results_[std::move(result_key)] =
         ResultEntry{outcome.answers, outcome.stats, lru_.begin()};
@@ -223,8 +224,35 @@ Result<QueryOutcome> QueryEngine::SubmitLocked(const QuerySpec& spec) {
   return outcome;
 }
 
+void QueryEngine::AccountAndShedPressure(const QueryOutcome& outcome,
+                                         bool failed) {
+  {
+    std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
+    if (failed) {
+      ++stats_.failed;
+    } else {
+      ++stats_.queries;
+      stats_.match.Add(outcome.stats);
+    }
+    stats_.wall_ms += outcome.wall_ms;
+    stats_.cache_hits += outcome.cache_hits;
+    stats_.cache_misses += outcome.cache_misses;
+  }
+  // Pressure policy: shed sets no live evaluation references once the
+  // pool outgrows the configured bound. Interned sets are equal by value
+  // to freshly computed ones, so eviction can only cost recomputation,
+  // never answers. Runs on the failure path too — a failed evaluation
+  // still interned whatever filters it touched before erroring out.
+  if (options_.cache_max_entries > 0 &&
+      cache_.size() > options_.cache_max_entries) {
+    const size_t evicted = cache_.EvictUnused();
+    std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
+    stats_.cache_evicted += evicted;
+  }
+}
+
 size_t QueryEngine::ClearResultCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(results_mu_);
   const size_t cleared = results_.size();
   results_.clear();
   lru_.clear();
@@ -232,18 +260,21 @@ size_t QueryEngine::ClearResultCache() {
 }
 
 size_t QueryEngine::EvictUnused() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // No admission lock: the intern pool is internally synchronized and
+  // refcounted, so shedding unused sets is safe even while a query is
+  // mid-flight — monitoring and memory-pressure valves stay responsive.
   const size_t evicted = cache_.EvictUnused();
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
   stats_.cache_evicted += evicted;
   return evicted;
 }
 
 Result<const Partition*> QueryEngine::partition() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return PartitionLocked();
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return PartitionAdmitted();
 }
 
-Result<const Partition*> QueryEngine::PartitionLocked() {
+Result<const Partition*> QueryEngine::PartitionAdmitted() {
   if (!partition_.has_value()) {
     DParConfig config;
     config.num_fragments = options_.partition_fragments;
@@ -258,7 +289,7 @@ Result<const Partition*> QueryEngine::PartitionLocked() {
 }
 
 EngineStats QueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
   return stats_;
 }
 

@@ -179,12 +179,21 @@ struct EngineStats {
 /// a slot computes (README "Concurrency model"). Only the scheduler
 /// telemetry (MatchStats::scheduler_tasks/scheduler_steals) may vary.
 ///
-/// Thread safety: Submit/RunBatch/EvictUnused/stats may be called from
-/// any thread. Queries are admitted one at a time (an internal mutex);
-/// each admitted query then fans out over the whole shared pool, which
-/// keeps the machine saturated without oversubscribing it. Callers
-/// wanting overlap across queries submit from multiple client threads
-/// and let admission order decide.
+/// Thread safety: Submit/RunBatch/EvictUnused/ClearResultCache/stats may
+/// be called from any thread. Queries are admitted one at a time (an
+/// internal admission mutex); each admitted query then fans out over the
+/// whole shared pool, which keeps the machine saturated without
+/// oversubscribing it. Callers wanting overlap across queries submit
+/// from multiple client threads and let admission order decide.
+///
+/// Monitoring never stalls behind evaluation: telemetry (stats()), the
+/// candidate-cache pressure valve (EvictUnused()) and the result cache
+/// (ClearResultCache()) live behind their own short-held locks, NOT the
+/// admission lock — a monitoring thread gets an answer in microseconds
+/// even while a multi-second query is mid-flight (the engine concurrency
+/// suite asserts this). A stats() snapshot taken mid-query reflects
+/// every query completed so far; totals are exact whenever no query is
+/// in flight.
 class QueryEngine {
  public:
   /// Owning constructor: the engine takes the loaded graph.
@@ -222,8 +231,11 @@ class QueryEngine {
 
   /// The graph every query evaluates against.
   const Graph& graph() const { return *graph_; }
-  /// Cumulative telemetry snapshot. Takes the engine lock; totals are
-  /// exact whenever no query is mid-flight.
+  /// Cumulative telemetry snapshot. Never blocks behind a running query
+  /// (its lock is held only for the per-query counter commits); totals
+  /// are exact whenever no query is mid-flight. Failed queries
+  /// contribute their wall time and cache traffic too, so an
+  /// error-heavy workload reports its true load.
   EngineStats stats() const;
   /// The shared intern pool (for diagnostics; prefer EvictUnused()).
   CandidateCache& cache() { return cache_; }
@@ -238,20 +250,34 @@ class QueryEngine {
     std::list<std::string>::iterator lru;
   };
 
-  Result<QueryOutcome> SubmitLocked(const QuerySpec& spec);
-  Result<const Partition*> PartitionLocked();
+  Result<QueryOutcome> SubmitAdmitted(const QuerySpec& spec);
+  Result<const Partition*> PartitionAdmitted();
+  /// Commits one finished query (successful or failed) into stats_ and
+  /// runs the cache_max_entries pressure policy — the single exit path
+  /// shared by every evaluation outcome.
+  void AccountAndShedPressure(const QueryOutcome& outcome, bool failed);
 
   std::shared_ptr<const Graph> graph_;  // no-op deleter when borrowing
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   CandidateCache cache_;
   std::optional<Partition> partition_;
+  /// Lock order: admission_mu_ → results_mu_ / telemetry_mu_ (the two
+  /// leaf locks are never held together). Monitoring paths take only a
+  /// leaf lock, so they cannot stall behind an admitted evaluation.
+  ///
+  /// Admission: held across one whole evaluation (and the lazy partition
+  /// build) — queries run one at a time, each owning the shared pool.
+  mutable std::mutex admission_mu_;
+  /// Telemetry: guards stats_ only; held for counter commits/snapshots.
+  mutable std::mutex telemetry_mu_;
   EngineStats stats_;
   /// Result cache: canonical (algo, options, pattern) key → stored
-  /// outcome, LRU order maintained in lru_ (front = most recent).
+  /// outcome, LRU order maintained in lru_ (front = most recent), both
+  /// guarded by results_mu_ (held for probe/store/clear only).
+  mutable std::mutex results_mu_;
   std::unordered_map<std::string, ResultEntry> results_;
   std::list<std::string> lru_;
-  mutable std::mutex mu_;
 };
 
 }  // namespace qgp

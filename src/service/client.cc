@@ -1,0 +1,120 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qgp::service {
+
+Result<ServiceClient> ServiceClient::Connect(int port,
+                                             const std::string& host) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Unavailable("connect to " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ServiceClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status ServiceClient::Send(const ServiceRequest& request) {
+  return SendLine(EncodeRequest(request));
+}
+
+Status ServiceClient::SendLine(std::string_view line) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  std::string framed(line);
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ServiceClient::ReadLine() {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  for (;;) {
+    size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<ServiceResponse> ServiceClient::ReadResponse() {
+  QGP_ASSIGN_OR_RETURN(std::string line, ReadLine());
+  return DecodeResponse(line);
+}
+
+Result<ServiceResponse> ServiceClient::Call(const ServiceRequest& request) {
+  QGP_RETURN_IF_ERROR(Send(request));
+  return ReadResponse();
+}
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace qgp::service

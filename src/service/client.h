@@ -1,0 +1,66 @@
+#ifndef QGP_SERVICE_CLIENT_H_
+#define QGP_SERVICE_CLIENT_H_
+
+/// \file
+/// Minimal synchronous client for the query service: one TCP
+/// connection, blocking request/response. Used by the example program,
+/// the loopback differential tests and the load generator; it is a
+/// convenience wrapper, not the protocol — any client that writes
+/// newline-delimited JSON (service/protocol.h) interoperates.
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "service/protocol.h"
+
+namespace qgp::service {
+
+/// A connected client. Movable, not copyable; closes on destruction.
+///
+///   QGP_ASSIGN_OR_RETURN(ServiceClient client, ServiceClient::Connect(port));
+///   ServiceRequest request;
+///   request.pattern_text = ...;
+///   QGP_ASSIGN_OR_RETURN(ServiceResponse response, client.Call(request));
+///
+/// Call() is strictly serial (send, then read). To pipeline, issue
+/// several Send()s before draining with ReadResponse() — responses come
+/// back in request order.
+class ServiceClient {
+ public:
+  /// Connects to host:port (loopback by default).
+  static Result<ServiceClient> Connect(int port,
+                                       const std::string& host = "127.0.0.1");
+
+  ServiceClient() = default;
+  ~ServiceClient() { Close(); }
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Encodes and sends one request line.
+  Status Send(const ServiceRequest& request);
+  /// Sends a raw line verbatim, appending '\n' (malformed-input tests).
+  Status SendLine(std::string_view line);
+  /// Reads one response line (without the terminator). Fails with
+  /// kUnavailable on a clean server-side close.
+  Result<std::string> ReadLine();
+  /// Reads and decodes one response.
+  Result<ServiceResponse> ReadResponse();
+  /// Send + ReadResponse.
+  Result<ServiceResponse> Call(const ServiceRequest& request);
+
+  /// Closes the connection (idempotent; destructor calls it).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace qgp::service
+
+#endif  // QGP_SERVICE_CLIENT_H_

@@ -1,0 +1,83 @@
+#ifndef QGP_SERVICE_JSON_H_
+#define QGP_SERVICE_JSON_H_
+
+/// \file
+/// Minimal self-contained JSON value type, parser and writer for the
+/// network query service (service/protocol.h). One message is one JSON
+/// object on one line: the writer never emits raw newlines (they are
+/// escaped inside strings), which is what makes newline-delimited
+/// framing safe. No external dependencies — the repo builds offline.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qgp::service {
+
+/// A parsed JSON value. Numbers are stored as double (every id this
+/// protocol ships — vertex ids, counters — fits a double's 53-bit
+/// integer range; graphs are dense-indexed uint32).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps object keys sorted, so encoding is deterministic —
+  /// the codec round-trip tests rely on that.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  JsonValue(bool b) : value_(b) {}                        // NOLINT
+  JsonValue(double d) : value_(d) {}                      // NOLINT
+  JsonValue(int i) : value_(static_cast<double>(i)) {}    // NOLINT
+  JsonValue(uint64_t u) : value_(static_cast<double>(u)) {}  // NOLINT
+  JsonValue(int64_t i) : value_(static_cast<double>(i)) {}   // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}      // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}    // NOLINT
+  JsonValue(Array a) : value_(std::move(a)) {}            // NOLINT
+  JsonValue(Object o) : value_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; preconditions match the is_*() probes.
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when this is not an object or the key
+  /// is absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes to compact single-line JSON (strings escaped, keys in
+  /// sorted order, integral numbers without a trailing ".0").
+  std::string Dump() const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Parses one JSON document. Fails with InvalidArgument on malformed
+/// input (including trailing garbage after the document).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace qgp::service
+
+#endif  // QGP_SERVICE_JSON_H_

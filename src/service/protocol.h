@@ -1,0 +1,121 @@
+#ifndef QGP_SERVICE_PROTOCOL_H_
+#define QGP_SERVICE_PROTOCOL_H_
+
+/// \file
+/// Wire protocol of the network query service: newline-delimited JSON.
+/// Each request is one JSON object on one line; each response is one
+/// JSON object on one line, streamed back in request order per
+/// connection. Pattern text travels inside a JSON string (newlines
+/// escaped), so the framing never splits a message.
+///
+/// Requests:
+///   {"op":"query","pattern":"node xo person\n...","algo":"qmatch",
+///    "options":{"max_isomorphisms":1000000},"share_cache":true,
+///    "tag":"req-17"}
+///   {"op":"stats"}                 — engine + service telemetry; never
+///                                    queues behind running queries
+///   {"op":"shutdown"}              — clean stop (only when the server
+///                                    was started with allow_shutdown)
+///
+/// `op` defaults to "query" when omitted. Unknown top-level keys,
+/// unknown option keys and type mismatches are rejected with a
+/// structured error — a typo never evaluates silently-wrong.
+///
+/// Responses:
+///   {"ok":true,"op":"query","tag":"req-17","answers":[3,17],
+///    "wall_ms":1.9,"cache_hits":4,"cache_misses":0,
+///    "result_cache_hit":false,"stats":{"search_extensions":211,...}}
+///   {"ok":false,"op":"query","tag":"req-17",
+///    "error":{"code":"InvalidArgument","message":"..."}}
+///   {"ok":true,"op":"stats","engine":{...},"service":{...}}
+///
+/// Error codes are StatusCodeName strings; "Unavailable" marks an
+/// admission rejection (per-client in-flight limit) — back off and
+/// retry.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/match_types.h"
+#include "engine/query_engine.h"
+#include "service/json.h"
+
+namespace qgp::service {
+
+/// One decoded client request.
+struct ServiceRequest {
+  enum class Op { kQuery, kStats, kShutdown };
+  Op op = Op::kQuery;
+  /// PatternParser DSL text (kQuery only).
+  std::string pattern_text;
+  EngineAlgo algo = EngineAlgo::kQMatch;
+  MatchOptions options;
+  bool share_cache = true;
+  /// Echoed back verbatim in the response.
+  std::string tag;
+};
+
+/// Service-level counters exposed by the stats endpoint (the engine's
+/// EngineStats ride alongside them in the same response).
+struct ServiceStats {
+  uint64_t connections = 0;     ///< accepted client connections
+  uint64_t requests = 0;        ///< request lines received
+  uint64_t queries_ok = 0;      ///< queries answered successfully
+  uint64_t queries_failed = 0;  ///< queries that returned an error
+  uint64_t rejected = 0;        ///< admission rejections (client limit)
+  uint64_t malformed = 0;       ///< undecodable request lines
+  uint64_t stats_requests = 0;  ///< stats endpoint hits
+};
+
+/// One decoded server response (client side). Query-payload fields are
+/// meaningful when ok && op == "query"; error fields when !ok; `body`
+/// always holds the full document (the stats op's engine/service
+/// objects are read through it).
+struct ServiceResponse {
+  bool ok = false;
+  std::string op;
+  std::string tag;
+  AnswerSet answers;
+  MatchStats stats;
+  double wall_ms = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  bool result_cache_hit = false;
+  std::string error_code;
+  std::string error_message;
+  JsonValue body;
+};
+
+/// Parses one request line. Fails with InvalidArgument on anything
+/// malformed: bad JSON, unknown op/algo/option keys, wrong value types,
+/// a query without a pattern.
+Result<ServiceRequest> DecodeRequest(std::string_view line);
+
+/// Renders a request as one line (no trailing newline). Inverse of
+/// DecodeRequest; the codec round-trip tests assert both directions.
+std::string EncodeRequest(const ServiceRequest& request);
+
+/// Response encoders, each returning one line (no trailing newline).
+std::string EncodeQueryResponse(const QueryOutcome& outcome);
+std::string EncodeErrorResponse(ServiceRequest::Op op, const Status& error,
+                                std::string_view tag);
+std::string EncodeStatsResponse(const EngineStats& engine,
+                                const ServiceStats& service);
+std::string EncodeShutdownResponse();
+
+/// Parses one response line (client side).
+Result<ServiceResponse> DecodeResponse(std::string_view line);
+
+/// MatchStats <-> JSON object, field by field (scheduler telemetry
+/// included — the differential tests decide what to compare).
+JsonValue MatchStatsToJson(const MatchStats& stats);
+Result<MatchStats> MatchStatsFromJson(const JsonValue& value);
+
+/// EngineStats -> JSON object (the stats endpoint payload).
+JsonValue EngineStatsToJson(const EngineStats& stats);
+
+}  // namespace qgp::service
+
+#endif  // QGP_SERVICE_PROTOCOL_H_

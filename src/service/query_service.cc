@@ -1,0 +1,382 @@
+#include "service/query_service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/pattern_parser.h"
+
+namespace qgp::service {
+
+namespace {
+
+/// Writes the whole buffer; MSG_NOSIGNAL turns a dead peer into EPIPE
+/// instead of a process-killing SIGPIPE. Returns false on any error
+/// (the session is then effectively write-dead; responses are dropped).
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryService::Session::~Session() {
+  if (fd >= 0) ::close(fd);
+}
+
+QueryService::QueryService(QueryEngine* engine, const ServiceOptions& options)
+    : engine_(engine),
+      options_(options),
+      admission_(AdmissionController::Options{
+          options.max_inflight, options.max_inflight_per_client}),
+      dict_(engine->graph().dict()) {}
+
+QueryService::~QueryService() { Stop(); }
+
+Status QueryService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (started_) return Status::Internal("service already started");
+    started_ = true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const Status status = Status::IoError(
+        "bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
+        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  const size_t workers = options_.dispatch_threads > 0
+                             ? options_.dispatch_threads
+                             : 1;
+  dispatch_threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    dispatch_threads_.emplace_back([this] { DispatchLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void QueryService::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ++connections_;
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->id = next_session_id_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(session);
+    }
+    session->reader =
+        std::thread([this, session] { ReaderLoop(session); });
+    ReapFinishedSessions();
+  }
+}
+
+void QueryService::ReapFinishedSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->reader_done.load()) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      // Dispatch workers may still hold the shared_ptr to deliver a
+      // late response; the socket closes when the last reference drops.
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryService::ReaderLoop(std::shared_ptr<Session> session) {
+  std::string buffer;
+  uint64_t next_seq = 0;
+  char chunk[4096];
+  bool overlong = false;
+  while (true) {
+    const ssize_t n = ::recv(session->fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error (including Stop()'s shutdown())
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (overlong) {
+        overlong = false;  // tail of a discarded oversized line
+      } else if (!line.empty()) {
+        HandleLine(session, next_seq++, line);
+      }
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      if (overlong) {
+        buffer.clear();  // keep discarding the same runaway line
+      } else {
+        // Hostile input guard: answer the line-in-progress with a
+        // structured error now and skip its tail once the terminator
+        // finally arrives.
+        ++malformed_;
+        ++requests_;
+        Complete(session, next_seq++,
+                 EncodeErrorResponse(
+                     ServiceRequest::Op::kQuery,
+                     Status::InvalidArgument(
+                         "request line exceeds " +
+                         std::to_string(options_.max_line_bytes) + " bytes"),
+                     ""));
+        buffer.clear();
+        overlong = true;
+      }
+    }
+  }
+  session->reader_done.store(true);
+}
+
+void QueryService::HandleLine(const std::shared_ptr<Session>& session,
+                              uint64_t seq, std::string_view line) {
+  ++requests_;
+  Result<ServiceRequest> decoded = DecodeRequest(line);
+  if (!decoded.ok()) {
+    ++malformed_;
+    Complete(session, seq,
+             EncodeErrorResponse(ServiceRequest::Op::kQuery, decoded.status(),
+                                 ""));
+    return;
+  }
+  ServiceRequest& request = decoded.value();
+  switch (request.op) {
+    case ServiceRequest::Op::kStats:
+      // Answered inline on the reader thread: never queued, and the
+      // engine's telemetry lock is independent of its admission lock,
+      // so this cannot stall behind a running query.
+      ++stats_requests_;
+      Complete(session, seq, EncodeStatsResponse(engine_->stats(), stats()));
+      return;
+    case ServiceRequest::Op::kShutdown:
+      if (!options_.allow_shutdown) {
+        Complete(session, seq,
+                 EncodeErrorResponse(
+                     request.op,
+                     Status::Unimplemented(
+                         "shutdown op disabled (start with allow_shutdown)"),
+                     request.tag));
+        return;
+      }
+      Complete(session, seq, EncodeShutdownResponse());
+      RequestStop();
+      return;
+    case ServiceRequest::Op::kQuery:
+      break;
+  }
+
+  QuerySpec spec;
+  {
+    std::lock_guard<std::mutex> lock(dict_mu_);
+    Result<Pattern> pattern =
+        PatternParser::Parse(request.pattern_text, dict_);
+    if (!pattern.ok()) {
+      // Unparseable pattern text is a malformed request, not an engine
+      // failure: queries_failed counts evaluations the engine rejected.
+      ++malformed_;
+      Complete(session, seq,
+               EncodeErrorResponse(request.op, pattern.status(), request.tag));
+      return;
+    }
+    spec.pattern = std::move(pattern).value();
+  }
+  spec.algo = request.algo;
+  spec.options = request.options;
+  spec.share_cache = request.share_cache;
+  spec.tag = request.tag;
+
+  switch (admission_.Enter(session->id)) {
+    case AdmissionController::Admit::kAdmitted:
+      break;
+    case AdmissionController::Admit::kRejected:
+      ++rejected_;
+      Complete(session, seq,
+               EncodeErrorResponse(
+                   request.op,
+                   Status::Unavailable("per-client in-flight limit reached; "
+                                       "back off and retry"),
+                   request.tag));
+      return;
+    case AdmissionController::Admit::kClosed:
+      Complete(session, seq,
+               EncodeErrorResponse(request.op,
+                                   Status::Unavailable("service shutting down"),
+                                   request.tag));
+      return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(QueuedQuery{session, seq, std::move(spec)});
+  }
+  queue_cv_.notify_one();
+}
+
+void QueryService::DispatchLoop() {
+  while (true) {
+    QueuedQuery next;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return queue_stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      next = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Result<QueryOutcome> outcome = engine_->Submit(next.spec);
+    std::string line;
+    if (outcome.ok()) {
+      ++queries_ok_;
+      line = EncodeQueryResponse(*outcome);
+    } else {
+      ++queries_failed_;
+      line = EncodeErrorResponse(ServiceRequest::Op::kQuery, outcome.status(),
+                                 next.spec.tag);
+    }
+    // Release the slot before writing the response: by the time the
+    // client can react to the response, its slot is already free, so a
+    // request/response client never sees a stale in-flight count.
+    admission_.Exit(next.session->id);
+    Complete(next.session, next.seq, std::move(line));
+  }
+}
+
+void QueryService::Complete(const std::shared_ptr<Session>& session,
+                            uint64_t seq, std::string line) {
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  // Insert into the reorder buffer (kept sorted by seq; completions
+  // arrive nearly in order, so this is a short scan from the back).
+  auto it = session->pending.end();
+  while (it != session->pending.begin() && std::prev(it)->first > seq) --it;
+  session->pending.emplace(it, seq, std::move(line));
+  // Flush the contiguous prefix: responses leave in request order.
+  while (!session->pending.empty() &&
+         session->pending.front().first == session->next_write) {
+    (void)WriteAll(session->fd, session->pending.front().second);
+    session->pending.pop_front();
+    ++session->next_write;
+  }
+}
+
+void QueryService::RequestStop() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  stop_requested_ = true;
+  stop_cv_.notify_all();
+}
+
+void QueryService::Wait() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  stop_cv_.wait(lock, [&] { return stop_requested_ || stopped_; });
+}
+
+void QueryService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+  }
+  // 1. Stop accepting connections.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  // 2. Wake any reader blocked on admission, then stop the read side of
+  // every session: readers drain to EOF and exit. Write sides stay open
+  // so already-admitted queries still get their responses.
+  admission_.Close();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      ::shutdown(session->fd, SHUT_RD);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (session->reader.joinable()) session->reader.join();
+    }
+  }
+  // 3. Drain the admission queue: every admitted query is answered,
+  // then the dispatch workers exit.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatch_threads_) {
+    if (t.joinable()) t.join();
+  }
+  dispatch_threads_.clear();
+  // 4. Release sessions (sockets close as the last references drop).
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.connections = connections_.load();
+  s.requests = requests_.load();
+  s.queries_ok = queries_ok_.load();
+  s.queries_failed = queries_failed_.load();
+  s.rejected = rejected_.load();
+  s.malformed = malformed_.load();
+  s.stats_requests = stats_requests_.load();
+  return s;
+}
+
+}  // namespace qgp::service

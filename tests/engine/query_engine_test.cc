@@ -294,6 +294,73 @@ TEST(QueryEngineTest, ResultCacheLruEvictsAndClearWorks) {
   EXPECT_EQ(after_clear->answers, kept->answers);
 }
 
+TEST(QueryEngineTest, ResultCacheBoundaryAtSingleEntry) {
+  // Capacity one is the LRU degenerate case: every distinct query evicts
+  // the previous resident, and only back-to-back repeats may hit.
+  Graph g = MakeGraph(41);
+  std::vector<Pattern> patterns = MakePatterns(g, 3);
+  ASSERT_GE(patterns.size(), 2u);
+  EngineOptions opts;
+  opts.enable_result_cache = true;
+  opts.result_cache_max_entries = 1;
+  QueryEngine engine(&g, opts);
+  auto submit = [&](const Pattern& q) {
+    QuerySpec spec;
+    spec.pattern = q;
+    auto outcome = engine.Submit(spec);
+    EXPECT_TRUE(outcome.ok());
+    return outcome->result_cache_hit;
+  };
+  EXPECT_FALSE(submit(patterns[0]));  // cold: stored
+  EXPECT_TRUE(submit(patterns[0]));   // resident
+  EXPECT_FALSE(submit(patterns[1]));  // evicts patterns[0]
+  EXPECT_FALSE(submit(patterns[0]));  // gone: re-stored, evicts patterns[1]
+  EXPECT_TRUE(submit(patterns[0]));   // resident again
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.result_hits, 2u);
+  EXPECT_EQ(stats.result_misses, 3u);
+}
+
+TEST(QueryEngineTest, FailuresFeedWallClockCacheTrafficAndPressure) {
+  // An error-heavy workload is load too: each failed evaluation must add
+  // its wall time and candidate-cache traffic to the cumulative stats,
+  // and the pressure valve must keep the cache at its bound even when no
+  // query ever succeeds.
+  Graph g = MakeGraph(43);
+  std::vector<Pattern> patterns = MakePatterns(g, 6);
+  ASSERT_FALSE(patterns.empty());
+  EngineOptions opts;
+  opts.cache_max_entries = 1;
+  QueryEngine engine(&g, opts);
+  size_t failures = 0;
+  for (const Pattern& q : patterns) {
+    QuerySpec spec;
+    spec.pattern = q;
+    spec.algo = EngineAlgo::kEnum;
+    spec.options.max_isomorphisms = 1;  // trips mid-enumeration
+    const double wall_before = engine.stats().wall_ms;
+    auto outcome = engine.Submit(spec);
+    if (outcome.ok()) continue;  // pattern with <= 1 embedding: fine
+    ++failures;
+    EXPECT_EQ(outcome.status().code(), StatusCode::kInternal);
+    EXPECT_GT(engine.stats().wall_ms, wall_before)
+        << "failed evaluation did not report its wall time";
+  }
+  ASSERT_GT(failures, 0u) << "no pattern tripped the cap - tighten it";
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.failed, failures);
+  EXPECT_GT(stats.cache_misses, 0u)
+      << "failures built candidates but reported no cache traffic";
+  EXPECT_GT(stats.cache_evicted, 0u)
+      << "pressure valve never ran on the failure path";
+  EXPECT_LE(engine.cache().size(), opts.cache_max_entries);
+
+  // The engine keeps serving after a failing streak.
+  QuerySpec spec;
+  spec.pattern = patterns[0];
+  EXPECT_TRUE(engine.Submit(spec).ok());
+}
+
 TEST(QueryEngineTest, RunBatchEqualsSubmits) {
   Graph g = MakeGraph(23);
   std::vector<Pattern> patterns = MakePatterns(g, 4);

@@ -1,0 +1,251 @@
+// Wire-codec suite for the network query service: JSON value
+// round-trips, request/response encode<->decode identity, and the
+// strict-decode contract (unknown keys, wrong types and missing
+// required fields are rejected with structured errors, never evaluated
+// silently-wrong).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json.h"
+#include "service/protocol.h"
+
+namespace qgp::service {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonTest, DumpParsesBackIdentically) {
+  JsonValue::Object obj;
+  obj["b"] = true;
+  obj["n"] = nullptr;
+  obj["i"] = uint64_t{12345678901234};
+  obj["d"] = 1.5;
+  obj["s"] = "line1\nline2\t\"quoted\" \\slash";
+  obj["a"] = JsonValue::Array{1, "two", false};
+  JsonValue::Object nested;
+  nested["k"] = "v";
+  obj["o"] = std::move(nested);
+  const JsonValue original{std::move(obj)};
+
+  const std::string dumped = original.Dump();
+  // Newline-delimited framing depends on this: no raw newline survives.
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);
+  auto parsed = ParseJson(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, original);
+  EXPECT_EQ(parsed->Dump(), dumped);  // deterministic encoding
+}
+
+TEST(JsonTest, IntegralNumbersHaveNoDecimalPoint) {
+  EXPECT_EQ(JsonValue(uint64_t{42}).Dump(), "42");
+  EXPECT_EQ(JsonValue(1.5).Dump(), "1.5");
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode) {
+  auto v = ParseJson(R"("a\u0041\n\u00e9\ud83d\ude00")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->as_string(), "aA\n\u00e9\U0001f600");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "\"unterminated", "{\"a\":}", "1 2",
+        "{\"a\":1,}", "[1]extra", "nulll", "\"bad\\q\"", "\"\\ud83d\"",
+        "-", "01"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+// ------------------------------------------------------------- requests
+
+TEST(ProtocolTest, RequestRoundTripsThroughCodec) {
+  ServiceRequest request;
+  request.op = ServiceRequest::Op::kQuery;
+  request.pattern_text = "node a person\nnode b person\nedge a b e\nfocus a\n";
+  request.algo = EngineAlgo::kEnum;
+  request.options.max_isomorphisms = 123456;
+  request.options.use_simulation = true;
+  request.share_cache = false;
+  request.tag = "req-17";
+
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, ServiceRequest::Op::kQuery);
+  EXPECT_EQ(decoded->pattern_text, request.pattern_text);
+  EXPECT_EQ(decoded->algo, EngineAlgo::kEnum);
+  EXPECT_EQ(decoded->options.max_isomorphisms, 123456u);
+  EXPECT_TRUE(decoded->options.use_simulation);
+  EXPECT_FALSE(decoded->share_cache);
+  EXPECT_EQ(decoded->tag, "req-17");
+  // Encoding is deterministic: a second trip produces the same line.
+  EXPECT_EQ(EncodeRequest(*decoded), EncodeRequest(request));
+}
+
+TEST(ProtocolTest, StatsAndShutdownRequestsRoundTrip) {
+  for (ServiceRequest::Op op :
+       {ServiceRequest::Op::kStats, ServiceRequest::Op::kShutdown}) {
+    ServiceRequest request;
+    request.op = op;
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->op, op);
+  }
+}
+
+TEST(ProtocolTest, OpDefaultsToQuery) {
+  auto decoded = DecodeRequest(R"({"pattern":"node a x\nfocus a\n"})");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, ServiceRequest::Op::kQuery);
+  EXPECT_TRUE(decoded->share_cache);  // default
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  const char* bad[] = {
+      "not json at all",
+      "[1,2,3]",                                    // not an object
+      R"({"op":"query"})",                          // query without pattern
+      R"({"op":"query","pattern":""})",             // empty pattern
+      R"({"op":"stats","pattern":"node a x\n"})",   // pattern on non-query
+      R"({"op":"mystery"})",                        // unknown op
+      R"({"pattern":"p","algo":"quantum"})",        // unknown algo
+      R"({"pattern":"p","bogus":1})",               // unknown top-level key
+      R"({"pattern":"p","options":{"bogus":1}})",   // unknown option
+      R"({"pattern":"p","options":{"max_isomorphisms":-1}})",  // negative
+      R"({"pattern":"p","options":{"max_isomorphisms":3.7}})", // fractional
+      R"({"pattern":"p","options":{"use_simulation":1}})",     // wrong type
+      R"({"pattern":"p","share_cache":"yes"})",     // wrong type
+      R"({"pattern":12})",                          // wrong type
+      R"({"op":5})",                                // wrong type
+      R"({"tag":5,"pattern":"p"})",                 // wrong type
+  };
+  for (const char* line : bad) {
+    auto decoded = DecodeRequest(line);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << line;
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument) << line;
+    }
+  }
+}
+
+// ------------------------------------------------------------ responses
+
+TEST(ProtocolTest, QueryResponseRoundTrips) {
+  QueryOutcome outcome;
+  outcome.tag = "q7";
+  outcome.answers = {3, 17, 4242};
+  outcome.wall_ms = 1.875;
+  outcome.cache_hits = 4;
+  outcome.cache_misses = 1;
+  outcome.result_cache_hit = true;
+  outcome.stats.search_extensions = 211;
+  outcome.stats.isomorphisms_enumerated = 99;
+  outcome.stats.balls_built = 7;
+  outcome.stats.scheduler_tasks = 31;
+
+  auto decoded = DecodeResponse(EncodeQueryResponse(outcome));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->op, "query");
+  EXPECT_EQ(decoded->tag, "q7");
+  EXPECT_EQ(decoded->answers, outcome.answers);
+  EXPECT_DOUBLE_EQ(decoded->wall_ms, 1.875);
+  EXPECT_EQ(decoded->cache_hits, 4u);
+  EXPECT_EQ(decoded->cache_misses, 1u);
+  EXPECT_TRUE(decoded->result_cache_hit);
+  EXPECT_EQ(decoded->stats.search_extensions, 211u);
+  EXPECT_EQ(decoded->stats.isomorphisms_enumerated, 99u);
+  EXPECT_EQ(decoded->stats.balls_built, 7u);
+  EXPECT_EQ(decoded->stats.scheduler_tasks, 31u);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrips) {
+  const std::string line = EncodeErrorResponse(
+      ServiceRequest::Op::kQuery,
+      Status::Unavailable("per-client in-flight limit reached"), "req-3");
+  auto decoded = DecodeResponse(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->op, "query");
+  EXPECT_EQ(decoded->tag, "req-3");
+  EXPECT_EQ(decoded->error_code, "Unavailable");
+  EXPECT_EQ(decoded->error_message, "per-client in-flight limit reached");
+}
+
+TEST(ProtocolTest, StatsResponseCarriesEngineAndServiceTelemetry) {
+  EngineStats engine;
+  engine.queries = 12;
+  engine.failed = 2;
+  engine.cache_hits = 30;
+  engine.cache_misses = 10;
+  engine.wall_ms = 123.5;
+  engine.match.search_extensions = 777;
+  ServiceStats service;
+  service.connections = 3;
+  service.requests = 20;
+  service.queries_ok = 10;
+  service.rejected = 1;
+
+  auto decoded = DecodeResponse(EncodeStatsResponse(engine, service));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->op, "stats");
+  const JsonValue* e = decoded->body.Find("engine");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->Find("queries")->as_number(), 12);
+  EXPECT_EQ(e->Find("failed")->as_number(), 2);
+  EXPECT_DOUBLE_EQ(e->Find("cache_hit_ratio")->as_number(), 0.75);
+  EXPECT_EQ(e->Find("match")->Find("search_extensions")->as_number(), 777);
+  const JsonValue* s = decoded->body.Find("service");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Find("connections")->as_number(), 3);
+  EXPECT_EQ(s->Find("requests")->as_number(), 20);
+  EXPECT_EQ(s->Find("queries_ok")->as_number(), 10);
+  EXPECT_EQ(s->Find("rejected")->as_number(), 1);
+}
+
+TEST(ProtocolTest, MatchStatsJsonIsFieldComplete) {
+  // Every counter distinct, so a swapped field pairs two mismatches.
+  MatchStats s;
+  s.isomorphisms_enumerated = 1;
+  s.witness_searches = 2;
+  s.search_extensions = 3;
+  s.candidates_initial = 4;
+  s.candidates_pruned = 5;
+  s.focus_candidates_checked = 6;
+  s.inc_candidates_checked = 7;
+  s.balls_built = 8;
+  s.scheduler_tasks = 9;
+  s.scheduler_steals = 10;
+  auto back = MatchStatsFromJson(MatchStatsToJson(s));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->isomorphisms_enumerated, 1u);
+  EXPECT_EQ(back->witness_searches, 2u);
+  EXPECT_EQ(back->search_extensions, 3u);
+  EXPECT_EQ(back->candidates_initial, 4u);
+  EXPECT_EQ(back->candidates_pruned, 5u);
+  EXPECT_EQ(back->focus_candidates_checked, 6u);
+  EXPECT_EQ(back->inc_candidates_checked, 7u);
+  EXPECT_EQ(back->balls_built, 8u);
+  EXPECT_EQ(back->scheduler_tasks, 9u);
+  EXPECT_EQ(back->scheduler_steals, 10u);
+}
+
+TEST(ProtocolTest, ResponsesAreSingleLines) {
+  QueryOutcome outcome;
+  outcome.tag = "multi\nline\ntag";
+  EXPECT_EQ(EncodeQueryResponse(outcome).find('\n'), std::string::npos);
+  EXPECT_EQ(EncodeErrorResponse(ServiceRequest::Op::kQuery,
+                                Status::Internal("a\nb"), "t\nt")
+                .find('\n'),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qgp::service

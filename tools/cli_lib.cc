@@ -17,6 +17,7 @@
 #include "graph/graph_stats.h"
 #include "parallel/dpar.h"
 #include "qgar/miner.h"
+#include "service/query_service.h"
 
 namespace qgp::cli {
 
@@ -86,7 +87,11 @@ int Usage(std::ostream& err) {
          "  generate <social|knowledge|synthetic> <out> [--size=N] "
          "[--seed=N] [--binary]\n"
          "  partition <graph> [--n=4] [--d=2]\n"
-         "  mine <graph> [--eta=0.5] [--support=20] [--rules=5]\n";
+         "  mine <graph> [--eta=0.5] [--support=20] [--rules=5]\n"
+         "  serve <graph> [--port=0] [--threads=N] [--dispatch=2]\n"
+         "        [--max-inflight=64] [--max-per-client=8] "
+         "[--allow-shutdown]\n"
+         "        [--result-cache] [--n=4] [--d=2]\n";
   return 2;
 }
 
@@ -307,6 +312,73 @@ int CmdMine(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// `serve` exposes one QueryEngine over TCP (newline-delimited JSON;
+// src/service/protocol.h documents the wire format). The bound port is
+// printed as "listening on 127.0.0.1:<port>" — with --port=0 a script
+// reads the ephemeral port from that line. The process runs until a
+// client sends {"op":"shutdown"} (only honored with --allow-shutdown)
+// or it is killed.
+int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return Usage(err);
+  auto graph = LoadGraph(args.positional[1]);
+  if (!graph.ok()) {
+    err << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const int64_t port = args.FlagInt("port", 0);
+  const int64_t threads = args.FlagInt("threads", 0);
+  const int64_t dispatch = args.FlagInt("dispatch", 2);
+  const int64_t max_inflight = args.FlagInt("max-inflight", 64);
+  const int64_t max_per_client = args.FlagInt("max-per-client", 8);
+  const int64_t fragments = args.FlagInt("n", 4);
+  const int64_t depth = args.FlagInt("d", 2);
+  if (port < 0 || port > 65535) {
+    err << "--port must be in [0, 65535]\n";
+    return 2;
+  }
+  if (threads < 0 || dispatch < 1 || max_inflight < 0 || max_per_client < 0 ||
+      fragments < 1 || depth < 0) {
+    err << "--threads/--max-inflight/--max-per-client/--d must be "
+           "non-negative, --dispatch/--n at least 1\n";
+    return 2;
+  }
+
+  EngineOptions engine_options;
+  engine_options.num_threads = static_cast<size_t>(threads);
+  engine_options.partition_fragments = static_cast<size_t>(fragments);
+  engine_options.partition_d = static_cast<int>(depth);
+  engine_options.enable_result_cache = args.flags.count("result-cache") != 0;
+  QueryEngine engine(std::move(graph).value(), engine_options);
+
+  service::ServiceOptions service_options;
+  service_options.port = static_cast<int>(port);
+  service_options.dispatch_threads = static_cast<size_t>(dispatch);
+  service_options.max_inflight = static_cast<size_t>(max_inflight);
+  service_options.max_inflight_per_client =
+      static_cast<size_t>(max_per_client);
+  service_options.allow_shutdown = args.flags.count("allow-shutdown") != 0;
+  service::QueryService service(&engine, service_options);
+  Status started = service.Start();
+  if (!started.ok()) {
+    err << started.ToString() << "\n";
+    return 1;
+  }
+  out << "listening on 127.0.0.1:" << service.port() << std::endl;
+  service.Wait();
+  service.Stop();
+
+  const service::ServiceStats ss = service.stats();
+  const EngineStats es = engine.stats();
+  out << "served " << ss.requests << " requests on " << ss.connections
+      << " connections: " << ss.queries_ok << " ok, " << ss.queries_failed
+      << " failed, " << ss.rejected << " rejected, " << ss.malformed
+      << " malformed\n";
+  out << "engine: queries=" << es.queries << " cache_hits=" << es.cache_hits
+      << " cache_misses=" << es.cache_misses << " hit_ratio=" << es.HitRatio()
+      << " wall_ms=" << es.wall_ms << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -321,6 +393,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (cmd == "generate") return CmdGenerate(parsed, out, err);
   if (cmd == "partition") return CmdPartition(parsed, out, err);
   if (cmd == "mine") return CmdMine(parsed, out, err);
+  if (cmd == "serve") return CmdServe(parsed, out, err);
   err << "unknown command '" << cmd << "'\n";
   return Usage(err);
 }

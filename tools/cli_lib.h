@@ -25,6 +25,15 @@ namespace qgp::cli {
 ///   qgp generate <social|knowledge|synthetic> <out> [--size=N] [--seed=N]
 ///   qgp partition <graph> [--n=4] [--d=2]
 ///   qgp mine <graph> [--eta=0.5] [--support=20] [--rules=5]
+///   qgp serve <graph> [--port=0] [--threads=N] [--dispatch=2]
+///             [--max-inflight=64] [--max-per-client=8] [--allow-shutdown]
+///             [--result-cache] [--n=4] [--d=2]
+///
+/// `serve` runs the TCP query service (src/service/query_service.h) over
+/// one engine: newline-delimited JSON requests from many concurrent
+/// clients, admission control with backpressure, responses in request
+/// order per connection. Note: `serve` blocks the calling thread until a
+/// client shutdown op (--allow-shutdown) arrives.
 ///
 /// Graph files may be the text format (graph_io.h) or the binary format
 /// (auto-detected by magic). Pattern files use the PatternParser DSL.

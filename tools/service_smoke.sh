@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Integration smoke test for the network query service: boots
+# `qgp_cli serve` on an ephemeral loopback port, drives it with a
+# scripted python3 client (query / malformed line / stats ops), then
+# stops it cleanly via the shutdown op and checks the exit code.
+#
+#   tools/service_smoke.sh <path-to-qgp_cli> [workdir]
+#
+# Exits non-zero if the server fails to boot, any check fails, or the
+# server does not shut down cleanly within the timeout.
+set -euo pipefail
+
+CLI=${1:?usage: service_smoke.sh <path-to-qgp_cli> [workdir]}
+WORK=${2:-$(mktemp -d)}
+LOG="$WORK/serve.log"
+
+"$CLI" generate social "$WORK/graph.txt" --size=300 --seed=7 >/dev/null
+
+"$CLI" serve "$WORK/graph.txt" --port=0 --allow-shutdown --result-cache \
+  >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# The ephemeral port is announced as "listening on 127.0.0.1:<port>".
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$LOG" || true)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never announced a port"; cat "$LOG"; exit 1; }
+
+python3 - "$PORT" <<'EOF'
+import json, socket, sys
+
+port = int(sys.argv[1])
+sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+reader = sock.makefile("r")
+
+def call(line):
+    sock.sendall(line.encode() + b"\n")
+    return json.loads(reader.readline())
+
+# A pattern in the parser DSL: two person nodes linked by a follow edge.
+pattern = "node x0 person\nnode x1 person\nedge x0 x1 follow\nfocus x0\n"
+
+r = call(json.dumps({"op": "query", "pattern": pattern, "tag": "smoke-1"}))
+assert r["ok"], r
+assert r["tag"] == "smoke-1", r
+assert isinstance(r["answers"], list) and len(r["answers"]) > 0, r
+
+# The same query again: served from the result cache.
+r = call(json.dumps({"op": "query", "pattern": pattern, "tag": "smoke-2"}))
+assert r["ok"] and r["result_cache_hit"], r
+
+# Malformed input gets a structured error, not a dropped connection.
+r = call("this is not json")
+assert not r["ok"] and r["error"]["code"] == "InvalidArgument", r
+r = call(json.dumps({"op": "query", "pattern": pattern, "bogus_key": 1}))
+assert not r["ok"] and r["error"]["code"] == "InvalidArgument", r
+
+# Stats reflect the traffic so far.
+r = call(json.dumps({"op": "stats"}))
+assert r["ok"], r
+assert r["service"]["queries_ok"] == 2, r
+assert r["service"]["malformed"] == 2, r
+assert r["engine"]["result_hits"] == 1, r
+
+# Clean shutdown.
+r = call(json.dumps({"op": "shutdown"}))
+assert r["ok"] and r["op"] == "shutdown", r
+print("client checks passed")
+EOF
+
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server did not exit after shutdown op"; cat "$LOG"; exit 1
+fi
+wait "$SERVER_PID"
+trap - EXIT
+
+grep -q "^served " "$LOG" || { echo "missing final stats"; cat "$LOG"; exit 1; }
+echo "service smoke test passed"
