@@ -1,0 +1,270 @@
+// Mutable-graph maintenance: what a batched delta costs against the
+// from-scratch alternative, at three layers —
+//
+//   * graph      : Graph::ApplyDelta (touched-CSR-slice rebuild) vs a
+//                  full GraphBuilder rebuild of the post-delta graph,
+//   * space      : CandidateSpace::Repair (delta-seeded fixpoint) vs a
+//                  fresh CandidateSpace::Build on the mutated graph,
+//   * engine     : re-querying a warm QueryEngine after ApplyDelta with
+//                  the delta-repair store on vs off (rebuild-requery),
+//
+// swept over delta sizes {1, 16, 128} edge operations. Every compared
+// pair is asserted identical first (graph content, candidate-set
+// members, answers) — the maintenance win can never come from computing
+// something different. Emits BENCH_delta_maintenance.json; the CI bench
+// gate watches the chunky rows.
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_common.h"
+#include "common/thread_pool.h"
+#include "core/candidate_space.h"
+#include "engine/query_engine.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_delta.h"
+
+using namespace qgp;
+using namespace qgp::bench;
+
+namespace {
+
+void Die(const char* what) {
+  std::printf("FATAL: %s\n", what);
+  std::exit(1);
+}
+
+// A delta of `ops` edge operations over the current graph: ~3/4 edge
+// inserts between random alive vertices (labels drawn from existing
+// edges) and ~1/4 removals of existing edges. Deterministic in `rng`.
+GraphDelta RandomEdgeDelta(const Graph& g, std::mt19937_64& rng, size_t ops) {
+  std::vector<VertexId> alive;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex_label(v) != kInvalidLabel) alive.push_back(v);
+  }
+  auto pick = [&] { return alive[rng() % alive.size()]; };
+  // Edge labels present in the graph, sampled from random vertices.
+  std::vector<Label> edge_labels;
+  while (edge_labels.size() < 4) {
+    const auto nbrs = g.OutNeighbors(pick());
+    if (!nbrs.empty()) edge_labels.push_back(nbrs[rng() % nbrs.size()].label);
+  }
+  GraphDelta d;
+  for (size_t i = 0; i < ops; ++i) {
+    if (i % 4 == 3) {
+      // Remove an existing out-edge of some alive vertex (set semantics
+      // make a repeat removal harmless).
+      for (int tries = 0; tries < 32; ++tries) {
+        const VertexId src = pick();
+        const auto nbrs = g.OutNeighbors(src);
+        if (nbrs.empty()) continue;
+        const Neighbor n = nbrs[rng() % nbrs.size()];
+        d.remove_edges.push_back({src, n.v, n.label});
+        break;
+      }
+    } else {
+      d.add_edges.push_back(
+          {pick(), pick(), edge_labels[rng() % edge_labels.size()]});
+    }
+  }
+  return d;
+}
+
+// The rebuild strategy's unit of work: reconstruct the whole graph
+// (tombstones included) through GraphBuilder.
+Graph RebuildLike(const Graph& g) {
+  GraphBuilder b(g.dict());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    b.AddVertexWithLabel(g.vertex_label(v));
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      if (!b.AddEdgeWithLabel(v, n.v, n.label).ok()) Die("rebuild add edge");
+    }
+  }
+  auto built = std::move(b).Build();
+  if (!built.ok()) Die("rebuild failed");
+  return std::move(built).value();
+}
+
+bool SameSets(const CandidateSpace& a, const CandidateSpace& b,
+              const Pattern& p) {
+  for (PatternNodeId u = 0; u < p.num_nodes(); ++u) {
+    if (!std::equal(a.stratified(u).begin(), a.stratified(u).end(),
+                    b.stratified(u).begin(), b.stratified(u).end()) ||
+        !std::equal(a.good(u).begin(), a.good(u).end(), b.good(u).begin(),
+                    b.good(u).end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AnswerSet> Answers(const std::vector<QueryOutcome>& outcomes) {
+  std::vector<AnswerSet> answers;
+  answers.reserve(outcomes.size());
+  for (const QueryOutcome& o : outcomes) answers.push_back(o.answers);
+  return answers;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("delta_maintenance — incremental maintenance vs rebuild",
+              "Pokec-like graph, edge-op deltas of size 1 / 16 / 128",
+              "apply+repair beats rebuild, most at small deltas");
+  Graph base = MakePokecLike(2000);
+  PrintGraphLine("graph", base);
+  BenchReporter reporter("delta_maintenance");
+
+  std::vector<Pattern> patterns =
+      MakeSuite(base, 4, PatternConfig(4, 5, 30.0, 0), /*seed=*/303);
+  if (patterns.empty()) Die("pattern generation produced no patterns");
+  std::printf("patterns: %zu\n\n", patterns.size());
+
+  const size_t kDeltaSizes[] = {1, 16, 128};
+  constexpr int kReps = 8;
+
+  for (size_t ops : kDeltaSizes) {
+    std::mt19937_64 rng(1000 + ops);
+    const std::string suffix = "/k=" + std::to_string(ops);
+
+    // --- Graph layer: kReps sequential deltas applied in place vs the
+    // per-delta cost of the rebuild strategy (one full reconstruction).
+    Graph cursor = base;
+    std::vector<GraphDelta> deltas;
+    for (int r = 0; r < kReps; ++r) {
+      deltas.push_back(RandomEdgeDelta(cursor, rng, ops));
+      if (!cursor.ApplyDelta(deltas.back()).ok()) Die("delta pre-pass");
+    }
+    cursor = base;
+    double apply_s = TimeSeconds([&] {
+      for (const GraphDelta& d : deltas) {
+        if (!cursor.ApplyDelta(d).ok()) Die("ApplyDelta failed");
+      }
+    });
+    Graph rebuilt;
+    double rebuild_s = TimeSeconds([&] { rebuilt = RebuildLike(cursor); });
+    if (!ContentEquals(cursor, rebuilt)) Die("apply != rebuild");
+    const double apply_ms = apply_s * 1000.0 / kReps;
+    const double rebuild_ms = rebuild_s * 1000.0;
+    reporter.Add("graph/apply" + suffix, apply_ms,
+                 {{"ops", static_cast<double>(ops)},
+                  {"speedup_vs_rebuild",
+                   apply_ms > 0 ? rebuild_ms / apply_ms : 0.0}});
+    reporter.Add("graph/rebuild" + suffix, rebuild_ms,
+                 {{"ops", static_cast<double>(ops)}});
+    std::printf("graph  k=%3zu: apply %8.3f ms/delta   rebuild %8.2f ms  "
+                "(%.1fx)\n",
+                ops, apply_ms, rebuild_ms,
+                apply_ms > 0 ? rebuild_ms / apply_ms : 0.0);
+
+    // --- Space layer: Repair the pre-delta spaces across ONE delta vs
+    // fresh Builds on the mutated graph, summed over the pattern suite.
+    Graph post = base;
+    GraphDelta one = RandomEdgeDelta(post, rng, ops);
+    auto summary = post.ApplyDelta(one);
+    if (!summary.ok()) Die("space-layer delta failed");
+    MatchOptions options;
+    std::vector<Pattern> positive;
+    std::vector<CandidateSpace> spaces;
+    for (const Pattern& q : patterns) {
+      positive.push_back(q.Pi().value().first);
+      auto cs = CandidateSpace::Build(positive.back(), base, options, nullptr);
+      if (!cs.ok()) Die("pre-delta Build failed");
+      spaces.push_back(std::move(cs).value());
+    }
+    std::vector<CandidateSpace> repaired;
+    double repair_s = TimeSeconds([&] {
+      for (size_t i = 0; i < positive.size(); ++i) {
+        auto cs = CandidateSpace::Repair(spaces[i], positive[i], post,
+                                         *summary, options, nullptr);
+        if (!cs.ok()) Die("Repair failed");
+        repaired.push_back(std::move(cs).value());
+      }
+    });
+    std::vector<CandidateSpace> fresh;
+    double build_s = TimeSeconds([&] {
+      for (const Pattern& p : positive) {
+        auto cs = CandidateSpace::Build(p, post, options, nullptr);
+        if (!cs.ok()) Die("post-delta Build failed");
+        fresh.push_back(std::move(cs).value());
+      }
+    });
+    for (size_t i = 0; i < positive.size(); ++i) {
+      if (!SameSets(repaired[i], fresh[i], positive[i])) {
+        Die("Repair sets differ from Build");
+      }
+    }
+    reporter.Add("space/repair" + suffix, repair_s * 1000.0,
+                 {{"ops", static_cast<double>(ops)},
+                  {"patterns", static_cast<double>(positive.size())},
+                  {"speedup_vs_build",
+                   repair_s > 0 ? build_s / repair_s : 0.0}});
+    reporter.Add("space/build" + suffix, build_s * 1000.0,
+                 {{"ops", static_cast<double>(ops)},
+                  {"patterns", static_cast<double>(positive.size())}});
+    std::printf("space  k=%3zu: repair %8.2f ms         build %8.2f ms  "
+                "(%.1fx)\n",
+                ops, repair_s * 1000.0, build_s * 1000.0,
+                repair_s > 0 ? build_s / repair_s : 0.0);
+
+    // --- Engine layer: warm engine, one delta, re-run the workload —
+    // with the delta-repair store on vs off. Same answers, different
+    // maintenance work.
+    std::vector<QuerySpec> workload;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      QuerySpec spec;
+      spec.pattern = patterns[i];
+      spec.tag = "q" + std::to_string(i);
+      workload.push_back(std::move(spec));
+    }
+    auto requery = [&](bool repair_on, std::vector<AnswerSet>* answers_out,
+                       uint64_t* repair_hits) -> double {
+      EngineOptions eo;
+      eo.num_threads = 1;
+      eo.enable_delta_repair = repair_on;
+      QueryEngine engine(Graph(base), eo);
+      auto warm = engine.RunBatch(workload);
+      if (!warm.ok()) Die("warm batch failed");
+      auto outcome = engine.ApplyDelta(one);
+      if (!outcome.ok()) Die("engine delta failed");
+      std::vector<QueryOutcome> after;
+      const double seconds = TimeSeconds([&] {
+        auto r = engine.RunBatch(workload);
+        if (!r.ok()) Die("requery batch failed");
+        after = std::move(r).value();
+      });
+      *answers_out = Answers(after);
+      *repair_hits = engine.stats().repair_hits;
+      return seconds;
+    };
+    std::vector<AnswerSet> with_repair, without_repair;
+    uint64_t hits = 0, unused = 0;
+    const double repair_requery_s = requery(true, &with_repair, &hits);
+    const double rebuild_requery_s = requery(false, &without_repair, &unused);
+    if (with_repair != without_repair) {
+      Die("repair-requery answers differ from rebuild-requery");
+    }
+    reporter.Add("engine/repair_requery" + suffix, repair_requery_s * 1000.0,
+                 {{"ops", static_cast<double>(ops)},
+                  {"repair_hits", static_cast<double>(hits)},
+                  {"speedup_vs_rebuild",
+                   repair_requery_s > 0 ? rebuild_requery_s / repair_requery_s
+                                        : 0.0}});
+    reporter.Add("engine/rebuild_requery" + suffix,
+                 rebuild_requery_s * 1000.0,
+                 {{"ops", static_cast<double>(ops)}});
+    std::printf("engine k=%3zu: repair %8.2f ms         rebuild %8.2f ms  "
+                "(%.1fx, %llu repair hits)\n\n",
+                ops, repair_requery_s * 1000.0, rebuild_requery_s * 1000.0,
+                repair_requery_s > 0 ? rebuild_requery_s / repair_requery_s
+                                     : 0.0,
+                static_cast<unsigned long long>(hits));
+  }
+
+  if (!reporter.Write()) Die("failed to write BENCH json");
+  return 0;
+}

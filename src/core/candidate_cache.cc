@@ -70,35 +70,55 @@ CandidateSetRef CandidateCache::Get(Label node_label,
   SortUnique(out_labels);
   SortUnique(in_labels);
   Key key{node_label, std::move(out_labels), std::move(in_labels)};
+  const uint64_t version = g_->version();
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pool_.find(key);
-    if (it != pool_.end()) {
+    if (it != pool_.end() && it->second.version == version) {
       ++stats_.hits;
-      return it->second;
+      return it->second.set;
     }
   }
   // Compute outside the lock so distinct keys intern in parallel. A race
   // on one key computes twice; both results are identical and the first
-  // insert establishes the shared identity.
+  // insert establishes the shared identity. Stale entries (other graph
+  // version) are recomputed and replaced, counted as misses.
   CandidateSetRef set =
       ComputeLabelDegreeSet(*g_, key.node_label, key.out_labels,
                             key.in_labels);
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = pool_.emplace(std::move(key), std::move(set));
+  auto [it, inserted] = pool_.emplace(std::move(key), Entry{set, version});
   if (inserted) {
+    ++stats_.misses;
+  } else if (it->second.version != version) {
+    it->second = Entry{std::move(set), version};
     ++stats_.misses;
   } else {
     ++stats_.hits;
   }
-  return it->second;
+  return it->second.set;
 }
 
 size_t CandidateCache::EvictUnused() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t evicted = 0;
   for (auto it = pool_.begin(); it != pool_.end();) {
-    if (it->second.use_count() == 1) {
+    if (it->second.set.use_count() == 1) {
+      it = pool_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+size_t CandidateCache::EvictStale() {
+  const uint64_t version = g_->version();
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->second.version != version) {
       it = pool_.erase(it);
       ++evicted;
     } else {

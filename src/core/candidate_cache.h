@@ -62,6 +62,12 @@ CandidateSetRef ComputeLabelDegreeSet(const Graph& g, Label node_label,
 /// (identical content either way); the first insert wins and the loser's
 /// copy is dropped, so returned handles for one key always alias one
 /// allocation once the pool has seen it.
+///
+/// Mutability: every entry is stamped with the graph version() it was
+/// computed against. A Get() that finds a stale entry recomputes and
+/// replaces it (counted as a miss), and EvictStale() drops exactly the
+/// stale entries in one sweep — QueryEngine::ApplyDelta calls it under
+/// the admission lock so no evaluation runs concurrently.
 class CandidateCache {
  public:
   /// The pool is bound to `g` (keys are label ids of its dictionary);
@@ -81,6 +87,12 @@ class CandidateCache {
   /// returns how many were evicted. Entries still referenced by a live
   /// CandidateSpace survive and keep their identity.
   size_t EvictUnused();
+
+  /// Drops exactly the entries stamped with a graph version other than
+  /// the current one; returns how many were evicted. Still-referenced
+  /// stale sets stay alive through their outstanding handles (shared_ptr
+  /// semantics) but leave the pool, so no future Get() can observe them.
+  size_t EvictStale();
 
   /// Number of interned entries.
   size_t size() const;
@@ -107,9 +119,14 @@ class CandidateCache {
     size_t operator()(const Key& k) const;
   };
 
+  struct Entry {
+    CandidateSetRef set;
+    uint64_t version = 0;  ///< graph version() the set was computed against
+  };
+
   const Graph* g_;
   mutable std::mutex mu_;
-  std::unordered_map<Key, CandidateSetRef, KeyHash> pool_;
+  std::unordered_map<Key, Entry, KeyHash> pool_;
   Stats stats_;
 };
 

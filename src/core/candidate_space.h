@@ -13,6 +13,20 @@
 namespace qgp {
 
 class ThreadPool;
+struct GraphDeltaSummary;
+
+/// Metadata a CandidateSpace::Repair call reports back to the engine.
+struct CandidateRepairInfo {
+  /// The gain region outgrew the budget and Repair degenerated to a full
+  /// Build (result still exact).
+  bool fell_back = false;
+  /// Vertices explored by the gain-region sweep.
+  size_t gain_region = 0;
+  /// Vertices whose stratified candidacy changed for at least one pattern
+  /// node (sorted, unique). Together with the delta's touched vertices
+  /// this seeds the engine's affected-region re-verification.
+  std::vector<VertexId> changed;
+};
 
 /// Global candidate sets for one positive pattern against one graph,
 /// maintaining the distinction the §2.2 semantics forces (DESIGN.md §2):
@@ -55,6 +69,36 @@ class CandidateSpace {
                                       MatchStats* stats,
                                       ThreadPool* pool = nullptr,
                                       CandidateCache* cache = nullptr);
+
+  /// Incrementally repairs `previous` — the space Build produced for the
+  /// SAME pattern and options against the pre-delta graph — after `delta`
+  /// was applied to `g`. Produces sets identical to a fresh Build (both
+  /// converge to the same unique dual-simulation fixpoint, and the good
+  /// filter is a pure function of the stratified sets), so `stats`
+  /// contributions match a rebuild exactly; only the work differs:
+  ///
+  ///  * Deletions only shrink candidacy, so the old sets themselves are
+  ///    valid over-approximations and re-seed the fixpoint directly
+  ///    (filtered to still-label-valid members, which also drops
+  ///    tombstones).
+  ///  * Insertions can cascade candidacy gains, but any gain is connected
+  ///    to an inserted edge/vertex through pattern-relevant-labeled edges
+  ///    (else the greatest fixpoint of the old graph would already have
+  ///    contained it), so a BFS over those labels from the delta's gain
+  ///    sites bounds the gain region. If that region outgrows a budget
+  ///    (~|V|/4), repair degenerates to a full Build — exact either way;
+  ///    `info->fell_back` reports it.
+  ///
+  /// Patterns with no relevant overlap with the delta reuse every set of
+  /// `previous` unchanged (shared handles, zero recompute).
+  static Result<CandidateSpace> Repair(const CandidateSpace& previous,
+                                       const Pattern& pattern, const Graph& g,
+                                       const GraphDeltaSummary& delta,
+                                       const MatchOptions& options,
+                                       MatchStats* stats,
+                                       ThreadPool* pool = nullptr,
+                                       CandidateCache* cache = nullptr,
+                                       CandidateRepairInfo* info = nullptr);
 
   /// Cπ(u), sorted ascending.
   std::span<const VertexId> stratified(PatternNodeId u) const {

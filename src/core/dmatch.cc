@@ -283,7 +283,7 @@ Result<PositiveEvaluator> PositiveEvaluator::Create(
     Pattern positive, const Graph& g, MatchOptions options,
     const std::vector<PatternEdgeId>* edge_to_original,
     size_t num_original_edges, const DynamicBitset* ball_label_filter,
-    ThreadPool* pool, CandidateCache* cache) {
+    ThreadPool* pool, CandidateCache* cache, const SpaceRepairHint* repair) {
   if (!positive.IsPositive()) {
     return Status::InvalidArgument(
         "PositiveEvaluator requires a positive pattern");
@@ -325,9 +325,18 @@ Result<PositiveEvaluator> PositiveEvaluator::Create(
   ev.ball_limit_ = options.ball_limit != 0
                        ? options.ball_limit
                        : std::max<size_t>(4096, g.num_vertices() / 8);
-  QGP_ASSIGN_OR_RETURN(
-      ev.cs_,
-      CandidateSpace::Build(ev.pattern_, g, options, nullptr, pool, cache));
+  if (repair != nullptr && repair->previous != nullptr &&
+      repair->delta != nullptr) {
+    QGP_ASSIGN_OR_RETURN(
+        ev.cs_,
+        CandidateSpace::Repair(*repair->previous, ev.pattern_, g,
+                               *repair->delta, options, nullptr, pool, cache,
+                               repair->info));
+  } else {
+    QGP_ASSIGN_OR_RETURN(
+        ev.cs_,
+        CandidateSpace::Build(ev.pattern_, g, options, nullptr, pool, cache));
+  }
   return ev;
 }
 

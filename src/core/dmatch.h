@@ -37,6 +37,20 @@ struct FocusCache {
   std::vector<VertexId> witness;
 };
 
+/// Optional input to PositiveEvaluator::Create: repair the candidate
+/// space incrementally from a previous evaluator's space instead of
+/// building it from scratch. `previous` must be the space of an
+/// evaluator Create built for the SAME pattern and options against the
+/// pre-delta graph, and `delta` the (possibly merged) summary of every
+/// ApplyDelta between the two graph states. The result is identical to
+/// a fresh build (CandidateSpace::Repair's contract); `info` (optional)
+/// receives the repair metadata the engine's answer-repair path needs.
+struct SpaceRepairHint {
+  const CandidateSpace* previous = nullptr;
+  const GraphDeltaSummary* delta = nullptr;
+  CandidateRepairInfo* info = nullptr;
+};
+
 /// DMatch (§4.1): evaluates a POSITIVE QGP. The published algorithm
 /// interleaves quantifier counting with the Fig. 4 search; this
 /// implementation factors the same strategy into per-focus phases (see
@@ -62,12 +76,16 @@ class PositiveEvaluator {
   /// `pool` (optional) parallelizes candidate-space construction across
   /// its workers (bit-identical to the serial build); `cache` (optional)
   /// interns label/degree candidate sets across builds on the same graph.
+  /// `repair` (optional) swaps the from-scratch candidate-space build
+  /// for an incremental CandidateSpace::Repair from a prior evaluator's
+  /// space — same resulting sets, less work after a small graph delta.
   static Result<PositiveEvaluator> Create(
       Pattern positive, const Graph& g, MatchOptions options,
       const std::vector<PatternEdgeId>* edge_to_original = nullptr,
       size_t num_original_edges = 0,
       const DynamicBitset* ball_label_filter = nullptr,
-      ThreadPool* pool = nullptr, CandidateCache* cache = nullptr);
+      ThreadPool* pool = nullptr, CandidateCache* cache = nullptr,
+      const SpaceRepairHint* repair = nullptr);
 
   /// Good focus candidates (the outer-loop domain of Fig. 5). The span
   /// views the evaluator's shared candidate set and stays valid for the

@@ -21,10 +21,6 @@ size_t ResolveThreads(size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
-std::shared_ptr<const Graph> OwnGraph(Graph graph) {
-  return std::make_shared<const Graph>(std::move(graph));
-}
-
 std::shared_ptr<const Graph> BorrowGraph(const Graph* graph) {
   // Aliasing handle with a no-op deleter: the engine machinery uniformly
   // holds a shared_ptr, the caller keeps ownership and must outlive us.
@@ -86,16 +82,21 @@ std::optional<EngineAlgo> ParseEngineAlgo(std::string_view name) {
 }
 
 QueryEngine::QueryEngine(Graph graph, const EngineOptions& options)
-    : graph_(OwnGraph(std::move(graph))),
+    : owned_graph_(std::make_shared<Graph>(std::move(graph))),
+      graph_(owned_graph_),
       options_(options),
       pool_(std::make_unique<ThreadPool>(ResolveThreads(options.num_threads))),
-      cache_(*graph_) {}
+      cache_(*graph_) {
+  version_.store(graph_->version(), std::memory_order_release);
+}
 
 QueryEngine::QueryEngine(const Graph* graph, const EngineOptions& options)
     : graph_(BorrowGraph(graph)),
       options_(options),
       pool_(std::make_unique<ThreadPool>(ResolveThreads(options.num_threads))),
-      cache_(*graph_) {}
+      cache_(*graph_) {
+  version_.store(graph_->version(), std::memory_order_release);
+}
 
 Result<QueryOutcome> QueryEngine::Submit(const QuerySpec& spec) {
   std::lock_guard<std::mutex> lock(admission_mu_);
@@ -121,6 +122,7 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   // memory, replaying the original answers and work counters. Queries
   // that bypass the shared state (share_cache = false) neither probe
   // nor populate.
+  const uint64_t current_version = graph_->version();
   const bool use_results = options_.enable_result_cache && spec.share_cache;
   std::string result_key;
   if (use_results) {
@@ -129,11 +131,16 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
     {
       std::lock_guard<std::mutex> results_lock(results_mu_);
       auto it = results_.find(result_key);
-      if (it != results_.end()) {
+      if (it != results_.end() && it->second.version == current_version) {
         lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh LRU
         outcome.answers = it->second.answers;
         outcome.stats = it->second.stats;
         outcome.result_cache_hit = true;
+      } else if (it != results_.end()) {
+        // Stale stamp: ApplyDelta's sweep already removes these; the
+        // probe guard makes staleness impossible to serve regardless.
+        lru_.erase(it->second.lru);
+        results_.erase(it);
       }
     }
     if (outcome.result_cache_hit) {
@@ -152,44 +159,97 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   const CandidateCache::Stats cache_before = cache_.stats();
   WallTimer timer;
   Result<AnswerSet> answers = Status::Ok();
-  switch (spec.algo) {
-    case EngineAlgo::kQMatch:
-      answers = QMatch::Evaluate(spec.pattern, *graph_, spec.options,
-                                 &outcome.stats, pool_.get(), cache);
-      break;
-    case EngineAlgo::kQMatchn: {
-      MatchOptions naive = spec.options;
-      naive.use_incremental_negation = false;
-      answers = QMatch::Evaluate(spec.pattern, *graph_, naive, &outcome.stats,
-                                 pool_.get(), cache);
-      break;
+  // Delta-repair fast path: a positive qmatch/qmatchn query whose
+  // artifacts we stored at an earlier graph version is re-answered by
+  // repairing its candidate space and re-verifying only affected foci.
+  // Negated patterns are ineligible (every positified subtrahend would
+  // need re-evaluation anyway), as are cache-bypassing specs.
+  const bool repair_eligible =
+      options_.enable_delta_repair && spec.share_cache &&
+      (spec.algo == EngineAlgo::kQMatch ||
+       spec.algo == EngineAlgo::kQMatchn) &&
+      spec.pattern.IsPositive();
+  QMatchArtifacts artifacts;
+  QMatchArtifacts* artifacts_out = repair_eligible ? &artifacts : nullptr;
+  std::string repair_key;
+  bool repaired_now = false;
+  if (repair_eligible) {
+    repair_key = use_results ? result_key : ResultKey(spec);
+    auto rit = repair_.find(repair_key);
+    if (rit != repair_.end()) {
+      std::optional<GraphDeltaSummary> composed =
+          ComposeDeltasSince(rit->second.version);
+      if (composed.has_value()) {
+        MatchOptions opts = spec.options;
+        if (spec.algo == EngineAlgo::kQMatchn) {
+          opts.use_incremental_negation = false;
+        }
+        bool fell_back = false;
+        Result<AnswerSet> repaired = QMatch::EvaluateRepaired(
+            spec.pattern, *graph_, opts, rit->second.space,
+            rit->second.answers, *composed, &outcome.stats, pool_.get(),
+            cache, artifacts_out, &fell_back);
+        if (repaired.ok()) {
+          answers = std::move(repaired);
+          repaired_now = true;
+          outcome.delta_repaired = true;
+          std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
+          if (fell_back) {
+            ++stats_.repair_fallbacks;
+          } else {
+            ++stats_.repair_hits;
+          }
+        }
+        // A repair error falls through to the full evaluation below.
+      } else {
+        // The delta log no longer reaches back to the stored version.
+        std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
+        ++stats_.repair_fallbacks;
+      }
     }
-    case EngineAlgo::kEnum:
-      answers = EnumMatcher::Evaluate(spec.pattern, *graph_, spec.options,
-                                      &outcome.stats, cache);
-      break;
-    case EngineAlgo::kPQMatch:
-    case EngineAlgo::kPEnum: {
-      auto part = PartitionAdmitted();
-      if (!part.ok()) {
-        answers = part.status();
+  }
+  if (!repaired_now) {
+    switch (spec.algo) {
+      case EngineAlgo::kQMatch:
+        answers = QMatch::Evaluate(spec.pattern, *graph_, spec.options,
+                                   &outcome.stats, pool_.get(), cache,
+                                   artifacts_out);
+        break;
+      case EngineAlgo::kQMatchn: {
+        MatchOptions naive = spec.options;
+        naive.use_incremental_negation = false;
+        answers = QMatch::Evaluate(spec.pattern, *graph_, naive,
+                                   &outcome.stats, pool_.get(), cache,
+                                   artifacts_out);
         break;
       }
-      ParallelConfig config;
-      config.mode = options_.partition_mode;
-      config.threads_per_worker = options_.threads_per_worker;
-      config.match = spec.options;
-      Result<ParallelRunResult> run =
-          spec.algo == EngineAlgo::kPQMatch
-              ? PQMatch::Evaluate(spec.pattern, **part, config)
-              : PEnum::Evaluate(spec.pattern, **part, config);
-      if (!run.ok()) {
-        answers = run.status();
+      case EngineAlgo::kEnum:
+        answers = EnumMatcher::Evaluate(spec.pattern, *graph_, spec.options,
+                                        &outcome.stats, cache);
+        break;
+      case EngineAlgo::kPQMatch:
+      case EngineAlgo::kPEnum: {
+        auto part = PartitionAdmitted();
+        if (!part.ok()) {
+          answers = part.status();
+          break;
+        }
+        ParallelConfig config;
+        config.mode = options_.partition_mode;
+        config.threads_per_worker = options_.threads_per_worker;
+        config.match = spec.options;
+        Result<ParallelRunResult> run =
+            spec.algo == EngineAlgo::kPQMatch
+                ? PQMatch::Evaluate(spec.pattern, **part, config)
+                : PEnum::Evaluate(spec.pattern, **part, config);
+        if (!run.ok()) {
+          answers = run.status();
+          break;
+        }
+        outcome.stats.Add(run->stats);
+        answers = std::move(run->answers);
         break;
       }
-      outcome.stats.Add(run->stats);
-      answers = std::move(run->answers);
-      break;
     }
   }
   outcome.wall_ms = timer.ElapsedSeconds() * 1000.0;
@@ -206,6 +266,18 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   }
   outcome.answers = std::move(answers).value();
   AccountAndShedPressure(outcome, /*failed=*/false);
+  if (repair_eligible) {
+    // Store (or refresh) the repair seed at the current version. The
+    // bound sheds an arbitrary entry — the store is a seed cache, not a
+    // correctness structure, so any victim is acceptable.
+    if (options_.repair_store_max_entries > 0 &&
+        repair_.find(repair_key) == repair_.end() &&
+        repair_.size() >= options_.repair_store_max_entries) {
+      repair_.erase(repair_.begin());
+    }
+    repair_[std::move(repair_key)] = RepairEntry{
+        std::move(artifacts.pi_space), outcome.answers, current_version};
+  }
   if (use_results) {
     {
       std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
@@ -213,8 +285,8 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
     }
     std::lock_guard<std::mutex> results_lock(results_mu_);
     lru_.push_front(result_key);
-    results_[std::move(result_key)] =
-        ResultEntry{outcome.answers, outcome.stats, lru_.begin()};
+    results_[std::move(result_key)] = ResultEntry{
+        outcome.answers, outcome.stats, lru_.begin(), current_version};
     if (options_.result_cache_max_entries > 0 &&
         results_.size() > options_.result_cache_max_entries) {
       results_.erase(lru_.back());  // least recently used
@@ -222,6 +294,112 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
     }
   }
   return outcome;
+}
+
+Result<DeltaOutcome> QueryEngine::ApplyDelta(const GraphDelta& delta) {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return ApplyDeltaAdmitted(delta);
+}
+
+Result<DeltaOutcome> QueryEngine::ApplyDelta(const NamedGraphDelta& delta) {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  if (owned_graph_ == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyDelta requires an owning engine (this engine borrows its "
+        "graph)");
+  }
+  return ApplyDeltaAdmitted(
+      ResolveDelta(delta, &owned_graph_->mutable_dict()));
+}
+
+Result<DeltaOutcome> QueryEngine::ApplyDeltaAdmitted(const GraphDelta& delta) {
+  if (owned_graph_ == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyDelta requires an owning engine (this engine borrows its "
+        "graph)");
+  }
+  WallTimer timer;
+  QGP_ASSIGN_OR_RETURN(GraphDeltaSummary summary,
+                       owned_graph_->ApplyDelta(delta));
+  version_.store(summary.version, std::memory_order_release);
+  DeltaOutcome out;
+  out.graph_version = summary.version;
+  out.vertices_added = summary.vertices_added.size();
+  out.vertices_removed = summary.vertices_removed.size();
+  out.edges_added = summary.edges_added.size();
+  out.edges_removed = summary.edges_removed.size();
+  delta_log_.push_back(std::move(summary));
+  while (options_.delta_log_max_entries > 0 &&
+         delta_log_.size() > options_.delta_log_max_entries) {
+    delta_log_.pop_front();
+  }
+  // Version-keyed invalidation: exactly the stale entries go. The
+  // candidate cache compares stamps internally; the result cache is
+  // swept here (every pre-delta entry is stale by construction). The
+  // repair store is deliberately NOT swept — stale spaces are the
+  // repair seeds.
+  out.candidate_sets_evicted = cache_.EvictStale();
+  {
+    std::lock_guard<std::mutex> results_lock(results_mu_);
+    for (auto it = results_.begin(); it != results_.end();) {
+      if (it->second.version != out.graph_version) {
+        lru_.erase(it->second.lru);
+        it = results_.erase(it);
+        ++out.results_invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+  out.partition_invalidated = partition_.has_value();
+  partition_.reset();
+  out.wall_ms = timer.ElapsedSeconds() * 1000.0;
+  {
+    std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
+    ++stats_.deltas;
+    stats_.delta_wall_ms += out.wall_ms;
+    stats_.results_invalidated += out.results_invalidated;
+    stats_.cache_evicted += out.candidate_sets_evicted;
+  }
+  return out;
+}
+
+std::optional<GraphDeltaSummary> QueryEngine::ComposeDeltasSince(
+    uint64_t from_version) const {
+  const uint64_t current = graph_->version();
+  if (from_version == current) {
+    // No delta since the artifacts were stored: an empty summary at the
+    // current version repairs to shared-handle reuse.
+    GraphDeltaSummary none;
+    none.version = current;
+    return none;
+  }
+  if (from_version > current) return std::nullopt;
+  GraphDeltaSummary composed;
+  bool started = false;
+  for (const GraphDeltaSummary& s : delta_log_) {
+    if (s.version <= from_version) continue;
+    if (!started) {
+      composed = s;
+      started = true;
+    } else {
+      composed.MergeFrom(s);
+    }
+  }
+  // The log must cover every version in (from, current] contiguously;
+  // a trimmed log forces the caller back to full evaluation.
+  if (!started || composed.version != current) return std::nullopt;
+  size_t covered = 0;
+  for (const GraphDeltaSummary& s : delta_log_) {
+    if (s.version > from_version) ++covered;
+  }
+  if (covered != current - from_version) return std::nullopt;
+  return composed;
+}
+
+LabelDict QueryEngine::DictSnapshot() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return graph_->dict();
 }
 
 void QueryEngine::AccountAndShedPressure(const QueryOutcome& outcome,

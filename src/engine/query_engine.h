@@ -10,7 +10,9 @@
 /// amortized across the query mix instead of being torn down after every
 /// evaluation.
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -24,9 +26,11 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/candidate_cache.h"
+#include "core/candidate_space.h"
 #include "core/match_types.h"
 #include "core/pattern.h"
 #include "graph/graph.h"
+#include "graph/graph_delta.h"
 #include "parallel/partition.h"
 #include "parallel/worker_set.h"
 
@@ -88,8 +92,33 @@ struct QueryOutcome {
   /// cache (EngineOptions::enable_result_cache): `answers` and `stats`
   /// replay the original evaluation, so both still equal a fresh run's.
   bool result_cache_hit = false;
+  /// True when the answer was produced by the delta-repair fast path
+  /// (EngineOptions::enable_delta_repair): the candidate space was
+  /// repaired and only affected foci re-verified. Answers equal a fresh
+  /// evaluation's; `stats` reflects the (smaller) repair work.
+  bool delta_repaired = false;
   /// Echo of QuerySpec::tag.
   std::string tag;
+};
+
+/// Result of one QueryEngine::ApplyDelta.
+struct DeltaOutcome {
+  /// The graph version after this delta (monotonically increasing).
+  uint64_t graph_version = 0;
+  /// Net effect actually applied (set semantics; no-ops excluded).
+  size_t vertices_added = 0;
+  size_t vertices_removed = 0;
+  size_t edges_added = 0;
+  size_t edges_removed = 0;
+  /// Stale interned candidate sets dropped from the shared cache.
+  size_t candidate_sets_evicted = 0;
+  /// Stale result-cache entries dropped.
+  size_t results_invalidated = 0;
+  /// True when a built DPar partition was discarded (it is rebuilt
+  /// lazily on the next partition-parallel query).
+  bool partition_invalidated = false;
+  /// Wall-clock time of the apply + invalidation sweep, milliseconds.
+  double wall_ms = 0;
 };
 
 /// Engine construction knobs.
@@ -124,6 +153,22 @@ struct EngineOptions {
   bool enable_result_cache = false;
   /// LRU capacity of the result cache (entries). 0 = unbounded.
   size_t result_cache_max_entries = 1024;
+  /// Delta repair: when a positive qmatch/qmatchn query that was
+  /// answered before returns after ApplyDelta calls, repair its
+  /// candidate space incrementally and re-verify only foci within
+  /// pattern radius of the changes, keeping every other cached answer
+  /// (QMatch::EvaluateRepaired). Answers are identical to a fresh
+  /// evaluation; MatchStats reflect the smaller repair work, so
+  /// workloads that assert stats identity should leave this off (the
+  /// default).
+  bool enable_delta_repair = false;
+  /// Entries retained in the repair store (per canonical query key).
+  /// 0 = unbounded.
+  size_t repair_store_max_entries = 64;
+  /// ApplyDelta summaries retained for composing multi-version repairs.
+  /// A repair whose stored artifacts predate the log falls back to full
+  /// evaluation.
+  size_t delta_log_max_entries = 64;
 };
 
 /// Cumulative engine telemetry across every query since construction.
@@ -147,6 +192,16 @@ struct EngineStats {
   /// disabled; admission-bypassing queries count as neither).
   uint64_t result_hits = 0;
   uint64_t result_misses = 0;
+  /// Applied graph deltas and their cumulative apply+invalidation time.
+  uint64_t deltas = 0;
+  double delta_wall_ms = 0;
+  /// Result-cache entries invalidated by ApplyDelta version sweeps.
+  uint64_t results_invalidated = 0;
+  /// Delta-repair fast-path outcomes: repairs that kept locality
+  /// (repair_hits) vs. repairs that degenerated to verifying every
+  /// focus or to a fresh evaluation (repair_fallbacks).
+  uint64_t repair_hits = 0;
+  uint64_t repair_fallbacks = 0;
   /// hits / (hits + misses); 0 when the cache was never consulted.
   double HitRatio() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -209,6 +264,41 @@ class QueryEngine {
   /// Evaluates one query and updates the cumulative stats.
   Result<QueryOutcome> Submit(const QuerySpec& spec);
 
+  /// Applies a batched graph mutation. Only owning engines accept
+  /// deltas (a borrowed graph belongs to the caller); the borrowing
+  /// constructor's engines return InvalidArgument.
+  ///
+  /// Sequencing: ApplyDelta takes the admission lock, so it BLOCKS until
+  /// the in-flight query or batch drains, and queries submitted after
+  /// it queue behind it — every query sees entirely the pre-delta or
+  /// entirely the post-delta graph, never a mix (ARCHITECTURE.md
+  /// "Mutable graphs" explains why block-not-snapshot). On success the
+  /// graph version increases and every version-stamped cache is swept:
+  /// stale interned candidate sets and stale result-cache entries are
+  /// dropped (exactly the stale ones), and a built partition is
+  /// discarded for lazy rebuild. On failure the graph, the caches and
+  /// the version are untouched.
+  Result<DeltaOutcome> ApplyDelta(const GraphDelta& delta);
+
+  /// Name-level variant: interns added labels into the graph's
+  /// dictionary, resolves removals without interning, then applies.
+  /// Labels interned by a delta that subsequently fails validation stay
+  /// interned (dictionary growth is harmless and never reversed).
+  Result<DeltaOutcome> ApplyDelta(const NamedGraphDelta& delta);
+
+  /// Current graph version (bumped by every successful ApplyDelta).
+  /// Lock-free — safe from monitoring threads while queries and deltas
+  /// are in flight.
+  uint64_t graph_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Copy of the graph's label dictionary, taken under the admission
+  /// lock so it is consistent with a fully applied delta. Services
+  /// resolve label names against this snapshot and re-take it whenever
+  /// graph_version() moves.
+  LabelDict DictSnapshot() const;
+
   /// Evaluates a batch front to back, stopping at the first failure.
   /// Equivalent to (and implemented as) sequential Submit calls, so a
   /// batch enjoys the same warm-cache behavior a stream of Submits does.
@@ -244,19 +334,42 @@ class QueryEngine {
 
  private:
   /// One stored result; `lru` points at this entry's slot in lru_.
+  /// `version` stamps the graph the outcome was computed against —
+  /// ApplyDelta sweeps entries whose stamp it outdates, and the probe
+  /// re-checks as a belt-and-suspenders guard.
   struct ResultEntry {
     AnswerSet answers;
     MatchStats stats;
     std::list<std::string>::iterator lru;
+    uint64_t version = 0;
+  };
+
+  /// Stored artifacts of one positive qmatch/qmatchn evaluation, the
+  /// seed for the delta-repair fast path. Unlike result-cache entries
+  /// these survive ApplyDelta — a stale space is exactly what Repair
+  /// starts from.
+  struct RepairEntry {
+    CandidateSpace space;
+    AnswerSet answers;
+    uint64_t version = 0;
   };
 
   Result<QueryOutcome> SubmitAdmitted(const QuerySpec& spec);
   Result<const Partition*> PartitionAdmitted();
+  Result<DeltaOutcome> ApplyDeltaAdmitted(const GraphDelta& delta);
+  /// Merged summary of every delta in (from_version, current]; nullopt
+  /// when the log no longer reaches back to from_version.
+  std::optional<GraphDeltaSummary> ComposeDeltasSince(
+      uint64_t from_version) const;
   /// Commits one finished query (successful or failed) into stats_ and
   /// runs the cache_max_entries pressure policy — the single exit path
   /// shared by every evaluation outcome.
   void AccountAndShedPressure(const QueryOutcome& outcome, bool failed);
 
+  /// Owning engines keep the mutable handle (deltas write through it);
+  /// borrowing engines leave it null and reject ApplyDelta. graph_
+  /// aliases owned_graph_ when owning.
+  std::shared_ptr<Graph> owned_graph_;
   std::shared_ptr<const Graph> graph_;  // no-op deleter when borrowing
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
@@ -278,6 +391,13 @@ class QueryEngine {
   mutable std::mutex results_mu_;
   std::unordered_map<std::string, ResultEntry> results_;
   std::list<std::string> lru_;
+  /// Mutability state. version_ mirrors graph_->version() for lock-free
+  /// reads; it is written only under the admission lock. delta_log_ and
+  /// repair_ are touched only under the admission lock (deltas and
+  /// evaluations are both admitted), so they need no extra lock.
+  std::atomic<uint64_t> version_{0};
+  std::deque<GraphDeltaSummary> delta_log_;
+  std::unordered_map<std::string, RepairEntry> repair_;
 };
 
 }  // namespace qgp

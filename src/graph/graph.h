@@ -2,23 +2,30 @@
 #define QGP_GRAPH_GRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "graph/label_dict.h"
 #include "graph/types.h"
 
 namespace qgp {
 
-/// Immutable labeled directed graph G = (V, E, L) (paper §2.1), stored as
-/// CSR with both out- and in-adjacency, each sorted by (label, endpoint).
-/// Every vertex carries exactly one node label; every edge one edge label.
+struct GraphDelta;
+struct GraphDeltaSummary;
+
+/// Labeled directed graph G = (V, E, L) (paper §2.1), stored as CSR with
+/// both out- and in-adjacency, each sorted by (label, endpoint). Every
+/// vertex carries exactly one node label; every edge one edge label.
 /// Parallel edges with distinct labels are allowed; exact duplicates are
 /// removed at build time.
 ///
-/// Construction goes through GraphBuilder; a Graph is immutable afterwards,
-/// which is what makes the matchers and the partitioner trivially
-/// shareable across threads.
+/// Construction goes through GraphBuilder. Afterwards the only mutation
+/// entry point is ApplyDelta (graph_delta.h), which applies a whole batch
+/// under external synchronization and bumps version(); between deltas the
+/// graph is immutable, which is what makes the matchers and the
+/// partitioner trivially shareable across threads.
 class Graph {
  public:
   Graph() = default;
@@ -86,6 +93,24 @@ class Graph {
   const LabelDict& dict() const { return dict_; }
   LabelDict& mutable_dict() { return dict_; }
 
+  /// Applies one mutation batch (see graph_delta.h for semantics) and
+  /// returns the net changes. Monotonically bumps version() on success;
+  /// leaves the graph untouched on error. Not thread-safe: callers
+  /// (QueryEngine::ApplyDelta) must exclude concurrent readers.
+  Result<GraphDeltaSummary> ApplyDelta(const GraphDelta& delta);
+
+  /// Number of successfully applied deltas since construction. Caches
+  /// keyed on graph content stamp entries with this and treat a mismatch
+  /// as stale.
+  uint64_t version() const { return version_; }
+
+  /// Checks the CSR invariants the matchers rely on: offsets monotone and
+  /// consistent with array sizes, adjacency sorted by (label, endpoint),
+  /// out/in mirrors of each other, label index consistent with vertex
+  /// labels, and tombstoned vertices edge-free. O(V + E); tests re-assert
+  /// this after every delta.
+  Status ValidateInvariants() const;
+
   /// Approximate resident bytes (CSR arrays only), for partition sizing.
   size_t MemoryBytes() const;
 
@@ -103,6 +128,9 @@ class Graph {
   // Vertices grouped by node label: label_offsets_ indexes label_sorted_.
   std::vector<uint64_t> label_offsets_;  // size num_labels+1
   std::vector<VertexId> label_sorted_;
+
+  // Bumped by ApplyDelta; 0 for a freshly built graph.
+  uint64_t version_ = 0;
 };
 
 }  // namespace qgp

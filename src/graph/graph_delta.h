@@ -1,0 +1,126 @@
+#ifndef QGP_GRAPH_GRAPH_DELTA_H_
+#define QGP_GRAPH_GRAPH_DELTA_H_
+
+/// \file
+/// Batched graph mutation. A GraphDelta describes edge/vertex inserts and
+/// deletes against one Graph; Graph::ApplyDelta applies the whole batch
+/// atomically (validate first, then mutate), rebuilding only the CSR
+/// slices of touched vertices and bumping graph version().
+///
+/// Semantics (documented here once, asserted by tests/graph/graph_delta_test):
+///  - Operations apply in a fixed order regardless of how the delta was
+///    assembled: (1) add_vertices append new ids old_n, old_n+1, ...;
+///    (2) remove_edges; (3) add_edges; (4) remove_vertices.
+///  - Vertex removal is a *tombstone*: the id stays allocated (so ids are
+///    stable across deltas and apply-then-query stays comparable with a
+///    rebuild oracle), the node label becomes kInvalidLabel (which the
+///    label index drops), and every incident edge is removed.
+///  - Set semantics: adding a present edge, removing an absent edge, or
+///    removing an already-tombstoned vertex are no-ops, not errors.
+///  - Errors (the graph is untouched on failure): endpoints out of range,
+///    edges touching an already-tombstoned vertex, kInvalidLabel edge
+///    labels.
+///
+/// Every successful ApplyDelta — including a pure no-op batch — bumps
+/// version(), so "version changed" is exactly "an ApplyDelta intervened"
+/// and cache stamps stay trivially conservative.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace qgp {
+
+/// One mutation batch in interned Label ids (see NamedGraphDelta for the
+/// string-label form used at API edges).
+struct GraphDelta {
+  /// Node labels of vertices to append; ids are assigned sequentially
+  /// from num_vertices() at apply time.
+  std::vector<Label> add_vertices;
+  /// Ids to tombstone (drops all their incident edges).
+  std::vector<VertexId> remove_vertices;
+  std::vector<EdgeTriple> add_edges;
+  std::vector<EdgeTriple> remove_edges;
+
+  bool Empty() const {
+    return add_vertices.empty() && remove_vertices.empty() &&
+           add_edges.empty() && remove_edges.empty();
+  }
+};
+
+/// GraphDelta with string labels, as decoded from the wire or the CLI.
+/// Resolve against the target graph's dict (interning new labels) before
+/// applying.
+struct NamedGraphDelta {
+  struct NamedEdge {
+    VertexId src = kInvalidVertex;
+    VertexId dst = kInvalidVertex;
+    std::string label;
+  };
+  std::vector<std::string> add_vertices;  // node labels
+  std::vector<VertexId> remove_vertices;
+  std::vector<NamedEdge> add_edges;
+  std::vector<NamedEdge> remove_edges;
+
+  bool Empty() const {
+    return add_vertices.empty() && remove_vertices.empty() &&
+           add_edges.empty() && remove_edges.empty();
+  }
+};
+
+/// Interns every label of `named` into `dict` and returns the id form.
+/// remove_edges labels are looked up, not interned: removing an edge with
+/// a label the graph has never seen is a guaranteed no-op, and interning
+/// it would grow the dict as a side effect of a no-op.
+GraphDelta ResolveDelta(const NamedGraphDelta& named, LabelDict* dict);
+
+/// Net effect of one applied delta (or several, via MergeFrom): what
+/// actually changed, after no-op filtering and tombstone expansion.
+/// edges_removed includes edges dropped implicitly by vertex removal;
+/// vertices hold (id, label) pairs — for vertices_removed, the label the
+/// vertex carried before the tombstone.
+struct GraphDeltaSummary {
+  /// graph version() after this delta was applied.
+  uint64_t version = 0;
+  std::vector<std::pair<VertexId, Label>> vertices_added;
+  std::vector<std::pair<VertexId, Label>> vertices_removed;
+  std::vector<EdgeTriple> edges_added;
+  std::vector<EdgeTriple> edges_removed;
+
+  bool Empty() const {
+    return vertices_added.empty() && vertices_removed.empty() &&
+           edges_added.empty() && edges_removed.empty();
+  }
+
+  /// Folds a later summary into this one (concatenation). The result's
+  /// touched-vertex set is the union, which is what incremental repair
+  /// needs; it does not cancel add/remove pairs across deltas.
+  void MergeFrom(const GraphDeltaSummary& later);
+};
+
+/// Vertices whose candidacy a repair pass must reconsider: endpoints of
+/// summary edges and added/removed vertices. `edge_labels` / `node_labels`
+/// filter to pattern-relevant labels (labels outside a bitset's range are
+/// irrelevant by construction); pass nullptr for "all labels relevant".
+/// With `additions_only`, only gain sites (added edges/vertices) count —
+/// deletions can only shrink candidate sets, so downward refinement from
+/// the old sets already covers them. Sorted, deduplicated.
+std::vector<VertexId> TouchedVertices(const GraphDeltaSummary& summary,
+                                      const DynamicBitset* edge_labels,
+                                      const DynamicBitset* node_labels,
+                                      bool additions_only);
+
+/// Deep content equality: dict, vertex labels, both adjacency directions,
+/// and the label index. The delta differential harness compares an
+/// ApplyDelta'd graph against a from-scratch rebuild with this.
+bool ContentEquals(const Graph& a, const Graph& b);
+
+}  // namespace qgp
+
+#endif  // QGP_GRAPH_GRAPH_DELTA_H_

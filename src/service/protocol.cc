@@ -13,6 +13,8 @@ const char* OpName(ServiceRequest::Op op) {
       return "query";
     case ServiceRequest::Op::kStats:
       return "stats";
+    case ServiceRequest::Op::kDelta:
+      return "delta";
     case ServiceRequest::Op::kShutdown:
       return "shutdown";
   }
@@ -114,6 +116,96 @@ Result<uint64_t> ReadUint(const JsonValue& object, const std::string& field) {
   return AsUint(*v, field);
 }
 
+Result<std::vector<std::string>> DecodeLabelArray(const JsonValue& v,
+                                                  const std::string& field) {
+  if (!v.is_array()) {
+    return Status::InvalidArgument("'" + field + "' must be an array");
+  }
+  std::vector<std::string> out;
+  out.reserve(v.as_array().size());
+  for (const JsonValue& item : v.as_array()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("'" + field +
+                                     "' entries must be label strings");
+    }
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> DecodeVertexArray(const JsonValue& v,
+                                                const std::string& field) {
+  if (!v.is_array()) {
+    return Status::InvalidArgument("'" + field + "' must be an array");
+  }
+  std::vector<VertexId> out;
+  out.reserve(v.as_array().size());
+  for (const JsonValue& item : v.as_array()) {
+    QGP_ASSIGN_OR_RETURN(uint64_t id, AsUint(item, field + "[]"));
+    out.push_back(static_cast<VertexId>(id));
+  }
+  return out;
+}
+
+/// One wire edge is {"src":u,"dst":v,"label":"..."} — all three keys
+/// required, nothing else allowed.
+Result<std::vector<NamedGraphDelta::NamedEdge>> DecodeEdgeArray(
+    const JsonValue& v, const std::string& field) {
+  if (!v.is_array()) {
+    return Status::InvalidArgument("'" + field + "' must be an array");
+  }
+  std::vector<NamedGraphDelta::NamedEdge> out;
+  out.reserve(v.as_array().size());
+  for (const JsonValue& item : v.as_array()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("'" + field +
+                                     "' entries must be edge objects");
+    }
+    NamedGraphDelta::NamedEdge edge;
+    bool have_src = false, have_dst = false, have_label = false;
+    for (const auto& [key, value] : item.as_object()) {
+      if (key == "src") {
+        QGP_ASSIGN_OR_RETURN(uint64_t id, AsUint(value, field + ".src"));
+        edge.src = static_cast<VertexId>(id);
+        have_src = true;
+      } else if (key == "dst") {
+        QGP_ASSIGN_OR_RETURN(uint64_t id, AsUint(value, field + ".dst"));
+        edge.dst = static_cast<VertexId>(id);
+        have_dst = true;
+      } else if (key == "label") {
+        if (!value.is_string()) {
+          return Status::InvalidArgument("'" + field +
+                                         ".label' must be a string");
+        }
+        edge.label = value.as_string();
+        have_label = true;
+      } else {
+        return Status::InvalidArgument("unknown edge field '" + key +
+                                       "' in '" + field + "'");
+      }
+    }
+    if (!have_src || !have_dst || !have_label) {
+      return Status::InvalidArgument("'" + field +
+                                     "' entries need src, dst and label");
+    }
+    out.push_back(std::move(edge));
+  }
+  return out;
+}
+
+JsonValue EncodeEdgeArray(const std::vector<NamedGraphDelta::NamedEdge>& edges) {
+  JsonValue::Array out;
+  out.reserve(edges.size());
+  for (const NamedGraphDelta::NamedEdge& edge : edges) {
+    JsonValue::Object e;
+    e["src"] = uint64_t{edge.src};
+    e["dst"] = uint64_t{edge.dst};
+    e["label"] = edge.label;
+    out.emplace_back(std::move(e));
+  }
+  return JsonValue(std::move(out));
+}
+
 }  // namespace
 
 Result<ServiceRequest> DecodeRequest(std::string_view line) {
@@ -123,6 +215,7 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
   }
   ServiceRequest request;
   bool have_pattern = false;
+  bool have_delta = false;
   for (const auto& [key, v] : doc.as_object()) {
     if (key == "op") {
       if (!v.is_string()) {
@@ -133,6 +226,8 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
         request.op = ServiceRequest::Op::kQuery;
       } else if (op == "stats") {
         request.op = ServiceRequest::Op::kStats;
+      } else if (op == "delta") {
+        request.op = ServiceRequest::Op::kDelta;
       } else if (op == "shutdown") {
         request.op = ServiceRequest::Op::kShutdown;
       } else {
@@ -157,6 +252,21 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
       QGP_ASSIGN_OR_RETURN(request.options, DecodeOptions(v));
     } else if (key == "share_cache") {
       QGP_ASSIGN_OR_RETURN(request.share_cache, AsBool(v, key));
+    } else if (key == "add_vertices") {
+      QGP_ASSIGN_OR_RETURN(request.delta.add_vertices,
+                           DecodeLabelArray(v, key));
+      have_delta = true;
+    } else if (key == "remove_vertices") {
+      QGP_ASSIGN_OR_RETURN(request.delta.remove_vertices,
+                           DecodeVertexArray(v, key));
+      have_delta = true;
+    } else if (key == "add_edges") {
+      QGP_ASSIGN_OR_RETURN(request.delta.add_edges, DecodeEdgeArray(v, key));
+      have_delta = true;
+    } else if (key == "remove_edges") {
+      QGP_ASSIGN_OR_RETURN(request.delta.remove_edges,
+                           DecodeEdgeArray(v, key));
+      have_delta = true;
     } else if (key == "tag") {
       if (!v.is_string()) {
         return Status::InvalidArgument("'tag' must be a string");
@@ -175,6 +285,13 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
         std::string("'pattern' is only valid for op \"query\", not \"") +
         OpName(request.op) + "\"");
   }
+  // An empty delta op is legal (a no-op batch still bumps the graph
+  // version), but delta fields on any other op are a client bug.
+  if (have_delta && request.op != ServiceRequest::Op::kDelta) {
+    return Status::InvalidArgument(
+        std::string("delta fields are only valid for op \"delta\", not \"") +
+        OpName(request.op) + "\"");
+  }
   return request;
 }
 
@@ -188,6 +305,31 @@ std::string EncodeRequest(const ServiceRequest& request) {
     if (!request.share_cache) out["share_cache"] = false;
     JsonValue options = EncodeOptions(request.options);
     if (!options.as_object().empty()) out["options"] = std::move(options);
+  } else if (request.op == ServiceRequest::Op::kDelta) {
+    // Only non-empty stages travel; DecodeRequest defaults the rest to
+    // empty, so the round trip stays field-exact.
+    if (!request.delta.add_vertices.empty()) {
+      JsonValue::Array labels;
+      labels.reserve(request.delta.add_vertices.size());
+      for (const std::string& l : request.delta.add_vertices) {
+        labels.emplace_back(l);
+      }
+      out["add_vertices"] = std::move(labels);
+    }
+    if (!request.delta.remove_vertices.empty()) {
+      JsonValue::Array ids;
+      ids.reserve(request.delta.remove_vertices.size());
+      for (VertexId v : request.delta.remove_vertices) {
+        ids.emplace_back(uint64_t{v});
+      }
+      out["remove_vertices"] = std::move(ids);
+    }
+    if (!request.delta.add_edges.empty()) {
+      out["add_edges"] = EncodeEdgeArray(request.delta.add_edges);
+    }
+    if (!request.delta.remove_edges.empty()) {
+      out["remove_edges"] = EncodeEdgeArray(request.delta.remove_edges);
+    }
   }
   return JsonValue(std::move(out)).Dump();
 }
@@ -243,6 +385,11 @@ JsonValue EngineStatsToJson(const EngineStats& s) {
   out["cache_hit_ratio"] = s.HitRatio();
   out["result_hits"] = s.result_hits;
   out["result_misses"] = s.result_misses;
+  out["deltas"] = s.deltas;
+  out["delta_wall_ms"] = s.delta_wall_ms;
+  out["results_invalidated"] = s.results_invalidated;
+  out["repair_hits"] = s.repair_hits;
+  out["repair_fallbacks"] = s.repair_fallbacks;
   out["match"] = MatchStatsToJson(s.match);
   return JsonValue(std::move(out));
 }
@@ -260,7 +407,26 @@ std::string EncodeQueryResponse(const QueryOutcome& outcome) {
   out["cache_hits"] = outcome.cache_hits;
   out["cache_misses"] = outcome.cache_misses;
   out["result_cache_hit"] = outcome.result_cache_hit;
+  out["delta_repaired"] = outcome.delta_repaired;
   out["stats"] = MatchStatsToJson(outcome.stats);
+  return JsonValue(std::move(out)).Dump();
+}
+
+std::string EncodeDeltaResponse(const DeltaOutcome& outcome,
+                                std::string_view tag) {
+  JsonValue::Object out;
+  out["ok"] = true;
+  out["op"] = "delta";
+  out["tag"] = std::string(tag);
+  out["graph_version"] = outcome.graph_version;
+  out["vertices_added"] = uint64_t{outcome.vertices_added};
+  out["vertices_removed"] = uint64_t{outcome.vertices_removed};
+  out["edges_added"] = uint64_t{outcome.edges_added};
+  out["edges_removed"] = uint64_t{outcome.edges_removed};
+  out["candidate_sets_evicted"] = uint64_t{outcome.candidate_sets_evicted};
+  out["results_invalidated"] = uint64_t{outcome.results_invalidated};
+  out["partition_invalidated"] = outcome.partition_invalidated;
+  out["wall_ms"] = outcome.wall_ms;
   return JsonValue(std::move(out)).Dump();
 }
 
@@ -287,6 +453,8 @@ std::string EncodeStatsResponse(const EngineStats& engine,
   svc["rejected"] = service.rejected;
   svc["malformed"] = service.malformed;
   svc["stats_requests"] = service.stats_requests;
+  svc["deltas_ok"] = service.deltas_ok;
+  svc["deltas_failed"] = service.deltas_failed;
   JsonValue::Object out;
   out["ok"] = true;
   out["op"] = "stats";
@@ -360,6 +528,13 @@ Result<ServiceResponse> DecodeResponse(std::string_view line) {
         hit != nullptr && hit->is_bool()) {
       response.result_cache_hit = hit->as_bool();
     }
+    if (const JsonValue* repaired = doc.Find("delta_repaired");
+        repaired != nullptr && repaired->is_bool()) {
+      response.delta_repaired = repaired->as_bool();
+    }
+  } else if (response.op == "delta") {
+    QGP_ASSIGN_OR_RETURN(response.graph_version,
+                         ReadUint(doc, "graph_version"));
   }
   response.body = std::move(doc);
   return response;

@@ -14,6 +14,13 @@
 ///    "tag":"req-17"}
 ///   {"op":"stats"}                 — engine + service telemetry; never
 ///                                    queues behind running queries
+///   {"op":"delta","add_vertices":["person"],"remove_vertices":[3],
+///    "add_edges":[{"src":0,"dst":7,"label":"follows"}],
+///    "remove_edges":[{"src":2,"dst":3,"label":"likes"}],"tag":"d-1"}
+///                                  — batched graph mutation (owning
+///                                    engines only); sequences behind
+///                                    the running query, bumps the
+///                                    graph version
 ///   {"op":"shutdown"}              — clean stop (only when the server
 ///                                    was started with allow_shutdown)
 ///
@@ -40,19 +47,23 @@
 #include "common/result.h"
 #include "core/match_types.h"
 #include "engine/query_engine.h"
+#include "graph/graph_delta.h"
 #include "service/json.h"
 
 namespace qgp::service {
 
 /// One decoded client request.
 struct ServiceRequest {
-  enum class Op { kQuery, kStats, kShutdown };
+  enum class Op { kQuery, kStats, kDelta, kShutdown };
   Op op = Op::kQuery;
   /// PatternParser DSL text (kQuery only).
   std::string pattern_text;
   EngineAlgo algo = EngineAlgo::kQMatch;
   MatchOptions options;
   bool share_cache = true;
+  /// Mutation batch in string labels (kDelta only); resolved against
+  /// the engine's dict at apply time.
+  NamedGraphDelta delta;
   /// Echoed back verbatim in the response.
   std::string tag;
 };
@@ -67,6 +78,8 @@ struct ServiceStats {
   uint64_t rejected = 0;        ///< admission rejections (client limit)
   uint64_t malformed = 0;       ///< undecodable request lines
   uint64_t stats_requests = 0;  ///< stats endpoint hits
+  uint64_t deltas_ok = 0;       ///< graph deltas applied successfully
+  uint64_t deltas_failed = 0;   ///< graph deltas the engine rejected
 };
 
 /// One decoded server response (client side). Query-payload fields are
@@ -83,6 +96,10 @@ struct ServiceResponse {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   bool result_cache_hit = false;
+  bool delta_repaired = false;
+  /// Graph version after a delta op (ok && op == "delta"); the rest of
+  /// the DeltaOutcome (net counts, invalidation tallies) is in `body`.
+  uint64_t graph_version = 0;
   std::string error_code;
   std::string error_message;
   JsonValue body;
@@ -99,6 +116,8 @@ std::string EncodeRequest(const ServiceRequest& request);
 
 /// Response encoders, each returning one line (no trailing newline).
 std::string EncodeQueryResponse(const QueryOutcome& outcome);
+std::string EncodeDeltaResponse(const DeltaOutcome& outcome,
+                                std::string_view tag);
 std::string EncodeErrorResponse(ServiceRequest::Op op, const Status& error,
                                 std::string_view tag);
 std::string EncodeStatsResponse(const EngineStats& engine,

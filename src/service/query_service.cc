@@ -210,6 +210,30 @@ void QueryService::HandleLine(const std::shared_ptr<Session>& session,
       Complete(session, seq, EncodeShutdownResponse());
       RequestStop();
       return;
+    case ServiceRequest::Op::kDelta: {
+      // Applied inline on the reader thread: ApplyDelta blocks behind
+      // the currently running evaluation (engine admission lock), which
+      // stalls only this connection — exactly the backpressure a mutator
+      // should feel. Borrowed engines reject deltas; the error passes
+      // straight through.
+      Result<DeltaOutcome> outcome = engine_->ApplyDelta(request.delta);
+      if (!outcome.ok()) {
+        ++deltas_failed_;
+        Complete(session, seq,
+                 EncodeErrorResponse(request.op, outcome.status(),
+                                     request.tag));
+        return;
+      }
+      ++deltas_ok_;
+      {
+        // Re-snapshot the dict: labels the delta interned become usable
+        // in subsequent pattern text on every connection.
+        std::lock_guard<std::mutex> lock(dict_mu_);
+        dict_ = engine_->DictSnapshot();
+      }
+      Complete(session, seq, EncodeDeltaResponse(*outcome, request.tag));
+      return;
+    }
     case ServiceRequest::Op::kQuery:
       break;
   }
@@ -376,6 +400,8 @@ ServiceStats QueryService::stats() const {
   s.rejected = rejected_.load();
   s.malformed = malformed_.load();
   s.stats_requests = stats_requests_.load();
+  s.deltas_ok = deltas_ok_.load();
+  s.deltas_failed = deltas_failed_.load();
   return s;
 }
 

@@ -25,6 +25,16 @@
 /// telemetry in microseconds while multi-second queries are mid-flight.
 /// (Responses on ONE connection stay in request order, so pipeline
 /// monitoring on its own connection, not behind a slow query.)
+///
+/// Mutation: the "delta" op is also handled on the reader thread, but it
+/// BLOCKS there — QueryEngine::ApplyDelta sequences behind the running
+/// evaluation via the engine's admission lock, so the issuing connection
+/// stops reading until the delta lands (natural per-connection ordering:
+/// a request/response client always sees its own delta applied before
+/// its next query). Other connections keep querying; their evaluations
+/// see entirely the pre- or post-delta graph, never a blend. On success
+/// the service re-snapshots the engine's dict so pattern text may use
+/// labels a delta introduced.
 
 #include <atomic>
 #include <condition_variable>
@@ -177,6 +187,8 @@ class QueryService {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> malformed_{0};
   std::atomic<uint64_t> stats_requests_{0};
+  std::atomic<uint64_t> deltas_ok_{0};
+  std::atomic<uint64_t> deltas_failed_{0};
 };
 
 }  // namespace qgp::service

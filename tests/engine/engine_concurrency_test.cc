@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -146,6 +147,123 @@ TEST(EngineConcurrencyTest, MaintenanceRacesEvaluationSafely) {
 
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.queries, kClients * workload.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// ApplyDelta racing Submit / stats() / EvictUnused(): deltas sequence
+// through the admission lock, so every concurrently submitted query
+// must see entirely one of the graph versions — its answers equal the
+// serial reference of SOME version the query could have run under
+// (bracketed by graph_version() reads before and after), never a blend.
+// The TSan leg additionally proves the version mirror and telemetry
+// paths race-free.
+TEST(EngineConcurrencyTest, DeltaRacesEvaluationAtomically) {
+  Graph base = MakeGraph(21, 120);
+  std::vector<QuerySpec> workload = MakeWorkload(base, 21, 1);
+
+  // Precompute the version chain and each version's reference answers.
+  constexpr size_t kDeltas = 4;
+  const Label el0 = base.dict().Find("el0");
+  const Label nl0 = base.dict().Find("nl0");
+  std::vector<GraphDelta> deltas;
+  {
+    std::mt19937 rng(17);
+    Graph cursor = base;
+    for (size_t k = 0; k < kDeltas; ++k) {
+      std::vector<VertexId> alive;
+      for (VertexId v = 0; v < cursor.num_vertices(); ++v) {
+        if (cursor.vertex_label(v) != kInvalidLabel) alive.push_back(v);
+      }
+      GraphDelta d;
+      for (int i = 0; i < 6; ++i) {
+        d.add_edges.push_back({alive[rng() % alive.size()],
+                               alive[rng() % alive.size()], el0});
+      }
+      d.remove_vertices.push_back(alive[rng() % alive.size()]);
+      d.add_vertices.push_back(nl0);
+      ASSERT_TRUE(cursor.ApplyDelta(d).ok());
+      deltas.push_back(std::move(d));
+    }
+  }
+  std::vector<std::vector<AnswerSet>> per_version;  // [version][query]
+  {
+    Graph cursor = base;
+    for (size_t k = 0; k <= kDeltas; ++k) {
+      QueryEngine reference(&cursor, EngineOptions{});
+      auto outcomes = reference.RunBatch(workload);
+      ASSERT_TRUE(outcomes.ok());
+      std::vector<AnswerSet> answers;
+      for (const QueryOutcome& o : *outcomes) answers.push_back(o.answers);
+      per_version.push_back(std::move(answers));
+      if (k < kDeltas) {
+        ASSERT_TRUE(cursor.ApplyDelta(deltas[k]).ok());
+      }
+    }
+  }
+
+  QueryEngine engine(std::move(base), EngineOptions{});
+  const uint64_t v0 = engine.graph_version();
+  std::atomic<bool> stop{false};
+
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      const EngineStats s = engine.stats();
+      EXPECT_EQ(s.failed, 0u);
+      EXPECT_LE(engine.graph_version() - v0, kDeltas);
+      std::this_thread::yield();
+    }
+  });
+  std::thread evictor([&] {
+    while (!stop.load()) {
+      engine.EvictUnused();
+      std::this_thread::yield();
+    }
+  });
+  std::thread mutator([&] {
+    for (const GraphDelta& d : deltas) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      auto outcome = engine.ApplyDelta(d);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    }
+  });
+
+  auto check_round = [&] {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      const uint64_t before = engine.graph_version() - v0;
+      auto outcome = engine.Submit(workload[i]);
+      const uint64_t after = engine.graph_version() - v0;
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      bool matched = false;
+      for (uint64_t k = before; k <= after && !matched; ++k) {
+        matched = outcome->answers == per_version[k][i];
+      }
+      EXPECT_TRUE(matched)
+          << workload[i].tag << " answers match no version in ["
+          << before << ", " << after << "]";
+    }
+  };
+  constexpr size_t kClients = 3;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) check_round();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  mutator.join();
+  stop.store(true);
+  monitor.join();
+  evictor.join();
+
+  // Quiescent: all deltas applied, queries now see the final version.
+  EXPECT_EQ(engine.graph_version() - v0, kDeltas);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto outcome = engine.Submit(workload[i]);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->answers, per_version[kDeltas][i]) << workload[i].tag;
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.deltas, kDeltas);
   EXPECT_EQ(stats.failed, 0u);
 }
 

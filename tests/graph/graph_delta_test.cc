@@ -1,0 +1,461 @@
+// Delta-vs-rebuild differential harness for Graph::ApplyDelta, plus unit
+// coverage of the batch semantics documented in graph/graph_delta.h. The
+// oracle is a shadow model (label vector + edge set) that applies each
+// delta independently and is rebuilt from scratch through GraphBuilder;
+// after every batch the mutated graph must match the rebuild exactly and
+// re-satisfy all CSR invariants.
+
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic_gen.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+namespace {
+
+Graph MakeSmallGraph() {
+  GraphBuilder b;
+  VertexId a = b.AddVertex("person");
+  VertexId c = b.AddVertex("person");
+  VertexId d = b.AddVertex("page");
+  VertexId e = b.AddVertex("page");
+  EXPECT_TRUE(b.AddEdge(a, c, "follow").ok());
+  EXPECT_TRUE(b.AddEdge(a, d, "like").ok());
+  EXPECT_TRUE(b.AddEdge(c, d, "like").ok());
+  EXPECT_TRUE(b.AddEdge(d, e, "link").ok());
+  return std::move(b).Build().value();
+}
+
+// Independent model of the delta semantics: stage order is
+// add_vertices, remove_edges, add_edges, remove_vertices.
+struct ShadowGraph {
+  std::vector<Label> labels;
+  std::set<std::tuple<VertexId, VertexId, Label>> edges;
+
+  static ShadowGraph Of(const Graph& g) {
+    ShadowGraph s;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      s.labels.push_back(g.vertex_label(v));
+      for (const Neighbor& nbr : g.OutNeighbors(v)) {
+        s.edges.insert({v, nbr.v, nbr.label});
+      }
+    }
+    return s;
+  }
+
+  bool alive(VertexId v) const {
+    return v < labels.size() && labels[v] != kInvalidLabel;
+  }
+
+  void Apply(const GraphDelta& d) {
+    for (Label l : d.add_vertices) labels.push_back(l);
+    for (const EdgeTriple& e : d.remove_edges) {
+      edges.erase({e.src, e.dst, e.label});
+    }
+    for (const EdgeTriple& e : d.add_edges) {
+      edges.insert({e.src, e.dst, e.label});
+    }
+    for (VertexId v : d.remove_vertices) {
+      if (!alive(v)) continue;
+      labels[v] = kInvalidLabel;
+      for (auto it = edges.begin(); it != edges.end();) {
+        if (std::get<0>(*it) == v || std::get<1>(*it) == v) {
+          it = edges.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  // From-scratch rebuild with the (already mutated) graph's dict, so label
+  // ids line up.
+  Graph Rebuild(const LabelDict& dict) const {
+    GraphBuilder b(dict);
+    for (Label l : labels) b.AddVertexWithLabel(l);
+    for (const auto& [src, dst, label] : edges) {
+      EXPECT_TRUE(b.AddEdgeWithLabel(src, dst, label).ok());
+    }
+    return std::move(b).Build().value();
+  }
+};
+
+// Applies `d`, checks invariants, and compares against the shadow oracle.
+void ApplyAndCheck(Graph* g, ShadowGraph* shadow, const GraphDelta& d) {
+  const uint64_t version_before = g->version();
+  auto summary = g->ApplyDelta(d);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(g->version(), version_before + 1);
+  EXPECT_EQ(summary->version, g->version());
+  Status invariants = g->ValidateInvariants();
+  ASSERT_TRUE(invariants.ok()) << invariants.ToString();
+  shadow->Apply(d);
+  Graph rebuilt = shadow->Rebuild(g->dict());
+  ASSERT_TRUE(ContentEquals(*g, rebuilt));
+}
+
+TEST(GraphDelta, AddAndRemoveEdges) {
+  Graph g = MakeSmallGraph();
+  ShadowGraph shadow = ShadowGraph::Of(g);
+  Label follow = g.dict().Find("follow");
+  Label like = g.dict().Find("like");
+
+  GraphDelta d;
+  d.add_edges.push_back({1, 0, follow});
+  d.remove_edges.push_back({0, 2, like});
+  ApplyAndCheck(&g, &shadow, d);
+  EXPECT_TRUE(g.HasEdge(1, 0, follow));
+  EXPECT_FALSE(g.HasEdge(0, 2, like));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(GraphDelta, SetSemanticsNoOps) {
+  Graph g = MakeSmallGraph();
+  ShadowGraph shadow = ShadowGraph::Of(g);
+  Label follow = g.dict().Find("follow");
+
+  GraphDelta d;
+  d.add_edges.push_back({0, 1, follow});        // already present
+  d.add_edges.push_back({0, 1, follow});        // duplicate in batch
+  d.remove_edges.push_back({3, 0, follow});     // absent
+  auto summary = g.ApplyDelta(d);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->Empty());
+  EXPECT_EQ(g.num_edges(), 4u);
+  shadow.Apply(d);
+  EXPECT_TRUE(ContentEquals(g, shadow.Rebuild(g.dict())));
+}
+
+TEST(GraphDelta, EmptyDeltaStillBumpsVersion) {
+  Graph g = MakeSmallGraph();
+  EXPECT_EQ(g.version(), 0u);
+  auto summary = g.ApplyDelta(GraphDelta{});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->Empty());
+  EXPECT_EQ(g.version(), 1u);
+}
+
+TEST(GraphDelta, RemoveThenAddSameEdgeInOneBatchKeepsIt) {
+  Graph g = MakeSmallGraph();
+  ShadowGraph shadow = ShadowGraph::Of(g);
+  Label follow = g.dict().Find("follow");
+
+  // Stage order: removes apply before adds, so remove+add of a present
+  // edge keeps it (and nets to a no-op summary); remove+add of an absent
+  // edge adds it.
+  GraphDelta d;
+  d.remove_edges.push_back({0, 1, follow});
+  d.add_edges.push_back({0, 1, follow});
+  d.remove_edges.push_back({2, 0, follow});
+  d.add_edges.push_back({2, 0, follow});
+  auto summary = g.ApplyDelta(d);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->edges_added.size(), 1u);
+  EXPECT_EQ(summary->edges_added[0], (EdgeTriple{2, 0, follow}));
+  EXPECT_TRUE(summary->edges_removed.empty());
+  EXPECT_TRUE(g.HasEdge(0, 1, follow));
+  EXPECT_TRUE(g.HasEdge(2, 0, follow));
+  shadow.Apply(d);
+  EXPECT_TRUE(ContentEquals(g, shadow.Rebuild(g.dict())));
+}
+
+TEST(GraphDelta, AddVerticesAssignsSequentialIds) {
+  Graph g = MakeSmallGraph();
+  ShadowGraph shadow = ShadowGraph::Of(g);
+  Label person = g.dict().Find("person");
+  Label follow = g.dict().Find("follow");
+
+  GraphDelta d;
+  d.add_vertices = {person, person};
+  d.add_edges.push_back({4, 5, follow});  // both added this batch
+  d.add_edges.push_back({0, 4, follow});  // old -> new
+  ApplyAndCheck(&g, &shadow, d);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.vertex_label(4), person);
+  EXPECT_TRUE(g.HasEdge(4, 5, follow));
+  EXPECT_TRUE(g.HasEdge(0, 4, follow));
+  // Label index picked up the new vertices.
+  std::span<const VertexId> people = g.VerticesWithLabel(person);
+  EXPECT_TRUE(std::find(people.begin(), people.end(), 4u) != people.end());
+}
+
+TEST(GraphDelta, TombstoneDropsIncidentEdgesAndKeepsIds) {
+  Graph g = MakeSmallGraph();
+  ShadowGraph shadow = ShadowGraph::Of(g);
+
+  GraphDelta d;
+  d.remove_vertices.push_back(2);  // "page" with in-edges from 0,1, out to 3
+  const uint64_t before_m = g.num_edges();
+  auto summary = g.ApplyDelta(d);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->vertices_removed.size(), 1u);
+  EXPECT_EQ(summary->vertices_removed[0].second, g.dict().Find("page"));
+  EXPECT_EQ(summary->edges_removed.size(), 3u);
+  EXPECT_EQ(g.num_vertices(), 4u);  // id space unchanged
+  EXPECT_EQ(g.num_edges(), before_m - 3);
+  EXPECT_EQ(g.vertex_label(2), kInvalidLabel);
+  EXPECT_TRUE(g.ValidateInvariants().ok());
+  shadow.Apply(d);
+  EXPECT_TRUE(ContentEquals(g, shadow.Rebuild(g.dict())));
+
+  // Tombstoning again is a no-op.
+  auto again = g.ApplyDelta(d);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->Empty());
+}
+
+TEST(GraphDelta, RemoveVertexAddedInSameBatch) {
+  Graph g = MakeSmallGraph();
+  ShadowGraph shadow = ShadowGraph::Of(g);
+  Label person = g.dict().Find("person");
+  Label follow = g.dict().Find("follow");
+
+  GraphDelta d;
+  d.add_vertices = {person};
+  d.add_edges.push_back({0, 4, follow});
+  d.remove_vertices.push_back(4);
+  auto summary = g.ApplyDelta(d);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->vertices_added.size(), 1u);
+  EXPECT_EQ(summary->vertices_removed.size(), 1u);
+  EXPECT_TRUE(summary->edges_added.empty());  // never materialized
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.vertex_label(4), kInvalidLabel);
+  EXPECT_FALSE(g.HasEdge(0, 4, follow));
+  shadow.Apply(d);
+  EXPECT_TRUE(ContentEquals(g, shadow.Rebuild(g.dict())));
+}
+
+TEST(GraphDelta, ErrorsLeaveGraphUntouched) {
+  Graph g = MakeSmallGraph();
+  Graph pristine = g;
+  Label follow = g.dict().Find("follow");
+
+  GraphDelta out_of_range;
+  out_of_range.add_edges.push_back({0, 99, follow});
+  EXPECT_FALSE(g.ApplyDelta(out_of_range).ok());
+
+  GraphDelta bad_label;
+  bad_label.add_edges.push_back({0, 1, kInvalidLabel});
+  EXPECT_FALSE(g.ApplyDelta(bad_label).ok());
+
+  GraphDelta bad_remove;
+  bad_remove.remove_vertices.push_back(99);
+  EXPECT_FALSE(g.ApplyDelta(bad_remove).ok());
+
+  // Partially valid batch: the valid ops must not leak through.
+  GraphDelta mixed;
+  mixed.add_edges.push_back({1, 0, follow});
+  mixed.add_edges.push_back({0, 77, follow});
+  EXPECT_FALSE(g.ApplyDelta(mixed).ok());
+
+  EXPECT_EQ(g.version(), 0u);
+  EXPECT_TRUE(ContentEquals(g, pristine));
+}
+
+TEST(GraphDelta, EdgeToTombstoneRejected) {
+  Graph g = MakeSmallGraph();
+  GraphDelta kill;
+  kill.remove_vertices.push_back(3);
+  ASSERT_TRUE(g.ApplyDelta(kill).ok());
+
+  GraphDelta d;
+  d.add_edges.push_back({0, 3, g.dict().Find("follow")});
+  auto result = g.ApplyDelta(d);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphDelta, ResolveDeltaInternsAddsButNotRemoves) {
+  Graph g = MakeSmallGraph();
+  const size_t dict_before = g.dict().size();
+  NamedGraphDelta named;
+  named.add_vertices.push_back("robot");
+  named.add_edges.push_back({0, 1, "pokes"});
+  named.remove_edges.push_back({0, 1, "never_seen"});
+  GraphDelta delta = ResolveDelta(named, &g.mutable_dict());
+  EXPECT_EQ(g.dict().size(), dict_before + 2);  // robot, pokes
+  EXPECT_EQ(delta.remove_edges[0].label, kInvalidLabel);  // unknown: no-op
+
+  ShadowGraph shadow = ShadowGraph::Of(g);
+  // remove_edges with kInvalidLabel never matches an edge.
+  GraphDelta applied = delta;
+  applied.remove_edges.clear();
+  ApplyAndCheck(&g, &shadow, applied);
+  EXPECT_EQ(g.vertex_label(4), g.dict().Find("robot"));
+  std::span<const VertexId> robots =
+      g.VerticesWithLabel(g.dict().Find("robot"));
+  ASSERT_EQ(robots.size(), 1u);
+  EXPECT_EQ(robots[0], 4u);
+}
+
+TEST(GraphDelta, TouchedVerticesFiltersByLabel) {
+  GraphDeltaSummary s;
+  s.edges_added.push_back({0, 1, 5});
+  s.edges_removed.push_back({2, 3, 7});
+  s.vertices_added.emplace_back(9, 1);
+  s.vertices_removed.emplace_back(8, 2);
+
+  std::vector<VertexId> all =
+      TouchedVertices(s, nullptr, nullptr, /*additions_only=*/false);
+  EXPECT_EQ(all, (std::vector<VertexId>{0, 1, 2, 3, 8, 9}));
+
+  std::vector<VertexId> gains =
+      TouchedVertices(s, nullptr, nullptr, /*additions_only=*/true);
+  EXPECT_EQ(gains, (std::vector<VertexId>{0, 1, 9}));
+
+  DynamicBitset edge_labels(8);
+  edge_labels.Set(7);
+  DynamicBitset node_labels(4);
+  node_labels.Set(2);
+  std::vector<VertexId> filtered =
+      TouchedVertices(s, &edge_labels, &node_labels, /*additions_only=*/false);
+  EXPECT_EQ(filtered, (std::vector<VertexId>{2, 3, 8}));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential sweep: >= 100 delta batches across two base
+// graphs, each validated against the shadow-rebuild oracle and the CSR
+// invariant checker. Batches mix edge/vertex inserts and deletes with
+// deliberate no-ops (re-adds, absent removes, dead tombstones).
+// ---------------------------------------------------------------------------
+
+GraphDelta RandomDelta(const ShadowGraph& shadow, Graph* g,
+                       std::mt19937* rng) {
+  GraphDelta d;
+  std::vector<VertexId> alive;
+  for (VertexId v = 0; v < shadow.labels.size(); ++v) {
+    if (shadow.alive(v)) alive.push_back(v);
+  }
+  std::vector<std::tuple<VertexId, VertexId, Label>> edges(
+      shadow.edges.begin(), shadow.edges.end());
+  auto rand_label = [&](bool node) {
+    // Existing generator labels plus occasionally a brand-new interned one.
+    if ((*rng)() % 8 == 0) {
+      return g->mutable_dict().Intern("fresh" + std::to_string((*rng)() % 4));
+    }
+    return g->dict().Find((node ? "nl" : "el") + std::to_string((*rng)() % 3));
+  };
+  const size_t ops = 1 + (*rng)() % 8;
+  size_t pending_new = 0;
+  for (size_t i = 0; i < ops; ++i) {
+    switch ((*rng)() % 10) {
+      case 0:  // add vertex
+      case 1:
+        d.add_vertices.push_back(rand_label(true));
+        ++pending_new;
+        break;
+      case 2: {  // remove vertex (sometimes already dead / repeated)
+        if (alive.empty()) break;
+        d.remove_vertices.push_back(alive[(*rng)() % alive.size()]);
+        break;
+      }
+      case 3:  // remove an existing edge
+      case 4: {
+        if (edges.empty()) break;
+        auto [src, dst, label] = edges[(*rng)() % edges.size()];
+        d.remove_edges.push_back({src, dst, label});
+        break;
+      }
+      case 5: {  // remove an absent edge (no-op)
+        if (alive.size() < 2) break;
+        d.remove_edges.push_back({alive[(*rng)() % alive.size()],
+                                  alive[(*rng)() % alive.size()],
+                                  rand_label(false)});
+        break;
+      }
+      case 6: {  // re-add an existing edge (no-op)
+        if (edges.empty()) break;
+        auto [src, dst, label] = edges[(*rng)() % edges.size()];
+        d.add_edges.push_back({src, dst, label});
+        break;
+      }
+      default: {  // add a random edge, possibly to a just-added vertex
+        if (alive.empty()) break;
+        VertexId src = alive[(*rng)() % alive.size()];
+        VertexId dst = alive[(*rng)() % alive.size()];
+        if (pending_new > 0 && (*rng)() % 4 == 0) {
+          dst = static_cast<VertexId>(shadow.labels.size() +
+                                      (*rng)() % pending_new);
+        }
+        Label l = rand_label(false);
+        if (l == kInvalidLabel) break;
+        d.add_edges.push_back({src, dst, l});
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+TEST(GraphDeltaDifferential, RandomizedBatchesMatchRebuild) {
+  for (uint64_t seed : {7u, 21u}) {
+    SyntheticConfig config;
+    config.num_vertices = 60;
+    config.num_edges = 150;
+    config.num_node_labels = 3;
+    config.num_edge_labels = 3;
+    config.seed = seed;
+    config.model = (seed % 2 == 1) ? SyntheticConfig::Model::kSmallWorld
+                                   : SyntheticConfig::Model::kPowerLaw;
+    Graph g = GenerateSynthetic(config).value();
+    ASSERT_TRUE(g.ValidateInvariants().ok());
+    ShadowGraph shadow = ShadowGraph::Of(g);
+    std::mt19937 rng(seed * 977);
+    for (int batch = 0; batch < 60; ++batch) {
+      GraphDelta d = RandomDelta(shadow, &g, &rng);
+      ApplyAndCheck(&g, &shadow, d);
+    }
+    EXPECT_EQ(g.version(), 60u);
+  }
+}
+
+TEST(GraphDeltaDifferential, EdgeInversePairsRoundTrip) {
+  SyntheticConfig config;
+  config.num_vertices = 40;
+  config.num_edges = 100;
+  config.num_node_labels = 3;
+  config.num_edge_labels = 3;
+  config.seed = 11;
+  Graph g = GenerateSynthetic(config).value();
+  // Pre-intern the labels RandomDelta may mint so the pristine copy's dict
+  // stays identical to the mutated graph's.
+  for (int i = 0; i < 4; ++i) {
+    g.mutable_dict().Intern("fresh" + std::to_string(i));
+  }
+  Graph pristine = g;
+  std::mt19937 rng(1234);
+  ShadowGraph shadow = ShadowGraph::Of(g);
+  for (int round = 0; round < 20; ++round) {
+    // Edge-only delta, then its inverse: content must round-trip.
+    GraphDelta d = RandomDelta(shadow, &g, &rng);
+    d.add_vertices.clear();
+    d.remove_vertices.clear();
+    const VertexId n = static_cast<VertexId>(shadow.labels.size());
+    auto dangling = [n](const EdgeTriple& e) { return e.src >= n || e.dst >= n; };
+    std::erase_if(d.add_edges, dangling);
+    std::erase_if(d.remove_edges, dangling);
+    auto summary = g.ApplyDelta(d);
+    ASSERT_TRUE(summary.ok());
+    GraphDelta inverse;
+    inverse.add_edges = summary->edges_removed;
+    inverse.remove_edges = summary->edges_added;
+    auto back = g.ApplyDelta(inverse);
+    ASSERT_TRUE(back.ok());
+    ASSERT_TRUE(g.ValidateInvariants().ok());
+    ASSERT_TRUE(ContentEquals(g, pristine));
+  }
+  EXPECT_EQ(g.version(), 40u);
+}
+
+}  // namespace
+}  // namespace qgp

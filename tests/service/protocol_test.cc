@@ -134,6 +134,65 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   }
 }
 
+TEST(ProtocolTest, DeltaRequestRoundTripsThroughCodec) {
+  ServiceRequest request;
+  request.op = ServiceRequest::Op::kDelta;
+  request.delta.add_vertices = {"person", "org"};
+  request.delta.remove_vertices = {3, 4242};
+  request.delta.add_edges = {{0, 7, "follows"}, {7, 0, "follows"}};
+  request.delta.remove_edges = {{2, 3, "likes"}};
+  request.tag = "d-1";
+
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, ServiceRequest::Op::kDelta);
+  EXPECT_EQ(decoded->delta.add_vertices, request.delta.add_vertices);
+  EXPECT_EQ(decoded->delta.remove_vertices, request.delta.remove_vertices);
+  ASSERT_EQ(decoded->delta.add_edges.size(), 2u);
+  EXPECT_EQ(decoded->delta.add_edges[0].src, 0u);
+  EXPECT_EQ(decoded->delta.add_edges[0].dst, 7u);
+  EXPECT_EQ(decoded->delta.add_edges[0].label, "follows");
+  ASSERT_EQ(decoded->delta.remove_edges.size(), 1u);
+  EXPECT_EQ(decoded->delta.remove_edges[0].label, "likes");
+  EXPECT_EQ(decoded->tag, "d-1");
+  EXPECT_EQ(EncodeRequest(*decoded), EncodeRequest(request));
+
+  // An empty batch is a legal request (a no-op delta still bumps the
+  // graph version server-side).
+  auto empty = DecodeRequest(R"({"op":"delta"})");
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty->op, ServiceRequest::Op::kDelta);
+  EXPECT_TRUE(empty->delta.Empty());
+}
+
+TEST(ProtocolTest, RejectsMalformedDeltaRequests) {
+  const char* bad[] = {
+      // delta fields on a non-delta op
+      R"({"op":"query","pattern":"p","add_vertices":["x"]})",
+      R"({"op":"stats","remove_vertices":[1]})",
+      // pattern on a delta op
+      R"({"op":"delta","pattern":"node a x\n"})",
+      // wrong container / element types
+      R"({"op":"delta","add_vertices":"person"})",
+      R"({"op":"delta","add_vertices":[1]})",
+      R"({"op":"delta","remove_vertices":[-1]})",
+      R"({"op":"delta","remove_vertices":[1.5]})",
+      R"({"op":"delta","add_edges":[[0,1,"e"]]})",      // array, not object
+      R"({"op":"delta","add_edges":[{"src":0,"dst":1}]})",        // no label
+      R"({"op":"delta","add_edges":[{"src":0,"label":"e"}]})",    // no dst
+      R"({"op":"delta","remove_edges":[{"src":0,"dst":1,"label":5}]})",
+      R"({"op":"delta","remove_edges":[{"src":-2,"dst":1,"label":"e"}]})",
+      R"({"op":"delta","add_edges":[{"src":0,"dst":1,"label":"e","w":1}]})",
+  };
+  for (const char* line : bad) {
+    auto decoded = DecodeRequest(line);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << line;
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument) << line;
+    }
+  }
+}
+
 // ------------------------------------------------------------ responses
 
 TEST(ProtocolTest, QueryResponseRoundTrips) {
@@ -163,6 +222,63 @@ TEST(ProtocolTest, QueryResponseRoundTrips) {
   EXPECT_EQ(decoded->stats.isomorphisms_enumerated, 99u);
   EXPECT_EQ(decoded->stats.balls_built, 7u);
   EXPECT_EQ(decoded->stats.scheduler_tasks, 31u);
+}
+
+TEST(ProtocolTest, DeltaResponseRoundTrips) {
+  DeltaOutcome outcome;
+  outcome.graph_version = 5;
+  outcome.vertices_added = 2;
+  outcome.vertices_removed = 1;
+  outcome.edges_added = 3;
+  outcome.edges_removed = 4;
+  outcome.candidate_sets_evicted = 6;
+  outcome.results_invalidated = 7;
+  outcome.partition_invalidated = true;
+  outcome.wall_ms = 0.25;
+
+  auto decoded = DecodeResponse(EncodeDeltaResponse(outcome, "d-9"));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->op, "delta");
+  EXPECT_EQ(decoded->tag, "d-9");
+  EXPECT_EQ(decoded->graph_version, 5u);
+  // The net counts and invalidation tallies ride in the body.
+  EXPECT_EQ(decoded->body.Find("vertices_added")->as_number(), 2);
+  EXPECT_EQ(decoded->body.Find("vertices_removed")->as_number(), 1);
+  EXPECT_EQ(decoded->body.Find("edges_added")->as_number(), 3);
+  EXPECT_EQ(decoded->body.Find("edges_removed")->as_number(), 4);
+  EXPECT_EQ(decoded->body.Find("candidate_sets_evicted")->as_number(), 6);
+  EXPECT_EQ(decoded->body.Find("results_invalidated")->as_number(), 7);
+  EXPECT_TRUE(decoded->body.Find("partition_invalidated")->as_bool());
+
+  // A delta response without its version is rejected, not defaulted.
+  EXPECT_FALSE(DecodeResponse(R"({"ok":true,"op":"delta","tag":""})").ok());
+}
+
+TEST(ProtocolTest, StatsResponseCarriesDeltaTelemetry) {
+  EngineStats engine;
+  engine.deltas = 4;
+  engine.delta_wall_ms = 1.5;
+  engine.results_invalidated = 9;
+  engine.repair_hits = 5;
+  engine.repair_fallbacks = 2;
+  ServiceStats service;
+  service.deltas_ok = 4;
+  service.deltas_failed = 1;
+
+  auto decoded = DecodeResponse(EncodeStatsResponse(engine, service));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const JsonValue* e = decoded->body.Find("engine");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->Find("deltas")->as_number(), 4);
+  EXPECT_DOUBLE_EQ(e->Find("delta_wall_ms")->as_number(), 1.5);
+  EXPECT_EQ(e->Find("results_invalidated")->as_number(), 9);
+  EXPECT_EQ(e->Find("repair_hits")->as_number(), 5);
+  EXPECT_EQ(e->Find("repair_fallbacks")->as_number(), 2);
+  const JsonValue* s = decoded->body.Find("service");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Find("deltas_ok")->as_number(), 4);
+  EXPECT_EQ(s->Find("deltas_failed")->as_number(), 1);
 }
 
 TEST(ProtocolTest, ErrorResponseRoundTrips) {

@@ -317,6 +317,148 @@ TEST(ServiceLoopbackTest, UnknownLabelsMatchNothing) {
   server.Stop();
 }
 
+// The delta op end to end: a wire-delivered batch mutates the served
+// graph (answers flip from the pre-delta to the post-delta reference),
+// the response carries the bumped version and net counts, and labels
+// the delta introduced are immediately usable in pattern text — the
+// service re-snapshots its parse dictionary from the engine.
+TEST(ServiceLoopbackTest, DeltaOpMutatesServedGraphAndInternsLabels) {
+  Graph g = MakeGraph(67);
+  std::vector<ServiceRequest> workload = MakeWorkload(g, 67);
+  const std::string label0 = g.dict().Name(g.vertex_label(0));
+  const VertexId novel_id = g.num_vertices();
+
+  // The batch: one brand-new node label and edge label, plus mutations
+  // over existing labels (an edge rewire and a tombstone).
+  NamedGraphDelta delta;
+  delta.add_vertices = {"novel"};
+  delta.add_edges.push_back({0, novel_id, "fresh_edge"});
+  delta.add_edges.push_back({1, 2, "el0"});
+  delta.remove_vertices.push_back(5);
+
+  // Pre/post reference answers on local copies.
+  Graph pre = g;
+  Graph post = g;
+  std::vector<QuerySpec> specs = AsSpecs(workload, pre);
+  ASSERT_TRUE(post.ApplyDelta(ResolveDelta(delta, &post.mutable_dict())).ok());
+  QueryEngine ref_pre(&pre, EngineOptions{});
+  auto expected_pre = ref_pre.RunBatch(specs);
+  ASSERT_TRUE(expected_pre.ok());
+  QueryEngine ref_post(&post, EngineOptions{});
+  auto expected_post = ref_post.RunBatch(specs);
+  ASSERT_TRUE(expected_post.ok());
+
+  // Deltas need an owning engine (a borrowed graph is read-only).
+  QueryEngine engine(std::move(g), EngineOptions{});
+  const uint64_t v0 = engine.graph_version();
+  QueryService server(&engine, ServiceOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ServiceClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto response = client->Call(workload[i]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->answers, (*expected_pre)[i].answers)
+        << "pre-delta " << workload[i].tag;
+  }
+
+  ServiceRequest mutation;
+  mutation.op = ServiceRequest::Op::kDelta;
+  mutation.delta = delta;
+  mutation.tag = "d-1";
+  auto applied = client->Call(mutation);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_TRUE(applied->ok) << applied->error_message;
+  EXPECT_EQ(applied->op, "delta");
+  EXPECT_EQ(applied->tag, "d-1");
+  EXPECT_EQ(applied->graph_version, v0 + 1);
+  EXPECT_EQ(applied->body.Find("vertices_added")->as_number(), 1);
+  EXPECT_EQ(applied->body.Find("vertices_removed")->as_number(), 1);
+  EXPECT_EQ(applied->body.Find("edges_added")->as_number(), 2);
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto response = client->Call(workload[i]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->answers, (*expected_post)[i].answers)
+        << "post-delta " << workload[i].tag;
+  }
+
+  // The delta's labels are already parseable: this pattern names a node
+  // label and an edge label that did not exist at server start, and its
+  // single answer is the rewired source vertex.
+  ServiceRequest novel;
+  novel.pattern_text = "node a " + label0 +
+                       "\nnode b novel\nedge a b fresh_edge\nfocus a\n";
+  auto response = client->Call(novel);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok) << response->error_message;
+  EXPECT_EQ(response->answers, (AnswerSet{0}));
+
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.deltas_ok, 1u);
+  EXPECT_EQ(stats.deltas_failed, 0u);
+  EXPECT_EQ(stats.malformed, 0u);
+  server.Stop();
+}
+
+// Delta failures are structured responses, not dropped connections: an
+// invalid batch (out-of-range endpoint) reports InvalidArgument and
+// leaves the graph untouched; a borrowing engine rejects every delta.
+TEST(ServiceLoopbackTest, DeltaRejectionsAreStructured) {
+  Graph g = MakeGraph(71);
+  const size_t n = g.num_vertices();
+  {
+    QueryEngine engine(Graph(g), EngineOptions{});
+    const uint64_t v0 = engine.graph_version();
+    QueryService server(&engine, ServiceOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    auto client = ServiceClient::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+
+    ServiceRequest bad;
+    bad.op = ServiceRequest::Op::kDelta;
+    bad.delta.add_edges.push_back({static_cast<VertexId>(n + 100), 0, "el0"});
+    bad.tag = "bad-endpoint";
+    auto response = client->Call(bad);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->ok);
+    EXPECT_EQ(response->error_code, "InvalidArgument");
+    EXPECT_EQ(response->tag, "bad-endpoint");
+    EXPECT_EQ(engine.graph_version(), v0);  // untouched
+
+    // The connection still works, and an empty batch is a legal no-op
+    // that bumps the version.
+    ServiceRequest noop;
+    noop.op = ServiceRequest::Op::kDelta;
+    auto applied = client->Call(noop);
+    ASSERT_TRUE(applied.ok());
+    EXPECT_TRUE(applied->ok) << applied->error_message;
+    EXPECT_EQ(applied->graph_version, v0 + 1);
+
+    const ServiceStats stats = server.stats();
+    EXPECT_EQ(stats.deltas_ok, 1u);
+    EXPECT_EQ(stats.deltas_failed, 1u);
+    server.Stop();
+  }
+  {
+    QueryEngine engine(&g, EngineOptions{});  // borrowing: read-only graph
+    QueryService server(&engine, ServiceOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    auto client = ServiceClient::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    ServiceRequest mutation;
+    mutation.op = ServiceRequest::Op::kDelta;
+    mutation.delta.add_vertices = {"novel"};
+    auto response = client->Call(mutation);
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->ok);
+    EXPECT_EQ(response->error_code, "InvalidArgument");
+    EXPECT_EQ(server.stats().deltas_failed, 1u);
+    server.Stop();
+  }
+}
+
 // The shutdown op: rejected when disabled (default), honored when the
 // service opts in — Wait() returns and Stop() drains cleanly.
 TEST(ServiceLoopbackTest, ShutdownOpIsGatedByOption) {

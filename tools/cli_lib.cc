@@ -17,6 +17,7 @@
 #include "graph/graph_stats.h"
 #include "parallel/dpar.h"
 #include "qgar/miner.h"
+#include "service/client.h"
 #include "service/query_service.h"
 
 namespace qgp::cli {
@@ -91,7 +92,9 @@ int Usage(std::ostream& err) {
          "  serve <graph> [--port=0] [--threads=N] [--dispatch=2]\n"
          "        [--max-inflight=64] [--max-per-client=8] "
          "[--allow-shutdown]\n"
-         "        [--result-cache] [--n=4] [--d=2]\n";
+         "        [--result-cache] [--n=4] [--d=2]\n"
+         "  delta <port> <op>... [--host=127.0.0.1] [--tag=]\n"
+         "        ops: +v:LABEL  -v:ID  +e:SRC,DST,LABEL  -e:SRC,DST,LABEL\n";
   return 2;
 }
 
@@ -379,6 +382,103 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// One "+e:SRC,DST,LABEL" / "-e:..." operand -> a wire edge. LABEL may
+// itself contain commas only if quoting were added; the synthetic and
+// paper label alphabets never need it.
+bool ParseEdgeOperand(const std::string& body,
+                      NamedGraphDelta::NamedEdge* edge) {
+  const size_t c1 = body.find(',');
+  if (c1 == std::string::npos) return false;
+  const size_t c2 = body.find(',', c1 + 1);
+  if (c2 == std::string::npos || c2 + 1 >= body.size()) return false;
+  int64_t src = 0, dst = 0;
+  if (!ParseInt64(body.substr(0, c1), &src) || src < 0) return false;
+  if (!ParseInt64(body.substr(c1 + 1, c2 - c1 - 1), &dst) || dst < 0) {
+    return false;
+  }
+  edge->src = static_cast<VertexId>(src);
+  edge->dst = static_cast<VertexId>(dst);
+  edge->label = body.substr(c2 + 1);
+  return true;
+}
+
+// `delta` is a *client* command: it connects to a running `serve`
+// process and submits one batched mutation. Operands accumulate into a
+// single batch — the server applies it atomically and replies with the
+// new graph version and the net effect.
+int CmdDelta(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() < 3) return Usage(err);
+  int64_t port = 0;
+  if (!ParseInt64(args.positional[1], &port) || port <= 0 || port > 65535) {
+    err << "delta: '" << args.positional[1] << "' is not a port\n";
+    return 2;
+  }
+  service::ServiceRequest request;
+  request.op = service::ServiceRequest::Op::kDelta;
+  request.tag = args.Flag("tag", "");
+  for (size_t i = 2; i < args.positional.size(); ++i) {
+    const std::string& op = args.positional[i];
+    const size_t colon = op.find(':');
+    const std::string kind = op.substr(0, colon);
+    const std::string body =
+        colon == std::string::npos ? "" : op.substr(colon + 1);
+    bool ok = !body.empty();
+    if (ok && kind == "+v") {
+      request.delta.add_vertices.push_back(body);
+    } else if (ok && kind == "-v") {
+      int64_t id = 0;
+      ok = ParseInt64(body, &id) && id >= 0;
+      if (ok) request.delta.remove_vertices.push_back(
+          static_cast<VertexId>(id));
+    } else if (ok && (kind == "+e" || kind == "-e")) {
+      NamedGraphDelta::NamedEdge edge;
+      ok = ParseEdgeOperand(body, &edge);
+      if (ok) {
+        (kind == "+e" ? request.delta.add_edges : request.delta.remove_edges)
+            .push_back(std::move(edge));
+      }
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      err << "delta: bad operand '" << op
+          << "' (want +v:LABEL, -v:ID, +e:SRC,DST,LABEL or "
+             "-e:SRC,DST,LABEL)\n";
+      return 2;
+    }
+  }
+
+  auto client = service::ServiceClient::Connect(
+      static_cast<int>(port), args.Flag("host", "127.0.0.1"));
+  if (!client.ok()) {
+    err << client.status().ToString() << "\n";
+    return 1;
+  }
+  auto response = client->Call(request);
+  if (!response.ok()) {
+    err << response.status().ToString() << "\n";
+    return 1;
+  }
+  if (!response->ok) {
+    err << "delta rejected: " << response->error_code << ": "
+        << response->error_message << "\n";
+    return 1;
+  }
+  auto count = [&](const char* field) -> uint64_t {
+    const service::JsonValue* v = response->body.Find(field);
+    return v != nullptr && v->is_number()
+               ? static_cast<uint64_t>(v->as_number())
+               : 0;
+  };
+  out << "delta applied: version=" << response->graph_version
+      << " +v=" << count("vertices_added") << " -v="
+      << count("vertices_removed") << " +e=" << count("edges_added")
+      << " -e=" << count("edges_removed") << " (evicted "
+      << count("candidate_sets_evicted") << " candidate sets, invalidated "
+      << count("results_invalidated") << " results)\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -394,6 +494,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (cmd == "partition") return CmdPartition(parsed, out, err);
   if (cmd == "mine") return CmdMine(parsed, out, err);
   if (cmd == "serve") return CmdServe(parsed, out, err);
+  if (cmd == "delta") return CmdDelta(parsed, out, err);
   err << "unknown command '" << cmd << "'\n";
   return Usage(err);
 }

@@ -34,6 +34,13 @@ namespace qgp::cli {
 /// clients, admission control with backpressure, responses in request
 /// order per connection. Note: `serve` blocks the calling thread until a
 /// client shutdown op (--allow-shutdown) arrives.
+///   qgp delta <port> <op>... [--host=127.0.0.1] [--tag=]
+///
+/// `delta` connects to a running `serve` process and applies one batched
+/// graph mutation (op "delta" on the wire). Operands accumulate into a
+/// single atomic batch: `+v:LABEL` appends a vertex, `-v:ID` tombstones
+/// one, `+e:SRC,DST,LABEL` / `-e:SRC,DST,LABEL` add/remove edges. The
+/// server replies with the new graph version and the net effect.
 ///
 /// Graph files may be the text format (graph_io.h) or the binary format
 /// (auto-detected by magic). Pattern files use the PatternParser DSL.

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Integration smoke test for the network query service: boots
-# `qgp_cli serve` on an ephemeral loopback port, drives it with a
-# scripted python3 client (query / malformed line / stats ops), then
-# stops it cleanly via the shutdown op and checks the exit code.
+# `qgp_cli serve` on an ephemeral loopback port, drives it with the
+# `qgp_cli delta` client and a scripted python3 client (query /
+# malformed line / delta / stats ops), then stops it cleanly via the
+# shutdown op and checks the exit code.
 #
 #   tools/service_smoke.sh <path-to-qgp_cli> [workdir]
 #
@@ -30,6 +31,13 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [ -n "$PORT" ] || { echo "server never announced a port"; cat "$LOG"; exit 1; }
+
+# The CLI delta client: one batched mutation over the wire (set
+# semantics make re-adding a present edge a harmless no-op, so this is
+# stable across generator tweaks). The reply line carries the version.
+"$CLI" delta "$PORT" +v:person +e:0,1,follow --tag=cli-1 \
+  | grep -q "^delta applied: version=" \
+  || { echo "cli delta failed"; exit 1; }
 
 python3 - "$PORT" <<'EOF'
 import json, socket, sys
@@ -60,12 +68,37 @@ assert not r["ok"] and r["error"]["code"] == "InvalidArgument", r
 r = call(json.dumps({"op": "query", "pattern": pattern, "bogus_key": 1}))
 assert not r["ok"] and r["error"]["code"] == "InvalidArgument", r
 
-# Stats reflect the traffic so far.
+# Stats reflect the traffic so far (the CLI delta already ran).
 r = call(json.dumps({"op": "stats"}))
 assert r["ok"], r
 assert r["service"]["queries_ok"] == 2, r
 assert r["service"]["malformed"] == 2, r
+assert r["service"]["deltas_ok"] == 1, r
 assert r["engine"]["result_hits"] == 1, r
+
+# A delta over the wire: tombstone one current answer; the version
+# bumps, the cached result is invalidated, and the re-query no longer
+# reports the removed vertex.
+pre = call(json.dumps({"op": "query", "pattern": pattern, "tag": "pre-d"}))
+assert pre["ok"] and len(pre["answers"]) > 0, pre
+victim = pre["answers"][0]
+r = call(json.dumps({"op": "delta", "remove_vertices": [victim],
+                     "tag": "d-1"}))
+assert r["ok"] and r["op"] == "delta" and r["tag"] == "d-1", r
+assert r["graph_version"] == 2, r          # cli delta was version 1
+assert r["vertices_removed"] == 1, r
+post = call(json.dumps({"op": "query", "pattern": pattern, "tag": "post-d"}))
+assert post["ok"] and not post["result_cache_hit"], post
+assert victim not in post["answers"], post
+
+# A broken delta is a structured error, not a dropped connection.
+r = call(json.dumps({"op": "delta", "remove_vertices": [10**9]}))
+assert not r["ok"] and r["error"]["code"] == "InvalidArgument", r
+
+r = call(json.dumps({"op": "stats"}))
+assert r["service"]["deltas_ok"] == 2, r
+assert r["service"]["deltas_failed"] == 1, r
+assert r["engine"]["deltas"] == 2, r
 
 # Clean shutdown.
 r = call(json.dumps({"op": "shutdown"}))
