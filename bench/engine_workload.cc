@@ -298,6 +298,58 @@ int main() {
                 sweep_s * 1000.0);
   }
 
+  // --- algo = auto: the cost-based planner routes every query, cold
+  // (each family's plan computed once) then warm (plans served from the
+  // pattern-family cache). Answers must be identical to the manual
+  // qmatch runs above — the planner is a routing layer, never a
+  // semantic one — and the warm pass must hit the plan cache for every
+  // repeat.
+  {
+    std::vector<QuerySpec> routed = workload;
+    for (QuerySpec& spec : routed) spec.algo = EngineAlgo::kAuto;
+    QueryEngine planner_engine(&g, engine_options);
+    std::vector<QueryOutcome> auto_cold;
+    double auto_cold_s = TimeSeconds([&] {
+      auto r = planner_engine.RunBatch(routed);
+      if (!r.ok()) Die("auto cold batch failed");
+      auto_cold = std::move(r).value();
+    });
+    if (Answers(auto_cold) != standalone_answers) {
+      Die("auto answers differ from standalone");
+    }
+    const EngineStats after_auto_cold = planner_engine.stats();
+    reporter.Add(
+        "planner/auto/cold", auto_cold_s * 1000.0,
+        {{"queries", static_cast<double>(n)},
+         {"plans_built", static_cast<double>(after_auto_cold.plans_built)},
+         {"plan_hits", static_cast<double>(after_auto_cold.plan_hits)}});
+    std::vector<QueryOutcome> auto_warm;
+    double auto_warm_s = TimeSeconds([&] {
+      auto r = planner_engine.RunBatch(routed);
+      if (!r.ok()) Die("auto warm batch failed");
+      auto_warm = std::move(r).value();
+    });
+    if (Answers(auto_warm) != standalone_answers) {
+      Die("auto warm answers differ from standalone");
+    }
+    for (const QueryOutcome& o : auto_warm) {
+      if (!o.plan_cache_hit) Die("auto repeat missed the plan cache");
+    }
+    const EngineStats after_auto_warm = planner_engine.stats();
+    reporter.Add(
+        "planner/auto/warm", auto_warm_s * 1000.0,
+        {{"queries", static_cast<double>(n)},
+         {"plan_hits", static_cast<double>(after_auto_warm.plan_hits)},
+         {"speedup_vs_standalone",
+          auto_warm_s > 0 ? standalone_s / auto_warm_s : 0.0}});
+    std::printf(
+        "planner auto cold/warm: %7.2f / %.2f ms  (%llu plans, %llu plan "
+        "hits)\n",
+        auto_cold_s * 1000.0, auto_warm_s * 1000.0,
+        static_cast<unsigned long long>(after_auto_cold.plans_built),
+        static_cast<unsigned long long>(after_auto_warm.plan_hits));
+  }
+
   if (!reporter.Write()) Die("failed to write BENCH_engine_workload.json");
   std::printf("\nall configurations answer-identical: OK\n");
   return 0;

@@ -37,6 +37,50 @@ void MineAndReport(const char* name, const Graph& g, double eta,
                 r.rule.name.c_str(), a.ToString().c_str(),
                 c.ToString().c_str(), r.support, r.confidence);
   }
+
+  // The same mining run under algo = auto: the enlargement loop's
+  // quantifier-only variants are the plan cache's design workload, so
+  // the planner must serve them from one family entry (asserted below)
+  // while mining the exact same rules.
+  MinerConfig ac = mc;
+  ac.algo = EngineAlgo::kAuto;
+  EngineStats engine_stats;
+  Result<std::vector<MinedRule>> auto_rules = Status::Ok();
+  double auto_seconds =
+      TimeSeconds([&] { auto_rules = MineQgars(g, ac, &engine_stats); });
+  if (!auto_rules.ok()) {
+    std::printf("FATAL: auto mining failed: %s\n",
+                auto_rules.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (auto_rules->size() != rules->size()) {
+    std::printf("FATAL: auto mining found %zu rules, manual found %zu\n",
+                auto_rules->size(), rules->size());
+    std::exit(1);
+  }
+  for (size_t i = 0; i < rules->size(); ++i) {
+    const MinedRule& manual = (*rules)[i];
+    const MinedRule& automatic = (*auto_rules)[i];
+    if (manual.rule.name != automatic.rule.name ||
+        manual.support != automatic.support ||
+        manual.confidence != automatic.confidence) {
+      std::printf("FATAL: auto-mined rule %zu differs from manual\n", i);
+      std::exit(1);
+    }
+  }
+  if (engine_stats.plan_hits == 0) {
+    std::printf("FATAL: auto mining never hit the plan cache\n");
+    std::exit(1);
+  }
+  std::printf(
+      "  auto mining: identical rules in %.2fs (%llu plans built, %llu plan "
+      "hits)\n",
+      auto_seconds, static_cast<unsigned long long>(engine_stats.plans_built),
+      static_cast<unsigned long long>(engine_stats.plan_hits));
+  reporter.Add(std::string(name) + "/mining_auto", auto_seconds * 1e3,
+               {{"rules", static_cast<double>(auto_rules->size())},
+                {"plans_built", static_cast<double>(engine_stats.plans_built)},
+                {"plan_hits", static_cast<double>(engine_stats.plan_hits)}});
 }
 
 }  // namespace

@@ -30,18 +30,25 @@ std::shared_ptr<const Graph> BorrowGraph(const Graph* graph) {
 // Canonical result-cache key. Deliberately NOT PatternParser::Serialize:
 // that renders node names, and two distinct patterns can share names.
 // Numeric node ids + label ids + quantifier text identify the structure
-// exactly; the algorithm and every MatchOptions field are folded in
-// because a stored outcome replays the original run's MatchStats, which
-// the option toggles change (answers never depend on them, stats do).
-std::string ResultKey(const QuerySpec& spec) {
+// exactly; the algorithm and every answer/work-relevant MatchOptions
+// field are folded in because a stored outcome replays the original
+// run's MatchStats, which the option toggles change (answers never
+// depend on them, stats do). scheduler_grain is deliberately NOT keyed:
+// it moves only the scheduler telemetry, which the determinism contract
+// already excludes — and the planner's grain fill must not unshare an
+// auto query from the manual submission it resolved to.
+// Keyed on the EFFECTIVE algo/options — post-planner, never the
+// submitted spec — so two auto specs whose plans diverge (e.g. before
+// and after a delta shifts statistics) land on distinct entries, and an
+// auto query shares its entry with the manual submission it resolved to.
+std::string ResultKey(EngineAlgo algo, const MatchOptions& o,
+                      const Pattern& q) {
   std::ostringstream key;
-  const MatchOptions& o = spec.options;
-  key << EngineAlgoName(spec.algo) << '|' << o.use_simulation
+  key << EngineAlgoName(algo) << '|' << o.use_simulation
       << o.use_quantifier_pruning << o.use_potential_ordering
       << o.early_stop_counting << o.use_incremental_negation << '|'
       << o.max_quantified_per_path << '|' << o.max_isomorphisms << '|'
-      << o.ball_limit << '|' << o.scheduler_grain << '|';
-  const Pattern& q = spec.pattern;
+      << o.ball_limit << '|';
   for (PatternNodeId u = 0; u < q.num_nodes(); ++u) {
     key << 'n' << q.node(u).label << ';';
   }
@@ -68,6 +75,8 @@ const char* EngineAlgoName(EngineAlgo algo) {
       return "pqmatch";
     case EngineAlgo::kPEnum:
       return "penum";
+    case EngineAlgo::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -78,6 +87,7 @@ std::optional<EngineAlgo> ParseEngineAlgo(std::string_view name) {
   if (name == "enum") return EngineAlgo::kEnum;
   if (name == "pqmatch") return EngineAlgo::kPQMatch;
   if (name == "penum") return EngineAlgo::kPEnum;
+  if (name == "auto") return EngineAlgo::kAuto;
   return std::nullopt;
 }
 
@@ -118,15 +128,43 @@ Result<std::vector<QueryOutcome>> QueryEngine::RunBatch(
 Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   QueryOutcome outcome;
   outcome.tag = spec.tag;
+  const uint64_t current_version = graph_->version();
+  // Resolve the matcher FIRST: everything downstream — result-cache key,
+  // repair key, dispatch — speaks the effective algorithm and options,
+  // never the submitted spec. An unset spec algo falls back to the
+  // engine default; auto (from either) hands the choice to the planner.
+  const CandidateCache::Stats cache_before = cache_.stats();
+  const EngineAlgo requested = spec.algo.value_or(options_.default_algo);
+  EngineAlgo effective = requested;
+  MatchOptions effective_options = spec.options;
+  if (requested == EngineAlgo::kAuto) {
+    Planner::Context ctx;
+    ctx.graph = graph_.get();
+    ctx.cache = spec.share_cache ? &cache_ : nullptr;
+    ctx.graph_version = current_version;
+    ctx.num_threads = pool_->num_threads();
+    ctx.partition_fragments = options_.partition_fragments;
+    ctx.partition_d = options_.partition_d;
+    const PlanDecision plan = planner_.Plan(spec.pattern, spec.options, ctx);
+    effective = plan.algo;
+    effective_options = plan.options;
+    outcome.plan_cache_hit = plan.cache_hit;
+    std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
+    if (plan.cache_hit) {
+      ++stats_.plan_hits;
+    } else {
+      ++stats_.plans_built;
+    }
+  }
+  outcome.algo = effective;
   // Result-cache probe: a repeat of an answered query is served from
   // memory, replaying the original answers and work counters. Queries
   // that bypass the shared state (share_cache = false) neither probe
   // nor populate.
-  const uint64_t current_version = graph_->version();
   const bool use_results = options_.enable_result_cache && spec.share_cache;
   std::string result_key;
   if (use_results) {
-    result_key = ResultKey(spec);
+    result_key = ResultKey(effective, effective_options, spec.pattern);
     WallTimer hit_timer;
     {
       std::lock_guard<std::mutex> results_lock(results_mu_);
@@ -156,7 +194,6 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
     // are never cacheable, so they should not drag ResultHitRatio down.
   }
   CandidateCache* cache = spec.share_cache ? &cache_ : nullptr;
-  const CandidateCache::Stats cache_before = cache_.stats();
   WallTimer timer;
   Result<AnswerSet> answers = Status::Ok();
   // Delta-repair fast path: a positive qmatch/qmatchn query whose
@@ -166,22 +203,24 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   // need re-evaluation anyway), as are cache-bypassing specs.
   const bool repair_eligible =
       options_.enable_delta_repair && spec.share_cache &&
-      (spec.algo == EngineAlgo::kQMatch ||
-       spec.algo == EngineAlgo::kQMatchn) &&
+      (effective == EngineAlgo::kQMatch ||
+       effective == EngineAlgo::kQMatchn) &&
       spec.pattern.IsPositive();
   QMatchArtifacts artifacts;
   QMatchArtifacts* artifacts_out = repair_eligible ? &artifacts : nullptr;
   std::string repair_key;
   bool repaired_now = false;
   if (repair_eligible) {
-    repair_key = use_results ? result_key : ResultKey(spec);
+    repair_key = use_results
+                     ? result_key
+                     : ResultKey(effective, effective_options, spec.pattern);
     auto rit = repair_.find(repair_key);
     if (rit != repair_.end()) {
       std::optional<GraphDeltaSummary> composed =
           ComposeDeltasSince(rit->second.version);
       if (composed.has_value()) {
-        MatchOptions opts = spec.options;
-        if (spec.algo == EngineAlgo::kQMatchn) {
+        MatchOptions opts = effective_options;
+        if (effective == EngineAlgo::kQMatchn) {
           opts.use_incremental_negation = false;
         }
         bool fell_back = false;
@@ -209,14 +248,14 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
     }
   }
   if (!repaired_now) {
-    switch (spec.algo) {
+    switch (effective) {
       case EngineAlgo::kQMatch:
-        answers = QMatch::Evaluate(spec.pattern, *graph_, spec.options,
+        answers = QMatch::Evaluate(spec.pattern, *graph_, effective_options,
                                    &outcome.stats, pool_.get(), cache,
                                    artifacts_out);
         break;
       case EngineAlgo::kQMatchn: {
-        MatchOptions naive = spec.options;
+        MatchOptions naive = effective_options;
         naive.use_incremental_negation = false;
         answers = QMatch::Evaluate(spec.pattern, *graph_, naive,
                                    &outcome.stats, pool_.get(), cache,
@@ -224,8 +263,9 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
         break;
       }
       case EngineAlgo::kEnum:
-        answers = EnumMatcher::Evaluate(spec.pattern, *graph_, spec.options,
-                                        &outcome.stats, cache);
+        answers = EnumMatcher::Evaluate(spec.pattern, *graph_,
+                                        effective_options, &outcome.stats,
+                                        cache);
         break;
       case EngineAlgo::kPQMatch:
       case EngineAlgo::kPEnum: {
@@ -237,9 +277,9 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
         ParallelConfig config;
         config.mode = options_.partition_mode;
         config.threads_per_worker = options_.threads_per_worker;
-        config.match = spec.options;
+        config.match = effective_options;
         Result<ParallelRunResult> run =
-            spec.algo == EngineAlgo::kPQMatch
+            effective == EngineAlgo::kPQMatch
                 ? PQMatch::Evaluate(spec.pattern, **part, config)
                 : PEnum::Evaluate(spec.pattern, **part, config);
         if (!run.ok()) {
@@ -250,6 +290,10 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
         answers = std::move(run->answers);
         break;
       }
+      case EngineAlgo::kAuto:
+        // The planner never returns kAuto; reaching here is a logic bug.
+        answers = Status::Internal("algo=auto was not resolved to a matcher");
+        break;
     }
   }
   outcome.wall_ms = timer.ElapsedSeconds() * 1000.0;
@@ -335,10 +379,12 @@ Result<DeltaOutcome> QueryEngine::ApplyDeltaAdmitted(const GraphDelta& delta) {
   }
   // Version-keyed invalidation: exactly the stale entries go. The
   // candidate cache compares stamps internally; the result cache is
-  // swept here (every pre-delta entry is stale by construction). The
-  // repair store is deliberately NOT swept — stale spaces are the
-  // repair seeds.
+  // swept here (every pre-delta entry is stale by construction), and so
+  // is the plan cache — a plan chosen from pre-delta cardinalities is
+  // stale. The repair store is deliberately NOT swept — stale spaces
+  // are the repair seeds.
   out.candidate_sets_evicted = cache_.EvictStale();
+  out.plans_invalidated = planner_.EvictStale(out.graph_version);
   {
     std::lock_guard<std::mutex> results_lock(results_mu_);
     for (auto it = results_.begin(); it != results_.end();) {
@@ -360,6 +406,7 @@ Result<DeltaOutcome> QueryEngine::ApplyDeltaAdmitted(const GraphDelta& delta) {
     stats_.delta_wall_ms += out.wall_ms;
     stats_.results_invalidated += out.results_invalidated;
     stats_.cache_evicted += out.candidate_sets_evicted;
+    stats_.plans_invalidated += out.plans_invalidated;
   }
   return out;
 }

@@ -29,6 +29,7 @@
 #include "core/candidate_space.h"
 #include "core/match_types.h"
 #include "core/pattern.h"
+#include "engine/planner.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "parallel/partition.h"
@@ -46,6 +47,7 @@ enum class EngineAlgo {
   kEnum,     ///< EnumMatcher::Evaluate — enumerate-then-verify baseline.
   kPQMatch,  ///< PQMatch over the engine's lazily built DPar partition.
   kPEnum,    ///< PEnum over the same partition.
+  kAuto,     ///< Cost-based planner picks one of the above (engine/planner.h).
 };
 
 /// Stable lower-case name of an algorithm ("qmatch", "penum", ...).
@@ -61,8 +63,12 @@ std::optional<EngineAlgo> ParseEngineAlgo(std::string_view name);
 struct QuerySpec {
   /// The quantified pattern to evaluate (over the engine's graph).
   Pattern pattern;
-  /// Matcher selection; defaults to the paper's QMatch.
-  EngineAlgo algo = EngineAlgo::kQMatch;
+  /// Matcher selection. Unset falls back to EngineOptions::default_algo
+  /// (itself kQMatch unless configured), so a bare spec behaves exactly
+  /// as before. kAuto — set here or as the engine default — hands the
+  /// choice to the cost-based planner; the resolved algorithm comes back
+  /// in QueryOutcome::algo.
+  std::optional<EngineAlgo> algo;
   /// Per-query matcher knobs (pruning toggles, caps, scheduler grain).
   MatchOptions options;
   /// Cache admission: when false this query bypasses the engine's shared
@@ -84,6 +90,14 @@ struct QueryOutcome {
   MatchStats stats;
   /// Wall-clock evaluation time, milliseconds.
   double wall_ms = 0;
+  /// The matcher that actually produced this outcome: the submitted
+  /// algorithm, or — under algo = auto — whatever the planner chose.
+  /// On a result-cache hit this is the effective algorithm of the probe
+  /// (the stored entry was keyed on exactly it).
+  EngineAlgo algo = EngineAlgo::kQMatch;
+  /// True when the query ran under algo = auto and its pattern family's
+  /// plan was served from the plan cache. Always false otherwise.
+  bool plan_cache_hit = false;
   /// Shared-cache hits/misses attributable to this query (both zero when
   /// the spec opted out via share_cache = false).
   uint64_t cache_hits = 0;
@@ -114,6 +128,9 @@ struct DeltaOutcome {
   size_t candidate_sets_evicted = 0;
   /// Stale result-cache entries dropped.
   size_t results_invalidated = 0;
+  /// Stale plan-cache entries dropped (a plan chosen from pre-delta
+  /// cardinalities is stale).
+  size_t plans_invalidated = 0;
   /// True when a built DPar partition was discarded (it is rebuilt
   /// lazily on the next partition-parallel query).
   bool partition_invalidated = false;
@@ -169,6 +186,12 @@ struct EngineOptions {
   /// A repair whose stored artifacts predate the log falls back to full
   /// evaluation.
   size_t delta_log_max_entries = 64;
+  /// What a QuerySpec that leaves its algo unset runs as. Set this to
+  /// EngineAlgo::kAuto to hand every such query to the planner without
+  /// touching the specs.
+  EngineAlgo default_algo = EngineAlgo::kQMatch;
+  /// Cost-model cutoffs and plan-cache bound for algo = auto.
+  PlannerConfig planner;
 };
 
 /// Cumulative engine telemetry across every query since construction.
@@ -202,6 +225,12 @@ struct EngineStats {
   /// focus or to a fresh evaluation (repair_fallbacks).
   uint64_t repair_hits = 0;
   uint64_t repair_fallbacks = 0;
+  /// Planner traffic (all zero unless queries run under algo = auto):
+  /// plans computed by the cost model, plans served from the pattern-
+  /// family plan cache, and plans dropped by ApplyDelta version sweeps.
+  uint64_t plans_built = 0;
+  uint64_t plan_hits = 0;
+  uint64_t plans_invalidated = 0;
   /// hits / (hits + misses); 0 when the cache was never consulted.
   double HitRatio() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -398,6 +427,11 @@ class QueryEngine {
   std::atomic<uint64_t> version_{0};
   std::deque<GraphDeltaSummary> delta_log_;
   std::unordered_map<std::string, RepairEntry> repair_;
+  /// The algo = auto cost model and its pattern-family plan cache.
+  /// Touched only under the admission lock (planning happens inside an
+  /// admitted evaluation; the sweep inside an admitted delta), so it
+  /// needs no lock of its own — same discipline as repair_.
+  Planner planner_{options_.planner};
 };
 
 }  // namespace qgp

@@ -35,10 +35,10 @@ Result<GarMatchResult> GarMatch(const Qgar& rule, const Graph& g, double eta,
 
 Result<GarMatchResult> GarMatch(const Qgar& rule, QueryEngine& engine,
                                 double eta, const MatchOptions& options,
-                                MatchStats* stats) {
+                                MatchStats* stats, EngineAlgo algo) {
   QGP_RETURN_IF_ERROR(rule.Validate(options.max_quantified_per_path));
   QuerySpec spec;
-  spec.algo = EngineAlgo::kQMatch;
+  spec.algo = algo;
   spec.options = options;
   spec.pattern = rule.antecedent;
   QGP_ASSIGN_OR_RETURN(QueryOutcome o1, engine.Submit(spec));

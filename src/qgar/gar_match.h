@@ -30,10 +30,14 @@ Result<GarMatchResult> GarMatch(const Qgar& rule, const Graph& g, double eta,
 /// and every other rule sharing the engine reuse one interned candidate
 /// pool and one worker pool (rule mining evaluates hundreds of
 /// structurally overlapping patterns — the miner's hot path). Answers
-/// and metrics are identical to the per-graph overload.
+/// and metrics are identical to the per-graph overload. `algo` selects
+/// the engine matcher per query; EngineAlgo::kAuto hands the choice to
+/// the planner, whose pattern-family plan cache is exactly shaped for
+/// the miner's quantifier-only variants.
 Result<GarMatchResult> GarMatch(const Qgar& rule, QueryEngine& engine,
                                 double eta, const MatchOptions& options = {},
-                                MatchStats* stats = nullptr);
+                                MatchStats* stats = nullptr,
+                                EngineAlgo algo = EngineAlgo::kQMatch);
 
 /// dgarMatch: parallel QEI over a d-hop preserving partition (both
 /// patterns must have radius <= partition.d). Per Corollary 11 each

@@ -61,7 +61,8 @@ Pattern WithPercent(const Pattern& antecedent, double percent) {
 }  // namespace
 
 Result<std::vector<MinedRule>> MineQgars(const Graph& g,
-                                         const MinerConfig& config) {
+                                         const MinerConfig& config,
+                                         EngineStats* engine_stats) {
   std::vector<EdgeFeature> edge_features =
       MineEdgeFeatures(g, config.top_features);
   std::vector<PathFeature> path_features = MinePathFeatures(
@@ -81,7 +82,8 @@ Result<std::vector<MinedRule>> MineQgars(const Graph& g,
   size_t evaluations = 0;
   auto evaluate = [&](const Qgar& rule) -> Result<GarMatchResult> {
     ++evaluations;
-    return GarMatch(rule, engine, /*eta=*/0.0, config.match, nullptr);
+    return GarMatch(rule, engine, /*eta=*/0.0, config.match, nullptr,
+                    config.algo);
   };
 
   std::vector<MinedRule> mined;
@@ -158,6 +160,7 @@ Result<std::vector<MinedRule>> MineQgars(const Graph& g,
               return a.confidence > b.confidence;
             });
   if (mined.size() > config.max_rules) mined.resize(config.max_rules);
+  if (engine_stats != nullptr) *engine_stats = engine.stats();
   return mined;
 }
 

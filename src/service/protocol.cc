@@ -247,7 +247,7 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
       if (!algo.has_value()) {
         return Status::InvalidArgument("unknown algo '" + v.as_string() + "'");
       }
-      request.algo = *algo;
+      request.algo = algo;
     } else if (key == "options") {
       QGP_ASSIGN_OR_RETURN(request.options, DecodeOptions(v));
     } else if (key == "share_cache") {
@@ -301,7 +301,7 @@ std::string EncodeRequest(const ServiceRequest& request) {
   if (!request.tag.empty()) out["tag"] = request.tag;
   if (request.op == ServiceRequest::Op::kQuery) {
     out["pattern"] = request.pattern_text;
-    out["algo"] = EngineAlgoName(request.algo);
+    if (request.algo.has_value()) out["algo"] = EngineAlgoName(*request.algo);
     if (!request.share_cache) out["share_cache"] = false;
     JsonValue options = EncodeOptions(request.options);
     if (!options.as_object().empty()) out["options"] = std::move(options);
@@ -390,6 +390,9 @@ JsonValue EngineStatsToJson(const EngineStats& s) {
   out["results_invalidated"] = s.results_invalidated;
   out["repair_hits"] = s.repair_hits;
   out["repair_fallbacks"] = s.repair_fallbacks;
+  out["plans_built"] = s.plans_built;
+  out["plan_hits"] = s.plan_hits;
+  out["plans_invalidated"] = s.plans_invalidated;
   out["match"] = MatchStatsToJson(s.match);
   return JsonValue(std::move(out));
 }
@@ -408,6 +411,8 @@ std::string EncodeQueryResponse(const QueryOutcome& outcome) {
   out["cache_misses"] = outcome.cache_misses;
   out["result_cache_hit"] = outcome.result_cache_hit;
   out["delta_repaired"] = outcome.delta_repaired;
+  out["algo"] = EngineAlgoName(outcome.algo);
+  out["plan_cache_hit"] = outcome.plan_cache_hit;
   out["stats"] = MatchStatsToJson(outcome.stats);
   return JsonValue(std::move(out)).Dump();
 }
@@ -425,6 +430,7 @@ std::string EncodeDeltaResponse(const DeltaOutcome& outcome,
   out["edges_removed"] = uint64_t{outcome.edges_removed};
   out["candidate_sets_evicted"] = uint64_t{outcome.candidate_sets_evicted};
   out["results_invalidated"] = uint64_t{outcome.results_invalidated};
+  out["plans_invalidated"] = uint64_t{outcome.plans_invalidated};
   out["partition_invalidated"] = outcome.partition_invalidated;
   out["wall_ms"] = outcome.wall_ms;
   return JsonValue(std::move(out)).Dump();
@@ -531,6 +537,14 @@ Result<ServiceResponse> DecodeResponse(std::string_view line) {
     if (const JsonValue* repaired = doc.Find("delta_repaired");
         repaired != nullptr && repaired->is_bool()) {
       response.delta_repaired = repaired->as_bool();
+    }
+    if (const JsonValue* algo = doc.Find("algo");
+        algo != nullptr && algo->is_string()) {
+      response.algo = algo->as_string();
+    }
+    if (const JsonValue* plan_hit = doc.Find("plan_cache_hit");
+        plan_hit != nullptr && plan_hit->is_bool()) {
+      response.plan_cache_hit = plan_hit->as_bool();
     }
   } else if (response.op == "delta") {
     QGP_ASSIGN_OR_RETURN(response.graph_version,

@@ -12,6 +12,9 @@
 ///   {"op":"query","pattern":"node xo person\n...","algo":"qmatch",
 ///    "options":{"max_isomorphisms":1000000},"share_cache":true,
 ///    "tag":"req-17"}
+///                                  — "algo" accepts any EngineAlgoName
+///                                    including "auto" (planner picks);
+///                                    omitted = the engine's default
 ///   {"op":"stats"}                 — engine + service telemetry; never
 ///                                    queues behind running queries
 ///   {"op":"delta","add_vertices":["person"],"remove_vertices":[3],
@@ -58,7 +61,10 @@ struct ServiceRequest {
   Op op = Op::kQuery;
   /// PatternParser DSL text (kQuery only).
   std::string pattern_text;
-  EngineAlgo algo = EngineAlgo::kQMatch;
+  /// Matcher selection: any EngineAlgoName, including "auto" (the
+  /// cost-based planner picks). Omitted on the wire = unset here = the
+  /// engine's configured default.
+  std::optional<EngineAlgo> algo;
   MatchOptions options;
   bool share_cache = true;
   /// Mutation batch in string labels (kDelta only); resolved against
@@ -97,6 +103,11 @@ struct ServiceResponse {
   uint64_t cache_misses = 0;
   bool result_cache_hit = false;
   bool delta_repaired = false;
+  /// The matcher that produced the answer (EngineAlgoName string) — the
+  /// planner's choice when the request ran with algo "auto".
+  std::string algo;
+  /// True when an auto query's pattern family hit the plan cache.
+  bool plan_cache_hit = false;
   /// Graph version after a delta op (ok && op == "delta"); the rest of
   /// the DeltaOutcome (net counts, invalidation tallies) is in `body`.
   uint64_t graph_version = 0;

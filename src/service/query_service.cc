@@ -211,27 +211,45 @@ void QueryService::HandleLine(const std::shared_ptr<Session>& session,
       RequestStop();
       return;
     case ServiceRequest::Op::kDelta: {
-      // Applied inline on the reader thread: ApplyDelta blocks behind
-      // the currently running evaluation (engine admission lock), which
-      // stalls only this connection — exactly the backpressure a mutator
-      // should feel. Borrowed engines reject deltas; the error passes
-      // straight through.
-      Result<DeltaOutcome> outcome = engine_->ApplyDelta(request.delta);
-      if (!outcome.ok()) {
-        ++deltas_failed_;
-        Complete(session, seq,
-                 EncodeErrorResponse(request.op, outcome.status(),
-                                     request.tag));
-        return;
+      // Routed through the dispatch queue like a query: ApplyDelta
+      // blocks behind the running evaluation (engine admission lock) on
+      // a dispatch worker, NOT on this reader thread — requests
+      // pipelined behind the delta keep being read, and an unrelated
+      // connection's multi-second delta can never wedge this one's
+      // reader. The delta occupies an admission slot, so mutators feel
+      // the same backpressure queries do. Borrowed engines reject
+      // deltas; the error passes through from the worker.
+      switch (admission_.Enter(session->id)) {
+        case AdmissionController::Admit::kAdmitted:
+          break;
+        case AdmissionController::Admit::kRejected:
+          ++rejected_;
+          Complete(session, seq,
+                   EncodeErrorResponse(
+                       request.op,
+                       Status::Unavailable("per-client in-flight limit "
+                                           "reached; back off and retry"),
+                       request.tag));
+          return;
+        case AdmissionController::Admit::kClosed:
+          Complete(session, seq,
+                   EncodeErrorResponse(
+                       request.op,
+                       Status::Unavailable("service shutting down"),
+                       request.tag));
+          return;
       }
-      ++deltas_ok_;
       {
-        // Re-snapshot the dict: labels the delta interned become usable
-        // in subsequent pattern text on every connection.
-        std::lock_guard<std::mutex> lock(dict_mu_);
-        dict_ = engine_->DictSnapshot();
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        QueuedQuery item;
+        item.session = session;
+        item.seq = seq;
+        item.is_delta = true;
+        item.delta = std::move(request.delta);
+        item.tag = std::move(request.tag);
+        queue_.push_back(std::move(item));
       }
-      Complete(session, seq, EncodeDeltaResponse(*outcome, request.tag));
+      queue_cv_.notify_one();
       return;
     }
     case ServiceRequest::Op::kQuery:
@@ -279,7 +297,9 @@ void QueryService::HandleLine(const std::shared_ptr<Session>& session,
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(QueuedQuery{session, seq, std::move(spec)});
+    queue_.push_back(QueuedQuery{session, seq, std::move(spec),
+                                 /*is_delta=*/false, NamedGraphDelta{},
+                                 /*tag=*/{}});
   }
   queue_cv_.notify_one();
 }
@@ -295,15 +315,33 @@ void QueryService::DispatchLoop() {
       next = std::move(queue_.front());
       queue_.pop_front();
     }
-    Result<QueryOutcome> outcome = engine_->Submit(next.spec);
     std::string line;
-    if (outcome.ok()) {
-      ++queries_ok_;
-      line = EncodeQueryResponse(*outcome);
+    if (next.is_delta) {
+      Result<DeltaOutcome> outcome = engine_->ApplyDelta(next.delta);
+      if (outcome.ok()) {
+        ++deltas_ok_;
+        {
+          // Re-snapshot the dict: labels the delta interned become
+          // usable in subsequent pattern text on every connection.
+          std::lock_guard<std::mutex> lock(dict_mu_);
+          dict_ = engine_->DictSnapshot();
+        }
+        line = EncodeDeltaResponse(*outcome, next.tag);
+      } else {
+        ++deltas_failed_;
+        line = EncodeErrorResponse(ServiceRequest::Op::kDelta,
+                                   outcome.status(), next.tag);
+      }
     } else {
-      ++queries_failed_;
-      line = EncodeErrorResponse(ServiceRequest::Op::kQuery, outcome.status(),
-                                 next.spec.tag);
+      Result<QueryOutcome> outcome = engine_->Submit(next.spec);
+      if (outcome.ok()) {
+        ++queries_ok_;
+        line = EncodeQueryResponse(*outcome);
+      } else {
+        ++queries_failed_;
+        line = EncodeErrorResponse(ServiceRequest::Op::kQuery,
+                                   outcome.status(), next.spec.tag);
+      }
     }
     // Release the slot before writing the response: by the time the
     // client can react to the response, its slot is already free, so a

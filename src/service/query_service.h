@@ -26,15 +26,19 @@
 /// (Responses on ONE connection stay in request order, so pipeline
 /// monitoring on its own connection, not behind a slow query.)
 ///
-/// Mutation: the "delta" op is also handled on the reader thread, but it
-/// BLOCKS there — QueryEngine::ApplyDelta sequences behind the running
-/// evaluation via the engine's admission lock, so the issuing connection
-/// stops reading until the delta lands (natural per-connection ordering:
-/// a request/response client always sees its own delta applied before
-/// its next query). Other connections keep querying; their evaluations
-/// see entirely the pre- or post-delta graph, never a blend. On success
-/// the service re-snapshots the engine's dict so pattern text may use
-/// labels a delta introduced.
+/// Mutation: the "delta" op goes through the SAME admission queue and
+/// dispatch workers as queries, with the same per-connection seq slot in
+/// the reorder buffer — the reader thread never blocks on the engine's
+/// admission lock, so requests pipelined behind a delta keep being read
+/// and dispatched while QueryEngine::ApplyDelta waits out the running
+/// evaluation on a worker. A request/response client still sees its own
+/// delta applied before its next query (the engine sequences both, and
+/// the response cannot arrive before the apply lands); a client that
+/// PIPELINES queries behind a delta on one connection may have them
+/// evaluate against the pre-delta graph — every evaluation still sees
+/// entirely the pre- or post-delta graph, never a blend. On success the
+/// dispatching worker re-snapshots the engine's dict so pattern text may
+/// use labels the delta introduced.
 
 #include <atomic>
 #include <condition_variable>
@@ -128,10 +132,17 @@ class QueryService {
     ~Session();
   };
 
+  /// One admitted unit of work: a query spec or a graph delta. Both
+  /// occupy an admission slot and a seq position in the session's
+  /// response order; dispatch workers tell them apart via is_delta.
   struct QueuedQuery {
     std::shared_ptr<Session> session;
     uint64_t seq = 0;
-    QuerySpec spec;
+    QuerySpec spec;  // meaningful when !is_delta
+    bool is_delta = false;
+    NamedGraphDelta delta;  // meaningful when is_delta
+    /// Request tag for delta responses (queries carry theirs in spec).
+    std::string tag;
   };
 
   void AcceptLoop();

@@ -72,7 +72,7 @@ std::vector<QuerySpec> MakeWorkload(const Graph& g, uint64_t seed) {
 bool RunStandalone(const QuerySpec& spec, const Graph& g, AnswerSet* answers,
                    MatchStats* stats) {
   Result<AnswerSet> r = Status::Ok();
-  switch (spec.algo) {
+  switch (*spec.algo) {
     case EngineAlgo::kQMatch:
       r = QMatch::Evaluate(spec.pattern, g, spec.options, stats);
       break;
@@ -141,7 +141,7 @@ TEST(EngineDifferentialTest, BatchesMatchStandaloneAtAllThreadCounts) {
         const std::string context =
             "seed " + std::to_string(seed) + " threads " +
             std::to_string(threads) + " " + ref.workload[i].tag + " (" +
-            EngineAlgoName(ref.workload[i].algo) + ")";
+            EngineAlgoName(*ref.workload[i].algo) + ")";
         EXPECT_EQ((*outcomes)[i].answers, ref.answers[i]) << context;
         ExpectSameWork((*outcomes)[i].stats, ref.stats[i], context);
         ++compared;

@@ -42,7 +42,7 @@ std::vector<Pattern> MakePatterns(const Graph& g, size_t count,
 TEST(EngineAlgoTest, NamesRoundTrip) {
   for (EngineAlgo algo :
        {EngineAlgo::kQMatch, EngineAlgo::kQMatchn, EngineAlgo::kEnum,
-        EngineAlgo::kPQMatch, EngineAlgo::kPEnum}) {
+        EngineAlgo::kPQMatch, EngineAlgo::kPEnum, EngineAlgo::kAuto}) {
     auto parsed = ParseEngineAlgo(EngineAlgoName(algo));
     ASSERT_TRUE(parsed.has_value()) << EngineAlgoName(algo);
     EXPECT_EQ(*parsed, algo);

@@ -106,6 +106,29 @@ TEST(ProtocolTest, OpDefaultsToQuery) {
   EXPECT_TRUE(decoded->share_cache);  // default
 }
 
+TEST(ProtocolTest, AlgoFieldRoundTripsAutoAndDefaultsToUnset) {
+  // "auto" is a first-class wire name: the planner resolves it
+  // server-side, so it must survive the request codec like any other.
+  ServiceRequest request;
+  request.pattern_text = "node a x\nfocus a\n";
+  request.algo = EngineAlgo::kAuto;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->algo, EngineAlgo::kAuto);
+  EXPECT_EQ(EncodeRequest(*decoded), EncodeRequest(request));
+
+  // An omitted algo decodes to UNSET (engine default), never to some
+  // concrete matcher — and an unset algo is not emitted on the wire.
+  auto bare = DecodeRequest(R"({"pattern":"node a x\nfocus a\n"})");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_FALSE(bare->algo.has_value());
+  EXPECT_EQ(EncodeRequest(*bare).find("algo"), std::string::npos);
+
+  auto spelled = DecodeRequest(R"({"pattern":"p","algo":"auto"})");
+  ASSERT_TRUE(spelled.ok()) << spelled.status().ToString();
+  EXPECT_EQ(spelled->algo, EngineAlgo::kAuto);
+}
+
 TEST(ProtocolTest, RejectsMalformedRequests) {
   const char* bad[] = {
       "not json at all",
@@ -203,6 +226,8 @@ TEST(ProtocolTest, QueryResponseRoundTrips) {
   outcome.cache_hits = 4;
   outcome.cache_misses = 1;
   outcome.result_cache_hit = true;
+  outcome.algo = EngineAlgo::kEnum;
+  outcome.plan_cache_hit = true;
   outcome.stats.search_extensions = 211;
   outcome.stats.isomorphisms_enumerated = 99;
   outcome.stats.balls_built = 7;
@@ -218,6 +243,10 @@ TEST(ProtocolTest, QueryResponseRoundTrips) {
   EXPECT_EQ(decoded->cache_hits, 4u);
   EXPECT_EQ(decoded->cache_misses, 1u);
   EXPECT_TRUE(decoded->result_cache_hit);
+  // The effective matcher and the planner's cache verdict ride along so
+  // clients see what algo = auto resolved to.
+  EXPECT_EQ(decoded->algo, "enum");
+  EXPECT_TRUE(decoded->plan_cache_hit);
   EXPECT_EQ(decoded->stats.search_extensions, 211u);
   EXPECT_EQ(decoded->stats.isomorphisms_enumerated, 99u);
   EXPECT_EQ(decoded->stats.balls_built, 7u);
@@ -233,6 +262,7 @@ TEST(ProtocolTest, DeltaResponseRoundTrips) {
   outcome.edges_removed = 4;
   outcome.candidate_sets_evicted = 6;
   outcome.results_invalidated = 7;
+  outcome.plans_invalidated = 8;
   outcome.partition_invalidated = true;
   outcome.wall_ms = 0.25;
 
@@ -249,6 +279,7 @@ TEST(ProtocolTest, DeltaResponseRoundTrips) {
   EXPECT_EQ(decoded->body.Find("edges_removed")->as_number(), 4);
   EXPECT_EQ(decoded->body.Find("candidate_sets_evicted")->as_number(), 6);
   EXPECT_EQ(decoded->body.Find("results_invalidated")->as_number(), 7);
+  EXPECT_EQ(decoded->body.Find("plans_invalidated")->as_number(), 8);
   EXPECT_TRUE(decoded->body.Find("partition_invalidated")->as_bool());
 
   // A delta response without its version is rejected, not defaulted.
@@ -262,6 +293,9 @@ TEST(ProtocolTest, StatsResponseCarriesDeltaTelemetry) {
   engine.results_invalidated = 9;
   engine.repair_hits = 5;
   engine.repair_fallbacks = 2;
+  engine.plans_built = 11;
+  engine.plan_hits = 6;
+  engine.plans_invalidated = 3;
   ServiceStats service;
   service.deltas_ok = 4;
   service.deltas_failed = 1;
@@ -275,6 +309,9 @@ TEST(ProtocolTest, StatsResponseCarriesDeltaTelemetry) {
   EXPECT_EQ(e->Find("results_invalidated")->as_number(), 9);
   EXPECT_EQ(e->Find("repair_hits")->as_number(), 5);
   EXPECT_EQ(e->Find("repair_fallbacks")->as_number(), 2);
+  EXPECT_EQ(e->Find("plans_built")->as_number(), 11);
+  EXPECT_EQ(e->Find("plan_hits")->as_number(), 6);
+  EXPECT_EQ(e->Find("plans_invalidated")->as_number(), 3);
   const JsonValue* s = decoded->body.Find("service");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->Find("deltas_ok")->as_number(), 4);

@@ -495,6 +495,135 @@ TEST(ServiceLoopbackTest, ShutdownOpIsGatedByOption) {
   }
 }
 
+// The delta-stall regression: a delta pipelined while the engine is
+// busy must NOT block its connection's reader thread. The delta rides
+// the dispatch queue (where ApplyDelta waits for the engine admission
+// lock on a worker), so requests pipelined behind it are still read and
+// processed — provable via the stats_requests counter advancing while
+// the busy batch is mid-flight. With the old inline apply, the reader
+// sat inside ApplyDelta and could read nothing until the engine freed
+// up. Responses still leave in strict request order afterwards.
+TEST(ServiceLoopbackTest, QueuedDeltaKeepsReaderResponsive) {
+  Graph g = MakeGraph(83, /*vertices=*/400);
+  std::vector<ServiceRequest> workload = MakeWorkload(g, 83);
+  std::vector<QuerySpec> specs = AsSpecs(workload, g);
+  std::vector<QuerySpec> busy;
+  for (int r = 0; r < 60; ++r) {
+    busy.insert(busy.end(), specs.begin(), specs.end());
+  }
+
+  // Owning engine: deltas are legal. The wire delta is an empty batch —
+  // a version-bumping no-op, so the concurrent busy batch's queries are
+  // unaffected whenever the apply interleaves.
+  QueryEngine engine(std::move(g), EngineOptions{});
+  ServiceOptions options;
+  options.max_inflight_per_client = 0;
+  QueryService server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> batch_done{false};
+  std::thread batch([&] {
+    auto outcomes = engine.RunBatch(busy);
+    EXPECT_TRUE(outcomes.ok());
+    batch_done.store(true);
+  });
+
+  auto client = ServiceClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  // One pipelined burst: the delta, then two stats probes behind it.
+  ServiceRequest mutation;
+  mutation.op = ServiceRequest::Op::kDelta;
+  mutation.tag = "d-queued";
+  ASSERT_TRUE(client->Send(mutation).ok());
+  ServiceRequest probe;
+  probe.op = ServiceRequest::Op::kStats;
+  ASSERT_TRUE(client->Send(probe).ok());
+  ASSERT_TRUE(client->Send(probe).ok());
+
+  // The reader works through both probes although the delta ahead of
+  // them has not been applied-and-answered yet (its response would
+  // flush first — the probes' counters move long before any response).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().stats_requests < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.stats().stats_requests, 2u)
+      << "reader stalled behind the queued delta";
+  EXPECT_FALSE(batch_done.load())
+      << "batch finished before the probes were read - the busy window is "
+         "too short for this machine; widen the batch";
+
+  // Strict request order on the wire: delta response first, then the
+  // two stats responses.
+  auto applied = client->ReadResponse();
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_TRUE(applied->ok) << applied->error_message;
+  EXPECT_EQ(applied->op, "delta");
+  EXPECT_EQ(applied->tag, "d-queued");
+  for (int i = 0; i < 2; ++i) {
+    auto stats_response = client->ReadResponse();
+    ASSERT_TRUE(stats_response.ok());
+    EXPECT_TRUE(stats_response->ok);
+    EXPECT_EQ(stats_response->op, "stats");
+  }
+  batch.join();
+  EXPECT_EQ(server.stats().deltas_ok, 1u);
+  EXPECT_EQ(server.stats().deltas_failed, 0u);
+  server.Stop();
+}
+
+// algo handling over the wire: "auto" resolves server-side (the
+// response reports the planner's concrete choice and its plan-cache
+// verdict); an unknown algo name is a structured InvalidArgument that
+// leaves the connection usable.
+TEST(ServiceLoopbackTest, AutoAlgoResolvesAndBogusAlgoIsStructured) {
+  Graph g = MakeGraph(89);
+  std::vector<ServiceRequest> workload = MakeWorkload(g, 89);
+  QueryEngine engine(&g, EngineOptions{});
+  QueryService server(&engine, ServiceOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ServiceClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Unknown algo: rejected at decode with a structured error, not a
+  // dropped connection.
+  const std::string node_label = g.dict().Name(g.vertex_label(0));
+  ASSERT_TRUE(client
+                  ->SendLine(R"({"pattern":"node a )" + node_label +
+                             R"(\nfocus a\n","algo":"bogus"})")
+                  .ok());
+  auto rejected = client->ReadResponse();
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_FALSE(rejected->ok);
+  EXPECT_EQ(rejected->error_code, "InvalidArgument");
+  EXPECT_NE(rejected->error_message.find("unknown algo"), std::string::npos)
+      << rejected->error_message;
+
+  // The connection survived: an auto query on it answers, reporting the
+  // resolved matcher (never "auto" back) and a cold plan.
+  ServiceRequest request = workload[0];
+  request.algo = EngineAlgo::kAuto;
+  auto first = client->Call(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->ok) << first->error_message;
+  EXPECT_TRUE(ParseEngineAlgo(first->algo).has_value()) << first->algo;
+  EXPECT_NE(first->algo, "auto");
+  EXPECT_FALSE(first->plan_cache_hit);
+
+  // A repeat of the same family is planned from the cache.
+  auto second = client->Call(request);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->ok);
+  EXPECT_EQ(second->algo, first->algo);
+  EXPECT_TRUE(second->plan_cache_hit);
+  EXPECT_EQ(second->answers, first->answers);
+
+  EXPECT_EQ(server.stats().malformed, 1u);
+  server.Stop();
+}
+
 // Graceful stop answers everything already admitted: a client that
 // pipelined the workload and then sees the server stop still receives
 // every response before the connection closes.

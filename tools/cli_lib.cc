@@ -83,7 +83,7 @@ int Usage(std::ostream& err) {
          "  stats <graph>\n"
          "  convert <graph-in> <graph-out.bin>\n"
          "  match <graph> <pattern-file>... "
-         "[--algo=qmatch|qmatchn|enum|pqmatch|penum]\n"
+         "[--algo=auto|qmatch|qmatchn|enum|pqmatch|penum]\n"
          "        [--stats] [--limit=N] [--threads=N] [--n=4] [--d=2]\n"
          "  generate <social|knowledge|synthetic> <out> [--size=N] "
          "[--seed=N] [--binary]\n"
@@ -194,7 +194,14 @@ int CmdMatch(const Args& args, std::ostream& out, std::ostream& err) {
     }
     if (multi) out << spec.tag << ": ";
     out << "matches: " << outcome->answers.size() << " (in "
-        << outcome->wall_ms / 1000.0 << "s)\n";
+        << outcome->wall_ms / 1000.0 << "s)";
+    if (*algo == EngineAlgo::kAuto) {
+      // Surface the planner's decision: which matcher ran, and whether
+      // its pattern family's plan came from the plan cache.
+      out << " [algo=" << EngineAlgoName(outcome->algo)
+          << (outcome->plan_cache_hit ? ", plan cached" : "") << "]";
+    }
+    out << "\n";
     for (size_t i = 0; i < outcome->answers.size() &&
                        i < static_cast<size_t>(limit < 0 ? 0 : limit);
          ++i) {
@@ -209,7 +216,12 @@ int CmdMatch(const Args& args, std::ostream& out, std::ostream& err) {
     out << "engine: queries=" << es.queries
         << " cache_hits=" << es.cache_hits
         << " cache_misses=" << es.cache_misses << " hit_ratio="
-        << es.HitRatio() << " wall_ms=" << es.wall_ms << "\n";
+        << es.HitRatio() << " wall_ms=" << es.wall_ms;
+    if (*algo == EngineAlgo::kAuto) {
+      out << " plans_built=" << es.plans_built
+          << " plan_hits=" << es.plan_hits;
+    }
+    out << "\n";
   }
   return 0;
 }
