@@ -298,6 +298,49 @@ int main() {
                 sweep_s * 1000.0);
   }
 
+  // --- Cancellation overhead: the same warm batch with a deadline
+  // token armed on every query (a timeout far beyond the runtime, so it
+  // never fires) vs. the unarmed baseline. The poll sites are coarse
+  // (per focus / per fixpoint round) and the armed check is one relaxed
+  // load plus an occasional clock read, so the gate is tight: ≤1%
+  // regression on the min-of-N, measured interleaved so machine drift
+  // hits both sides equally. Answers asserted identical, as always.
+  {
+    std::vector<QuerySpec> armed = workload;
+    for (QuerySpec& spec : armed) spec.timeout_ms = 600'000;  // never fires
+    QueryEngine plain(&g, engine_options);
+    QueryEngine timed(&g, engine_options);
+    if (!plain.RunBatch(workload).ok()) Die("cancel-baseline warmup failed");
+    if (!timed.RunBatch(armed).ok()) Die("cancel-armed warmup failed");
+    constexpr int kReps = 7;
+    double base_min_s = 1e9, armed_min_s = 1e9;
+    std::vector<QueryOutcome> armed_outcomes;
+    for (int rep = 0; rep < kReps; ++rep) {
+      base_min_s = std::min(base_min_s, TimeSeconds([&] {
+        if (!plain.RunBatch(workload).ok()) Die("cancel-baseline rep failed");
+      }));
+      armed_min_s = std::min(armed_min_s, TimeSeconds([&] {
+        auto r = timed.RunBatch(armed);
+        if (!r.ok()) Die("cancel-armed rep failed");
+        armed_outcomes = std::move(r).value();
+      }));
+    }
+    if (Answers(armed_outcomes) != standalone_answers) {
+      Die("deadline-armed answers differ from standalone");
+    }
+    const double overhead =
+        base_min_s > 0 ? armed_min_s / base_min_s - 1.0 : 0.0;
+    reporter.Add("cancel/overhead", armed_min_s * 1000.0,
+                 {{"baseline_ms", base_min_s * 1000.0},
+                  {"reps", kReps},
+                  {"overhead_pct", overhead * 100.0}});
+    std::printf(
+        "cancel overhead      : %8.2f ms armed vs %.2f ms baseline "
+        "(%+.2f%%)\n",
+        armed_min_s * 1000.0, base_min_s * 1000.0, overhead * 100.0);
+    if (overhead > 0.01) Die("armed-but-unset deadline costs more than 1%");
+  }
+
   // --- algo = auto: the cost-based planner routes every query, cold
   // (each family's plan computed once) then warm (plans served from the
   // pattern-family cache). Answers must be identical to the manual

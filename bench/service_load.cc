@@ -185,6 +185,31 @@ int main() {
               pipelined_s * 1000.0,
               pipelined_s > 0 ? pipelined_served / pipelined_s : 0.0);
 
+  // --- Deadline mix: the same closed-loop volume with timeout_ms on
+  // every other request (a generous budget that never fires — the
+  // service still arms a per-request CancelToken chained to the drain
+  // token and threads it through the engine). The row tracks what the
+  // deadline plumbing costs on the request path; none may expire, so
+  // the zero-failure audit below keeps gating this bench.
+  {
+    std::vector<ServiceRequest> mixed = workload.requests;
+    for (size_t i = 0; i < mixed.size(); i += 2) {
+      mixed[i].timeout_ms = 30'000;
+    }
+    size_t mixed_served = 0;
+    double mixed_s = TimeSeconds([&] {
+      for (size_t r = 0; r < reps; ++r) {
+        mixed_served += ServeOnce(*client, mixed);
+      }
+    });
+    reporter.Add("service/deadline_mix/serial", mixed_s * 1000.0,
+                 {{"requests", static_cast<double>(mixed_served)},
+                  {"with_deadline", static_cast<double>((n + 1) / 2)},
+                  {"qps", mixed_s > 0 ? mixed_served / mixed_s : 0.0}});
+    std::printf("deadline mix serial   : %8.2f ms  (%.0f req/s)\n",
+                mixed_s * 1000.0, mixed_s > 0 ? mixed_served / mixed_s : 0.0);
+  }
+
   // --- 4 concurrent closed-loop clients, each on its own connection.
   constexpr size_t kClients = 4;
   std::atomic<size_t> concurrent_served{0};

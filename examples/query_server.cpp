@@ -15,6 +15,12 @@
 //   4. polls the stats op from a second connection while queries run,
 //      and prints the final engine + service telemetry.
 //
+// Robustness: every connection carries connect/read timeouts and every
+// query a generous end-to-end deadline, so a server that dies or wedges
+// mid-session surfaces a clean structured diagnostic here instead of
+// hanging the client forever; queries go through CallWithRetry (they
+// are idempotent), so a transient Unavailable is retried with backoff.
+//
 //   ./examples/query_server [num_users]
 #include <cstdio>
 #include <string>
@@ -59,12 +65,16 @@ std::vector<ServiceRequest> MakeWorkload(Graph& g) {
       ServiceRequest r;
       r.pattern_text = PatternParser::Serialize(a[i], g.dict());
       r.tag = "familyA/" + std::to_string(i);
+      // End-to-end budget (queue wait included): far above any sane
+      // evaluation time, so it only fires if the server wedges.
+      r.timeout_ms = 30000;
       workload.push_back(std::move(r));
     }
     if (i < b.size()) {
       ServiceRequest r;
       r.pattern_text = PatternParser::Serialize(b[i], g.dict());
       r.tag = "familyB/" + std::to_string(i);
+      r.timeout_ms = 30000;
       workload.push_back(std::move(r));
     }
   }
@@ -78,7 +88,11 @@ std::vector<ServiceRequest> MakeWorkload(Graph& g) {
 Status Serve(ServiceClient& client, const std::vector<ServiceRequest>& workload,
              const char* pass, std::vector<AnswerSet>* answers) {
   for (const ServiceRequest& request : workload) {
-    QGP_ASSIGN_OR_RETURN(ServiceResponse response, client.Call(request));
+    // Queries are idempotent: safe to replay on a transient Unavailable
+    // (admission rejection, dropped connection) under the client's
+    // retry policy.
+    QGP_ASSIGN_OR_RETURN(ServiceResponse response,
+                         client.CallWithRetry(request));
     if (!response.ok) {
       return Status::Internal(request.tag + ": server error " +
                               response.error_code + ": " +
@@ -144,9 +158,19 @@ Status Run(size_t num_users) {
   QGP_RETURN_IF_ERROR(server.Start());
   std::printf("service: 127.0.0.1:%d\n\n", server.port());
 
+  // Connection-level bounds: a dead server fails the connect within
+  // 5 s, and a server that stops responding mid-session fails the
+  // pending read with kDeadlineExceeded after 30 s — either way the
+  // example exits with a diagnostic instead of hanging.
+  service::ClientOptions client_options;
+  client_options.connect_timeout_ms = 5000;
+  client_options.read_timeout_ms = 30000;
+  client_options.retry.max_attempts = 3;
+
   {
     QGP_ASSIGN_OR_RETURN(ServiceClient client,
-                         ServiceClient::Connect(server.port()));
+                         ServiceClient::Connect(server.port(), "127.0.0.1",
+                                                client_options));
     // Cold pass: every label/degree filter is computed for the first
     // time. Warm pass: the same requests again — a server's steady
     // state, answered from the result cache; answers must be identical.
@@ -165,7 +189,8 @@ Status Run(size_t num_users) {
     // Telemetry from a second connection — the stats op never queues
     // behind query traffic, so a monitor sees fresh numbers on demand.
     QGP_ASSIGN_OR_RETURN(ServiceClient monitor,
-                         ServiceClient::Connect(server.port()));
+                         ServiceClient::Connect(server.port(), "127.0.0.1",
+                                                client_options));
     ServiceRequest stats_request;
     stats_request.op = ServiceRequest::Op::kStats;
     QGP_ASSIGN_OR_RETURN(ServiceResponse stats, monitor.Call(stats_request));

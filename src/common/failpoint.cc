@@ -1,0 +1,186 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace qgp::failpoint {
+
+namespace {
+
+struct Registered {
+  Action action;
+  uint64_t hits = 0;
+  bool tripped = false;  // a `once` action that already fired
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Registered> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+/// Armed-failpoint count, mirrored outside the mutex so the unarmed
+/// fast path is one relaxed load. Counts armed entries, including
+/// tripped `once` entries until they are disarmed — slightly
+/// conservative (the slow path stays on while a tripped point lingers),
+/// never unsafe.
+std::atomic<uint64_t> g_armed{0};
+
+std::optional<StatusCode> ParseCode(std::string_view name) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+    const auto code = static_cast<StatusCode>(c);
+    if (name == StatusCodeName(code)) return code;
+  }
+  return std::nullopt;
+}
+
+/// One env entry: "name=action" where action is
+/// "[once:]delay:<ms>" or "[once:]error:<Code>[:<message>]".
+bool ParseEntry(std::string_view entry) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  const std::string name(entry.substr(0, eq));
+  std::string_view spec = entry.substr(eq + 1);
+  Action action;
+  if (spec.rfind("once:", 0) == 0) {
+    action.once = true;
+    spec.remove_prefix(5);
+  }
+  if (spec.rfind("delay:", 0) == 0) {
+    spec.remove_prefix(6);
+    int64_t ms = 0;
+    if (!ParseInt64(spec, &ms) || ms < 0) return false;
+    action.kind = Action::Kind::kDelayMs;
+    action.delay_ms = ms;
+  } else if (spec.rfind("error:", 0) == 0) {
+    spec.remove_prefix(6);
+    const size_t colon = spec.find(':');
+    const std::string_view code_name =
+        colon == std::string_view::npos ? spec : spec.substr(0, colon);
+    std::optional<StatusCode> code = ParseCode(code_name);
+    if (!code.has_value() || *code == StatusCode::kOk) return false;
+    action.kind = Action::Kind::kError;
+    action.code = *code;
+    action.message = colon == std::string_view::npos
+                         ? "failpoint '" + name + "'"
+                         : std::string(spec.substr(colon + 1));
+  } else {
+    return false;
+  }
+  Arm(name, std::move(action));
+  return true;
+}
+
+}  // namespace
+
+void Arm(std::string_view name, Action action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.points.try_emplace(std::string(name));
+  it->second.action = std::move(action);
+  it->second.tripped = false;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.points.erase(std::string(name)) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed.fetch_sub(registry.points.size(), std::memory_order_relaxed);
+  registry.points.clear();
+}
+
+size_t ArmFromEnv() {
+  const char* env = std::getenv("QGP_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return 0;
+  size_t armed = 0;
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    const size_t semi = spec.find(';');
+    const std::string_view entry =
+        semi == std::string_view::npos ? spec : spec.substr(0, semi);
+    if (!entry.empty() && ParseEntry(entry)) ++armed;
+    if (semi == std::string_view::npos) break;
+    spec.remove_prefix(semi + 1);
+  }
+  return armed;
+}
+
+uint64_t ArmedCount() { return g_armed.load(std::memory_order_relaxed); }
+
+Status Hit(std::string_view name) {
+  Action action;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(std::string(name));
+    if (it == registry.points.end() || it->second.tripped) {
+      return Status::Ok();
+    }
+    ++it->second.hits;
+    if (it->second.action.once) it->second.tripped = true;
+    action = it->second.action;
+  }
+  // Act outside the lock: a delay must not serialize unrelated seams.
+  switch (action.kind) {
+    case Action::Kind::kDelayMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+      return Status::Ok();
+    case Action::Kind::kError:
+      switch (action.code) {
+        case StatusCode::kInvalidArgument:
+          return Status::InvalidArgument(action.message);
+        case StatusCode::kNotFound:
+          return Status::NotFound(action.message);
+        case StatusCode::kAlreadyExists:
+          return Status::AlreadyExists(action.message);
+        case StatusCode::kOutOfRange:
+          return Status::OutOfRange(action.message);
+        case StatusCode::kUnimplemented:
+          return Status::Unimplemented(action.message);
+        case StatusCode::kIoError:
+          return Status::IoError(action.message);
+        case StatusCode::kCorruption:
+          return Status::Corruption(action.message);
+        case StatusCode::kUnavailable:
+          return Status::Unavailable(action.message);
+        case StatusCode::kDeadlineExceeded:
+          return Status::DeadlineExceeded(action.message);
+        case StatusCode::kCancelled:
+          return Status::Cancelled(action.message);
+        case StatusCode::kOk:
+        case StatusCode::kInternal:
+          return Status::Internal(action.message);
+      }
+      return Status::Internal(action.message);
+  }
+  return Status::Ok();
+}
+
+uint64_t HitCount(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(std::string(name));
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace qgp::failpoint

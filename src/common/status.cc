@@ -24,6 +24,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -21,6 +21,14 @@ enum class StatusCode {
   /// Transient overload: the caller should back off and retry (used by
   /// the network query service's admission control).
   kUnavailable = 9,
+  /// The operation's deadline passed before it completed. The work was
+  /// abandoned cleanly (cooperative cancellation; no partial state
+  /// escapes into caches) — retrying with a larger budget is safe.
+  kDeadlineExceeded = 10,
+  /// The operation was cancelled by its caller (explicit CancelToken
+  /// cancel, e.g. service drain). Same clean-unwind guarantees as
+  /// kDeadlineExceeded.
+  kCancelled = 11,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -71,6 +79,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.

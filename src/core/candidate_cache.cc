@@ -87,11 +87,13 @@ CandidateSetRef CandidateCache::Get(Label node_label,
       ComputeLabelDegreeSet(*g_, key.node_label, key.out_labels,
                             key.in_labels);
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = pool_.emplace(std::move(key), Entry{set, version});
+  auto [it, inserted] =
+      pool_.emplace(std::move(key), Entry{set, version, 0});
   if (inserted) {
+    it->second.epoch = ++epoch_counter_;
     ++stats_.misses;
   } else if (it->second.version != version) {
-    it->second = Entry{std::move(set), version};
+    it->second = Entry{std::move(set), version, ++epoch_counter_};
     ++stats_.misses;
   } else {
     ++stats_.hits;
@@ -119,6 +121,25 @@ size_t CandidateCache::EvictStale() {
   size_t evicted = 0;
   for (auto it = pool_.begin(); it != pool_.end();) {
     if (it->second.version != version) {
+      it = pool_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+uint64_t CandidateCache::MarkEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_counter_;
+}
+
+size_t CandidateCache::EvictInsertedSince(uint64_t mark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->second.epoch > mark && it->second.set.use_count() == 1) {
       it = pool_.erase(it);
       ++evicted;
     } else {

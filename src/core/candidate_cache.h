@@ -94,6 +94,18 @@ class CandidateCache {
   /// semantics) but leave the pool, so no future Get() can observe them.
   size_t EvictStale();
 
+  /// Admission epoch, for cancellation rollback: every insert (and stale
+  /// replace) bumps an internal counter and stamps the entry with it.
+  /// MarkEpoch() reads the counter; EvictInsertedSince(mark) drops the
+  /// entries admitted after that mark that no caller references anymore
+  /// (use_count == 1 — under the engine's one-at-a-time admission, that
+  /// is every set a cancelled evaluation interned, since its scratch
+  /// state was destroyed on unwind). The QueryEngine brackets deadline-
+  /// carrying queries with this pair so a timed-out run admits nothing
+  /// (the no-cache-poisoning invariant; ARCHITECTURE.md "Robustness").
+  uint64_t MarkEpoch() const;
+  size_t EvictInsertedSince(uint64_t mark);
+
   /// Number of interned entries.
   size_t size() const;
 
@@ -122,12 +134,14 @@ class CandidateCache {
   struct Entry {
     CandidateSetRef set;
     uint64_t version = 0;  ///< graph version() the set was computed against
+    uint64_t epoch = 0;    ///< admission order (MarkEpoch/EvictInsertedSince)
   };
 
   const Graph* g_;
   mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> pool_;
   Stats stats_;
+  uint64_t epoch_counter_ = 0;  // guarded by mu_
 };
 
 }  // namespace qgp

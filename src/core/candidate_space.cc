@@ -191,6 +191,7 @@ Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
     return Status::InvalidArgument(
         "candidate space requires a positive pattern (apply Pi() first)");
   }
+  QGP_CHECK_CANCEL(options.cancel);
   CandidateSpace cs;
   const size_t nq = pattern.num_nodes();
   cs.stratified_.resize(nq);
@@ -222,7 +223,11 @@ Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
     // The rounds themselves parallelize (see DualSimulation) and stay
     // bit-identical at any thread count.
     std::vector<std::vector<VertexId>> sim =
-        DualSimulation(pattern, g, pool, cache != nullptr ? &seeds : nullptr);
+        DualSimulation(pattern, g, pool, cache != nullptr ? &seeds : nullptr,
+                       options.cancel);
+    // A fired token means the fixpoint broke early and `sim` holds
+    // partial supersets — discard them before they can reach a caller.
+    QGP_CHECK_CANCEL(options.cancel);
     // Bitset construction per node is independent work.
     ForRange(pool, nq, 1, [&](size_t begin, size_t end) {
       for (size_t u = begin; u < end; ++u) {
@@ -251,6 +256,7 @@ Result<CandidateSpace> CandidateSpace::Build(const Pattern& pattern,
     }
   }
 
+  QGP_CHECK_CANCEL(options.cancel);
   // Stats are a sequential reduction so their totals never depend on a
   // schedule.
   AccumulateInitialStats(pattern, g, cs.stratified_, stats);
@@ -271,6 +277,7 @@ Result<CandidateSpace> CandidateSpace::Repair(
     return Status::InvalidArgument(
         "repair requires the pattern the previous space was built for");
   }
+  QGP_CHECK_CANCEL(options.cancel);
   const size_t nq = pattern.num_nodes();
   const size_t n = g.num_vertices();
 
@@ -388,7 +395,8 @@ Result<CandidateSpace> CandidateSpace::Repair(
       }
     });
     std::vector<std::vector<VertexId>> sim =
-        DualSimulation(pattern, g, pool, &seeds);
+        DualSimulation(pattern, g, pool, &seeds, options.cancel);
+    QGP_CHECK_CANCEL(options.cancel);  // early-broken sim is partial
     ForRange(pool, nq, 1, [&](size_t begin, size_t end) {
       for (size_t u = begin; u < end; ++u) {
         cs.stratified_[u] = MakeCandidateSet(std::move(sim[u]), n);
@@ -432,6 +440,7 @@ Result<CandidateSpace> CandidateSpace::Repair(
     }
   }
 
+  QGP_CHECK_CANCEL(options.cancel);
   AccumulateInitialStats(pattern, g, cs.stratified_, stats);
   cs.good_ = BuildGoodSets(pattern, g, options, cs.stratified_, stats, pool);
 

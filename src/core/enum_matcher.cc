@@ -52,7 +52,11 @@ Result<AnswerSet> EnumMatcher::EvaluatePositive(
   // across Enumerate calls.
   std::vector<std::vector<VertexId>> embeddings;
   GenericMatcher matcher(stratified, g, candidate_sets);
+  size_t polled = 0;
   for (VertexId vx : focus_list) {
+    // Every 16th focus (armed deadlines read the clock; cheap foci must
+    // not pay that per iteration). Overshoot bound: 16 foci.
+    if ((polled++ & 15) == 0) QGP_CHECK_CANCEL(options.cancel);
     if (stats != nullptr) ++stats->focus_candidates_checked;
     embeddings.clear();
     std::pair<PatternNodeId, VertexId> pin{xo, vx};
@@ -118,6 +122,7 @@ Result<AnswerSet> EnumMatcher::Evaluate(const Pattern& pattern,
       AnswerSet answers,
       EvaluatePositive(pi.value().first, g, options, stats, {}, cache));
   for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
+    QGP_CHECK_CANCEL(options.cancel);
     QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
     auto pi_pos = positified.Pi();
     if (!pi_pos.ok()) return pi_pos.status();

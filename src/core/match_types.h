@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "graph/types.h"
 
 namespace qgp {
@@ -47,6 +48,14 @@ struct MatchOptions {
   /// forced-steal stress tests pin this to 1 so every focus is its own
   /// stealable task; answers never depend on it.
   size_t scheduler_grain = 0;
+  /// Cooperative cancellation (common/cancellation.h). When set, the
+  /// matchers and CandidateSpace::Build/Repair poll it at coarse
+  /// granularity — per focus, per fixpoint round, per fragment — and
+  /// unwind with kDeadlineExceeded/kCancelled, leaving caches and
+  /// scratch state intact. Never part of any cache key (like
+  /// scheduler_grain, it cannot change an answer). The token must
+  /// outlive the evaluation. nullptr = never cancelled (no overhead).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Instrumentation counters. Verification work (the paper's cost measure

@@ -15,18 +15,22 @@ constexpr uint64_t kDefaultIsoCap = 5'000'000;
 // against already-assigned neighbors.
 class Enumerator {
  public:
-  Enumerator(const Pattern& q, const Graph& g, uint64_t cap)
-      : q_(q), g_(g), cap_(cap) {
+  Enumerator(const Pattern& q, const Graph& g, uint64_t cap,
+             const CancelToken* cancel)
+      : q_(q), g_(g), cap_(cap), cancel_(cancel) {
     order_ = BfsOrder();
     assignment_.assign(q_.num_nodes(), kInvalidVertex);
     used_.assign(g_.num_vertices(), 0);
   }
 
-  // Runs the enumeration; returns false if the cap was exceeded.
+  // Runs the enumeration; returns false if the cap was exceeded or the
+  // cancel token fired (cancelled() tells the two apart).
   bool Run() {
     Extend(0);
-    return !overflow_;
+    return !overflow_ && !cancelled_;
   }
+
+  bool cancelled() const { return cancelled_; }
 
   // All complete isomorphisms found (pattern node -> graph vertex).
   const std::vector<std::vector<VertexId>>& isomorphisms() const {
@@ -83,7 +87,15 @@ class Enumerator {
   }
 
   void Extend(size_t depth) {
-    if (overflow_) return;
+    if (overflow_ || cancelled_) return;
+    // Cancellation point every ~1024 extension calls: the recursion has
+    // no natural per-focus boundary, so a call counter keeps the poll
+    // off the hot path while bounding the overshoot.
+    if (cancel_ != nullptr && (++extend_calls_ & 1023) == 0 &&
+        cancel_->ShouldStop()) {
+      cancelled_ = true;
+      return;
+    }
     if (depth == order_.size()) {
       isos_.push_back(assignment_);
       if (isos_.size() > cap_) overflow_ = true;
@@ -98,25 +110,29 @@ class Enumerator {
       Extend(depth + 1);
       used_[v] = 0;
       assignment_[u] = kInvalidVertex;
-      if (overflow_) return;
+      if (overflow_ || cancelled_) return;
     }
   }
 
   const Pattern& q_;
   const Graph& g_;
   uint64_t cap_;
+  const CancelToken* cancel_;
+  uint64_t extend_calls_ = 0;
   std::vector<PatternNodeId> order_;
   std::vector<VertexId> assignment_;
   std::vector<char> used_;
   std::vector<std::vector<VertexId>> isos_;
   bool overflow_ = false;
+  bool cancelled_ = false;
 };
 
 }  // namespace
 
 Result<AnswerSet> NaiveMatcher::EvaluatePositive(const Pattern& pattern,
                                                  const Graph& g,
-                                                 uint64_t max_isomorphisms) {
+                                                 uint64_t max_isomorphisms,
+                                                 const CancelToken* cancel) {
   if (!pattern.IsPositive()) {
     return Status::InvalidArgument(
         "EvaluatePositive requires a positive pattern");
@@ -124,8 +140,10 @@ Result<AnswerSet> NaiveMatcher::EvaluatePositive(const Pattern& pattern,
   Pattern stratified = pattern.Stratified();
   Enumerator enumerator(stratified, g,
                         max_isomorphisms == 0 ? kDefaultIsoCap
-                                              : max_isomorphisms);
+                                              : max_isomorphisms,
+                        cancel);
   if (!enumerator.Run()) {
+    if (enumerator.cancelled()) return cancel->ToStatus();
     return Status::Internal("naive matcher exceeded the isomorphism cap");
   }
 
@@ -168,14 +186,17 @@ Result<AnswerSet> NaiveMatcher::Evaluate(const Pattern& pattern,
   if (!pi_result.ok()) return pi_result.status();
   const Pattern& pi = pi_result.value().first;
 
-  QGP_ASSIGN_OR_RETURN(AnswerSet answers, EvaluatePositive(pi, g, cap));
+  QGP_ASSIGN_OR_RETURN(AnswerSet answers,
+                       EvaluatePositive(pi, g, cap, options.cancel));
 
   for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
+    QGP_CHECK_CANCEL(options.cancel);
     QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
     auto pi_pos = positified.Pi();
     if (!pi_pos.ok()) return pi_pos.status();
-    QGP_ASSIGN_OR_RETURN(AnswerSet negative,
-                         EvaluatePositive(pi_pos.value().first, g, cap));
+    QGP_ASSIGN_OR_RETURN(
+        AnswerSet negative,
+        EvaluatePositive(pi_pos.value().first, g, cap, options.cancel));
     answers = SetDifference(answers, negative);
   }
   return answers;

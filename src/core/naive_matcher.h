@@ -25,9 +25,12 @@ class NaiveMatcher {
 
   /// Positive-pattern evaluation used internally and by tests that want
   /// to probe Π(Q) / Π(Q⁺ᵉ) pieces directly. `pattern` must be positive.
+  /// `cancel` (optional) is polled every ~1024 search extensions; a
+  /// fired token unwinds with its status.
   static Result<AnswerSet> EvaluatePositive(const Pattern& pattern,
                                             const Graph& g,
-                                            uint64_t max_isomorphisms);
+                                            uint64_t max_isomorphisms,
+                                            const CancelToken* cancel = nullptr);
 };
 
 }  // namespace qgp

@@ -24,9 +24,22 @@ AnswerSet VerifyAcross(const PositiveEvaluator& ev,
                        const std::unordered_map<VertexId, FocusCache>* warm,
                        std::unordered_map<VertexId, FocusCache>* caches,
                        MatchStats* stats, ThreadPool* pool) {
+  // Cancellation: polled per focus (serial) / per stealable chunk
+  // (parallel). A fired token makes the remaining foci report
+  // "no match" — the partial answer set never escapes, because every
+  // caller re-checks the token right after VerifyAcross returns and
+  // unwinds with its status instead.
+  const CancelToken* cancel = ev.options().cancel;
   AnswerSet answers;
   if (pool == nullptr || subset.size() <= 1) {
+    size_t polled = 0;
     for (VertexId vx : subset) {
+      // Every 16th focus: ShouldStop reads the clock when a deadline is
+      // armed, and a per-focus read is measurable on cheap foci. The
+      // local stride bounds both the cost and the overshoot (≤16 foci).
+      if (cancel != nullptr && (polled++ & 15) == 0 && cancel->ShouldStop()) {
+        break;
+      }
       const FocusCache* w = nullptr;
       if (warm != nullptr) {
         auto it = warm->find(vx);
@@ -67,6 +80,15 @@ AnswerSet VerifyAcross(const PositiveEvaluator& ev,
   if (stats != nullptr) before = pool->scheduler_stats();
   pool->ParallelForDynamic(n, grain, [&](size_t begin, size_t end) {
     for (size_t pos = begin; pos < end; ++pos) {
+      // Inside the chunk, not only at its entry: on a small pool a
+      // single chunk can be most of the subset, and a fired deadline
+      // must not wait it out. The 16-focus stride keeps the armed-
+      // deadline clock read off cheap foci; skipped slots stay "no
+      // match", and the truncated answer set never escapes (callers
+      // re-check the token right after the map).
+      if (cancel != nullptr && (pos & 15) == 0 && cancel->ShouldStop()) {
+        return;
+      }
       const size_t i = order[pos];
       const FocusCache* w = nullptr;
       if (warm != nullptr) {
@@ -137,8 +159,10 @@ Result<AnswerSet> EvaluateImpl(const Pattern& pattern, const Graph& g,
   AnswerSet answers = VerifyAcross(ev0, subset, nullptr,
                                    want_caches ? &caches : nullptr, stats,
                                    pool);
+  QGP_CHECK_CANCEL(options.cancel);  // a fired token truncated `answers`
 
   for (PatternEdgeId e : negated) {
+    QGP_CHECK_CANCEL(options.cancel);
     if (answers.empty()) break;  // nothing left to subtract from
     QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
     auto pi_pos = positified.Pi();
@@ -159,6 +183,7 @@ Result<AnswerSet> EvaluateImpl(const Pattern& pattern, const Graph& g,
       negative = VerifyAcross(ev_e, ev_e.FocusCandidates(), nullptr, nullptr,
                               stats, pool);
     }
+    QGP_CHECK_CANCEL(options.cancel);  // `negative` may be truncated
     answers = SetDifference(answers, negative);
   }
   return answers;
@@ -262,8 +287,10 @@ Result<AnswerSet> QMatch::EvaluateRepaired(
     if (stats != nullptr) {
       stats->inc_candidates_checked += ev.FocusCandidates().size();
     }
-    return VerifyAcross(ev, ev.FocusCandidates(), nullptr, nullptr, stats,
-                        pool);
+    AnswerSet all = VerifyAcross(ev, ev.FocusCandidates(), nullptr, nullptr,
+                                 stats, pool);
+    QGP_CHECK_CANCEL(options.cancel);  // a fired token truncated `all`
+    return all;
   }
 
   std::vector<VertexId> subset;
@@ -272,6 +299,7 @@ Result<AnswerSet> QMatch::EvaluateRepaired(
   }
   if (stats != nullptr) stats->inc_candidates_checked += subset.size();
   AnswerSet verified = VerifyAcross(ev, subset, nullptr, nullptr, stats, pool);
+  QGP_CHECK_CANCEL(options.cancel);  // a fired token truncated `verified`
   AnswerSet answers;
   answers.reserve(previous_answers.size() + verified.size());
   for (VertexId v : previous_answers) {

@@ -16,7 +16,7 @@ constexpr size_t kSimGrain = 256;
 
 std::vector<std::vector<VertexId>> DualSimulation(
     const Pattern& pattern, const Graph& g, ThreadPool* pool,
-    const std::vector<CandidateSetRef>* seeds) {
+    const std::vector<CandidateSetRef>* seeds, const CancelToken* cancel) {
   const size_t nq = pattern.num_nodes();
   // Membership bitmaps per pattern node. A seeded node starts from its
   // (tighter) interned label/degree set instead of the label scan; both
@@ -74,6 +74,11 @@ std::vector<std::vector<VertexId>> DualSimulation(
   std::vector<std::vector<char>> keep(nq);
   bool changed = true;
   while (changed) {
+    // Cancellation point, once per round: an early break leaves every
+    // set a superset of the fixpoint (rounds only remove), which the
+    // Status-returning callers discard after checking the token — the
+    // partial sets never escape into caches or answers.
+    if (cancel != nullptr && cancel->ShouldStop()) break;
     changed = false;
     for (PatternNodeId u = 0; u < nq; ++u) {
       std::vector<VertexId>& members = sim[u];

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/candidate_cache.h"
@@ -43,9 +44,17 @@ namespace qgp {
 /// fixpoint" round by round, so iterating down from a seeded start
 /// converges to the SAME unique greatest fixpoint — seeding changes how
 /// fast the rounds shrink, never the result.
+///
+/// `cancel` (optional) is polled once per refinement round; when it
+/// fires the fixpoint stops early and the (partial, superset-of-
+/// fixpoint) sets are returned as-is. Callers that pass a token MUST
+/// re-check it after the call and discard the sets when it fired —
+/// CandidateSpace::Build/Repair do exactly that, converting the early
+/// break into a kDeadlineExceeded/kCancelled status.
 std::vector<std::vector<VertexId>> DualSimulation(
     const Pattern& pattern, const Graph& g, ThreadPool* pool = nullptr,
-    const std::vector<CandidateSetRef>* seeds = nullptr);
+    const std::vector<CandidateSetRef>* seeds = nullptr,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace qgp
 

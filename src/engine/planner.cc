@@ -154,4 +154,12 @@ size_t Planner::EvictStale(uint64_t current_version) {
   return evicted;
 }
 
+bool Planner::Forget(const Pattern& q) {
+  auto it = plans_.find(FamilyKey(q));
+  if (it == plans_.end()) return false;
+  lru_.erase(it->second.lru);
+  plans_.erase(it);
+  return true;
+}
+
 }  // namespace qgp

@@ -104,6 +104,14 @@ class Planner {
   /// `current_version`; returns how many. Called by ApplyDelta.
   size_t EvictStale(uint64_t current_version);
 
+  /// Drops the cached plan for `q`'s family, if any; true when an entry
+  /// was erased. The engine calls this when a cancelled or timed-out
+  /// query had just built its plan — the plan itself would still be
+  /// valid, but the no-cache-poisoning invariant says a cancelled run
+  /// admits nothing, so the next query of the family re-plans (and
+  /// reports plan_cache_hit = false, which the tests observe).
+  bool Forget(const Pattern& q);
+
   /// Cached families.
   size_t size() const { return plans_.size(); }
 

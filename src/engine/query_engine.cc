@@ -1,9 +1,11 @@
 #include "engine/query_engine.h"
 
+#include <chrono>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "core/enum_matcher.h"
 #include "core/qmatch.h"
@@ -109,13 +111,15 @@ QueryEngine::QueryEngine(const Graph* graph, const EngineOptions& options)
 }
 
 Result<QueryOutcome> QueryEngine::Submit(const QuerySpec& spec) {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  QGP_FAILPOINT("engine.submit");
+  std::lock_guard<std::timed_mutex> lock(admission_mu_);
   return SubmitAdmitted(spec);
 }
 
 Result<std::vector<QueryOutcome>> QueryEngine::RunBatch(
     std::span<const QuerySpec> specs) {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  QGP_FAILPOINT("engine.submit");
+  std::lock_guard<std::timed_mutex> lock(admission_mu_);
   std::vector<QueryOutcome> outcomes;
   outcomes.reserve(specs.size());
   for (const QuerySpec& spec : specs) {
@@ -129,6 +133,25 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   QueryOutcome outcome;
   outcome.tag = spec.tag;
   const uint64_t current_version = graph_->version();
+  // Deadline enforcement: arm a token over the evaluation, chained to
+  // any caller-provided one (whichever fires first wins). The clock
+  // starts here — at admission — so timeout_ms budgets the evaluation
+  // itself, not the admission queue (see QuerySpec::timeout_ms).
+  std::optional<CancelToken> deadline_token;
+  if (spec.timeout_ms > 0) {
+    deadline_token.emplace(
+        CancelToken::Clock::now() +
+            std::chrono::milliseconds(spec.timeout_ms),
+        spec.options.cancel);
+  }
+  const CancelToken* cancel_armed =
+      deadline_token.has_value() ? &*deadline_token : spec.options.cancel;
+  // No-cache-poisoning bracket: remember the candidate-cache admission
+  // epoch before any of this run's work (the planner's cardinality probe
+  // included) so a cancelled unwind can roll its insertions back.
+  const uint64_t cache_mark = (cancel_armed != nullptr && spec.share_cache)
+                                  ? cache_.MarkEpoch()
+                                  : 0;
   // Resolve the matcher FIRST: everything downstream — result-cache key,
   // repair key, dispatch — speaks the effective algorithm and options,
   // never the submitted spec. An unset spec algo falls back to the
@@ -157,6 +180,10 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
     }
   }
   outcome.algo = effective;
+  // The deadline token rides the effective options into every matcher
+  // and cache build; a caller-provided token was already there (and is
+  // now this token's parent).
+  if (deadline_token.has_value()) effective_options.cancel = &*deadline_token;
   // Result-cache probe: a repeat of an answered query is served from
   // memory, replaying the original answers and work counters. Queries
   // that bypass the shared state (share_cache = false) neither probe
@@ -301,11 +328,26 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   outcome.cache_hits = cache_after.hits - cache_before.hits;
   outcome.cache_misses = cache_after.misses - cache_before.misses;
   if (!answers.ok()) {
+    const StatusCode code = answers.status().code();
+    if (code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kCancelled) {
+      // No cache poisoning: a cancelled run admits nothing. Candidate
+      // sets it interned are rolled back (they are complete by value,
+      // but the invariant is "zero entries admitted by a timed-out
+      // run", which makes cancellation perturbation-free and testable);
+      // a plan it freshly built is forgotten so the family re-plans.
+      // The result cache and repair store only ever store on success,
+      // so they need no rollback.
+      if (spec.share_cache) cache_.EvictInsertedSince(cache_mark);
+      if (requested == EngineAlgo::kAuto && !outcome.plan_cache_hit) {
+        planner_.Forget(spec.pattern);
+      }
+    }
     // Failures are load too: their wall time and cache traffic feed the
     // cumulative stats, and the pressure valve below still runs — an
     // error-heavy workload must neither under-report itself nor grow
     // the candidate cache past its bound.
-    AccountAndShedPressure(outcome, /*failed=*/true);
+    AccountAndShedPressure(outcome, /*failed=*/true, code);
     return answers.status();
   }
   outcome.answers = std::move(answers).value();
@@ -341,12 +383,12 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
 }
 
 Result<DeltaOutcome> QueryEngine::ApplyDelta(const GraphDelta& delta) {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  QGP_ASSIGN_OR_RETURN(std::unique_lock<std::timed_mutex> lock, AdmitDelta());
   return ApplyDeltaAdmitted(delta);
 }
 
 Result<DeltaOutcome> QueryEngine::ApplyDelta(const NamedGraphDelta& delta) {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  QGP_ASSIGN_OR_RETURN(std::unique_lock<std::timed_mutex> lock, AdmitDelta());
   if (owned_graph_ == nullptr) {
     return Status::InvalidArgument(
         "ApplyDelta requires an owning engine (this engine borrows its "
@@ -356,7 +398,28 @@ Result<DeltaOutcome> QueryEngine::ApplyDelta(const NamedGraphDelta& delta) {
       ResolveDelta(delta, &owned_graph_->mutable_dict()));
 }
 
+Result<std::unique_lock<std::timed_mutex>> QueryEngine::AdmitDelta() {
+  std::unique_lock<std::timed_mutex> lock(admission_mu_, std::defer_lock);
+  if (!draining_.load(std::memory_order_acquire)) {
+    // Normal operation: block exactly as before — every query sees
+    // entirely the pre- or post-delta graph.
+    lock.lock();
+    return lock;
+  }
+  // Draining: the in-flight query is about to be cancelled, but a delta
+  // must not park forever behind it (a delta is non-cancellable once
+  // admitted). Bounded wait, then tell the caller to retry later.
+  const auto wait = std::chrono::milliseconds(
+      options_.delta_drain_wait_ms > 0 ? options_.delta_drain_wait_ms : 0);
+  if (!lock.try_lock_for(wait)) {
+    return Status::Unavailable(
+        "engine is draining; delta admission timed out");
+  }
+  return lock;
+}
+
 Result<DeltaOutcome> QueryEngine::ApplyDeltaAdmitted(const GraphDelta& delta) {
+  QGP_FAILPOINT("engine.apply_delta");
   if (owned_graph_ == nullptr) {
     return Status::InvalidArgument(
         "ApplyDelta requires an owning engine (this engine borrows its "
@@ -445,16 +508,22 @@ std::optional<GraphDeltaSummary> QueryEngine::ComposeDeltasSince(
 }
 
 LabelDict QueryEngine::DictSnapshot() const {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  std::lock_guard<std::timed_mutex> lock(admission_mu_);
   return graph_->dict();
 }
 
 void QueryEngine::AccountAndShedPressure(const QueryOutcome& outcome,
-                                         bool failed) {
+                                         bool failed,
+                                         StatusCode failure_code) {
   {
     std::lock_guard<std::mutex> telemetry_lock(telemetry_mu_);
     if (failed) {
       ++stats_.failed;
+      if (failure_code == StatusCode::kDeadlineExceeded) {
+        ++stats_.timeouts;
+      } else if (failure_code == StatusCode::kCancelled) {
+        ++stats_.cancellations;
+      }
     } else {
       ++stats_.queries;
       stats_.match.Add(outcome.stats);
@@ -495,7 +564,7 @@ size_t QueryEngine::EvictUnused() {
 }
 
 Result<const Partition*> QueryEngine::partition() {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  std::lock_guard<std::timed_mutex> lock(admission_mu_);
   return PartitionAdmitted();
 }
 

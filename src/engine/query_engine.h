@@ -71,6 +71,19 @@ struct QuerySpec {
   std::optional<EngineAlgo> algo;
   /// Per-query matcher knobs (pruning toggles, caps, scheduler grain).
   MatchOptions options;
+  /// Evaluation deadline, milliseconds; 0 = none. Measured from the
+  /// moment the query is admitted (queue wait under the admission lock
+  /// is excluded — a service enforcing an end-to-end latency budget arms
+  /// `options.cancel` itself from receipt time instead). On expiry the
+  /// evaluation unwinds cooperatively and Submit returns
+  /// kDeadlineExceeded; nothing the run computed is admitted into the
+  /// result/plan/candidate caches, so a timed-out query perturbs
+  /// nothing — re-running without the deadline answers byte-identically
+  /// to an engine that never saw the timeout (the engine timeout
+  /// differential test locks this down). Composes with an external
+  /// `options.cancel` token: the engine's deadline token chains to it as
+  /// a parent, and whichever fires first wins.
+  int64_t timeout_ms = 0;
   /// Cache admission: when false this query bypasses the engine's shared
   /// CandidateCache (it still interns within itself). Use it for one-off
   /// patterns whose filters would pollute the pool without ever being
@@ -186,6 +199,12 @@ struct EngineOptions {
   /// A repair whose stored artifacts predate the log falls back to full
   /// evaluation.
   size_t delta_log_max_entries = 64;
+  /// While the engine is draining (SetDraining(true), service shutdown),
+  /// an ApplyDelta parked behind an in-flight evaluation waits at most
+  /// this long for admission before giving up with kUnavailable. A delta
+  /// is non-cancellable once admitted — this bound keeps the *wait*
+  /// from stalling a drain, not the apply.
+  int64_t delta_drain_wait_ms = 100;
   /// What a QuerySpec that leaves its algo unset runs as. Set this to
   /// EngineAlgo::kAuto to hand every such query to the planner without
   /// touching the specs.
@@ -200,6 +219,11 @@ struct EngineStats {
   uint64_t queries = 0;
   /// Queries that returned a non-OK status.
   uint64_t failed = 0;
+  /// Subsets of `failed`, split by why the evaluation unwound: the
+  /// query's own timeout_ms deadline expired (timeouts) vs. an external
+  /// CancelToken fired — e.g. the service's drain token (cancellations).
+  uint64_t timeouts = 0;
+  uint64_t cancellations = 0;
   /// Sum of per-query MatchStats (scheduler telemetry included).
   MatchStats match;
   /// Sum of per-query wall clock, milliseconds.
@@ -343,6 +367,19 @@ class QueryEngine {
   /// between queries — subsequent repeats simply re-evaluate.
   size_t ClearResultCache();
 
+  /// Drain flag, set by a shutting-down service before it cancels its
+  /// in-flight work. While draining, ApplyDelta stops waiting forever
+  /// for admission (see EngineOptions::delta_drain_wait_ms); Submit is
+  /// unaffected — the service already sheds new queries itself, and the
+  /// last in-flight ones must still be answerable. Clearing the flag
+  /// restores normal behavior (engines are reusable across drains).
+  void SetDraining(bool draining) {
+    draining_.store(draining, std::memory_order_release);
+  }
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   /// The lazily built partition for kPQMatch/kPEnum (built on first use
   /// with the engine's pool — identical to a serial DPar build). Exposed
   /// so drivers can report partition diagnostics.
@@ -385,6 +422,10 @@ class QueryEngine {
 
   Result<QueryOutcome> SubmitAdmitted(const QuerySpec& spec);
   Result<const Partition*> PartitionAdmitted();
+  /// Admission for deltas: a plain blocking lock normally; while
+  /// draining, a bounded try_lock_for that yields kUnavailable instead
+  /// of stalling the drain (EngineOptions::delta_drain_wait_ms).
+  Result<std::unique_lock<std::timed_mutex>> AdmitDelta();
   Result<DeltaOutcome> ApplyDeltaAdmitted(const GraphDelta& delta);
   /// Merged summary of every delta in (from_version, current]; nullopt
   /// when the log no longer reaches back to from_version.
@@ -392,8 +433,11 @@ class QueryEngine {
       uint64_t from_version) const;
   /// Commits one finished query (successful or failed) into stats_ and
   /// runs the cache_max_entries pressure policy — the single exit path
-  /// shared by every evaluation outcome.
-  void AccountAndShedPressure(const QueryOutcome& outcome, bool failed);
+  /// shared by every evaluation outcome. `failure_code` (kOk on success)
+  /// classifies failures: kDeadlineExceeded / kCancelled feed the
+  /// timeouts / cancellations counters.
+  void AccountAndShedPressure(const QueryOutcome& outcome, bool failed,
+                              StatusCode failure_code = StatusCode::kOk);
 
   /// Owning engines keep the mutable handle (deltas write through it);
   /// borrowing engines leave it null and reject ApplyDelta. graph_
@@ -410,7 +454,10 @@ class QueryEngine {
   ///
   /// Admission: held across one whole evaluation (and the lazy partition
   /// build) — queries run one at a time, each owning the shared pool.
-  mutable std::mutex admission_mu_;
+  /// A timed mutex so a draining engine's ApplyDelta can bounded-wait
+  /// (try_lock_for) instead of parking forever behind a query that the
+  /// drain token is about to cancel.
+  mutable std::timed_mutex admission_mu_;
   /// Telemetry: guards stats_ only; held for counter commits/snapshots.
   mutable std::mutex telemetry_mu_;
   EngineStats stats_;
@@ -432,6 +479,8 @@ class QueryEngine {
   /// admitted evaluation; the sweep inside an admitted delta), so it
   /// needs no lock of its own — same discipline as repair_.
   Planner planner_{options_.planner};
+  /// Drain flag (SetDraining). Read lock-free by ApplyDelta admission.
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace qgp

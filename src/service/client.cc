@@ -1,19 +1,51 @@
 #include "service/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace qgp::service {
 
-Result<ServiceClient> ServiceClient::Connect(int port,
-                                             const std::string& host) {
+namespace {
+
+/// Polls `fd` for `events` with a bound; 0 or negative bound = forever.
+/// Returns OK when ready, kDeadlineExceeded on expiry, kUnavailable on
+/// a poll error.
+Status PollFor(int fd, short events, int64_t timeout_ms,
+               const char* what) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms > 0
+                                     ? static_cast<int>(timeout_ms)
+                                     : -1);
+    if (rc > 0) return Status::Ok();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string(what) + " poll: " +
+                               std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+Result<ServiceClient> ServiceClient::Connect(int port, const std::string& host,
+                                             const ClientOptions& options) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -25,23 +57,59 @@ Result<ServiceClient> ServiceClient::Connect(int port,
     ::close(fd);
     return Status::InvalidArgument("bad host address: " + host);
   }
+  // Non-blocking connect + poll: a dead or unreachable server fails
+  // within connect_timeout_ms instead of the kernel's (much longer)
+  // SYN-retry budget. The socket is restored to blocking afterwards;
+  // read timeouts are enforced by polling before each recv instead.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    int err = errno;
-    ::close(fd);
-    return Status::Unavailable("connect to " + host + ":" +
-                               std::to_string(port) + ": " +
-                               std::strerror(err));
+    if (errno != EINPROGRESS) {
+      int err = errno;
+      ::close(fd);
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(err));
+    }
+    const Status ready =
+        PollFor(fd, POLLOUT, options.connect_timeout_ms, "connect");
+    if (!ready.ok()) {
+      ::close(fd);
+      // A timed-out connect is still "server not reachable" to callers;
+      // keep the retryable kUnavailable contract of the old blocking
+      // connect rather than leaking kDeadlineExceeded here.
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 ready.message());
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(err));
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   ServiceClient client;
   client.fd_ = fd;
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
   return client;
 }
 
 ServiceClient::ServiceClient(ServiceClient&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      options_(other.options_) {
   other.fd_ = -1;
 }
 
@@ -50,6 +118,9 @@ ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
     Close();
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
     other.fd_ = -1;
   }
   return *this;
@@ -86,6 +157,10 @@ Result<std::string> ServiceClient::ReadLine() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    if (options_.read_timeout_ms > 0) {
+      QGP_RETURN_IF_ERROR(
+          PollFor(fd_, POLLIN, options_.read_timeout_ms, "read"));
+    }
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
@@ -107,6 +182,71 @@ Result<ServiceResponse> ServiceClient::ReadResponse() {
 Result<ServiceResponse> ServiceClient::Call(const ServiceRequest& request) {
   QGP_RETURN_IF_ERROR(Send(request));
   return ReadResponse();
+}
+
+Status ServiceClient::Reconnect() {
+  Close();
+  QGP_ASSIGN_OR_RETURN(ServiceClient fresh,
+                       Connect(port_, host_, options_));
+  *this = std::move(fresh);
+  return Status::Ok();
+}
+
+Result<ServiceResponse> ServiceClient::CallWithRetry(
+    const ServiceRequest& request) {
+  // Retry only what is safe to replay: queries and stats are read-only;
+  // a delta (or shutdown) whose response was lost may have landed, so
+  // re-sending could double-apply.
+  const bool idempotent = request.op == ServiceRequest::Op::kQuery ||
+                          request.op == ServiceRequest::Op::kStats;
+  const RetryPolicy& policy = options_.retry;
+  const int attempts = policy.max_attempts > 1 && idempotent
+                           ? policy.max_attempts
+                           : 1;
+  uint64_t jitter_state = policy.jitter_seed;
+  double backoff_ms = static_cast<double>(policy.initial_backoff_ms);
+  Result<ServiceResponse> last = Status::Internal("CallWithRetry: no attempt");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with deterministic jitter (splitmix64 step,
+      // up to +25%): retries from many clients decorrelate without
+      // making test schedules irreproducible.
+      jitter_state += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = jitter_state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      const double jitter =
+          static_cast<double>(z % 1000) / 1000.0 * 0.25 * backoff_ms;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms + jitter));
+      backoff_ms = std::min(backoff_ms * policy.backoff_multiplier,
+                            static_cast<double>(policy.max_backoff_ms));
+      if (!connected()) {
+        Status reconnected = Reconnect();
+        if (!reconnected.ok()) {
+          last = reconnected;
+          continue;
+        }
+      }
+    }
+    last = Call(request);
+    if (last.ok()) {
+      // A structured kUnavailable error response (admission rejection,
+      // draining server) is the wire spec's back-off-and-retry signal.
+      if (!last.value().ok && last.value().error_code == "Unavailable" &&
+          attempt + 1 < attempts) {
+        continue;
+      }
+      return last;
+    }
+    if (last.status().code() != StatusCode::kUnavailable) return last;
+    // Transport-level kUnavailable (send failed, connection closed):
+    // the stream is dead or ambiguous — drop it and reconnect on the
+    // next attempt.
+    Close();
+  }
+  return last;
 }
 
 void ServiceClient::Close() {

@@ -8,6 +8,7 @@
 /// convenience wrapper, not the protocol — any client that writes
 /// newline-delimited JSON (service/protocol.h) interoperates.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -15,6 +16,37 @@
 #include "service/protocol.h"
 
 namespace qgp::service {
+
+/// Opt-in retry policy for CallWithRetry: exponential backoff with
+/// deterministic jitter, applied ONLY to idempotent ops (query, stats)
+/// and ONLY on kUnavailable — the "back off and retry" signal of the
+/// wire spec (admission rejection, draining server, dropped
+/// connection). Deltas are never retried: an apply whose response was
+/// lost may have landed, and re-sending it would double-apply.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retry (the default).
+  int max_attempts = 1;
+  int64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 500;
+  /// Seed of the deterministic jitter sequence (up to +25% per sleep).
+  /// Fixed seed = reproducible schedules in tests.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Connection-level knobs. The defaults keep historical behavior
+/// (block forever) except for connect, which gets a sane bound.
+struct ClientOptions {
+  /// Bound on establishing the TCP connection; 0 = block forever.
+  int64_t connect_timeout_ms = 5000;
+  /// Bound on waiting for each response chunk (poll before recv);
+  /// 0 = block forever. On expiry ReadLine fails with kDeadlineExceeded
+  /// and the connection is still usable — but the stream position is
+  /// ambiguous (the response may arrive later), so request/response
+  /// callers should Close() and reconnect rather than resync.
+  int64_t read_timeout_ms = 0;
+  RetryPolicy retry;
+};
 
 /// A connected client. Movable, not copyable; closes on destruction.
 ///
@@ -28,9 +60,12 @@ namespace qgp::service {
 /// back in request order.
 class ServiceClient {
  public:
-  /// Connects to host:port (loopback by default).
+  /// Connects to host:port (loopback by default), honoring
+  /// options.connect_timeout_ms. The endpoint and options are retained
+  /// so CallWithRetry can reconnect.
   static Result<ServiceClient> Connect(int port,
-                                       const std::string& host = "127.0.0.1");
+                                       const std::string& host = "127.0.0.1",
+                                       const ClientOptions& options = {});
 
   ServiceClient() = default;
   ~ServiceClient() { Close(); }
@@ -44,12 +79,20 @@ class ServiceClient {
   /// Sends a raw line verbatim, appending '\n' (malformed-input tests).
   Status SendLine(std::string_view line);
   /// Reads one response line (without the terminator). Fails with
-  /// kUnavailable on a clean server-side close.
+  /// kUnavailable on a clean server-side close, kDeadlineExceeded when
+  /// options.read_timeout_ms expires first.
   Result<std::string> ReadLine();
   /// Reads and decodes one response.
   Result<ServiceResponse> ReadResponse();
   /// Send + ReadResponse.
   Result<ServiceResponse> Call(const ServiceRequest& request);
+  /// Call with the configured RetryPolicy: on kUnavailable — transport
+  /// failure, dropped connection, or a server error response with that
+  /// code — reconnects and retries idempotent ops (kQuery, kStats)
+  /// after exponential backoff with deterministic jitter. Non-idempotent
+  /// ops and every other status pass through unchanged on the first
+  /// attempt.
+  Result<ServiceResponse> CallWithRetry(const ServiceRequest& request);
 
   /// Closes the connection (idempotent; destructor calls it).
   void Close();
@@ -57,8 +100,14 @@ class ServiceClient {
   bool connected() const { return fd_ >= 0; }
 
  private:
+  Status Reconnect();
+
   int fd_ = -1;
   std::string buffer_;
+  /// Endpoint + knobs, retained from Connect for reconnects.
+  std::string host_;
+  int port_ = 0;
+  ClientOptions options_;
 };
 
 }  // namespace qgp::service

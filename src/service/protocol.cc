@@ -252,6 +252,9 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
       QGP_ASSIGN_OR_RETURN(request.options, DecodeOptions(v));
     } else if (key == "share_cache") {
       QGP_ASSIGN_OR_RETURN(request.share_cache, AsBool(v, key));
+    } else if (key == "timeout_ms") {
+      QGP_ASSIGN_OR_RETURN(uint64_t ms, AsUint(v, key));
+      request.timeout_ms = static_cast<int64_t>(ms);
     } else if (key == "add_vertices") {
       QGP_ASSIGN_OR_RETURN(request.delta.add_vertices,
                            DecodeLabelArray(v, key));
@@ -285,6 +288,11 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
         std::string("'pattern' is only valid for op \"query\", not \"") +
         OpName(request.op) + "\"");
   }
+  if (request.timeout_ms > 0 && request.op != ServiceRequest::Op::kQuery) {
+    return Status::InvalidArgument(
+        std::string("'timeout_ms' is only valid for op \"query\", not \"") +
+        OpName(request.op) + "\"");
+  }
   // An empty delta op is legal (a no-op batch still bumps the graph
   // version), but delta fields on any other op are a client bug.
   if (have_delta && request.op != ServiceRequest::Op::kDelta) {
@@ -303,6 +311,9 @@ std::string EncodeRequest(const ServiceRequest& request) {
     out["pattern"] = request.pattern_text;
     if (request.algo.has_value()) out["algo"] = EngineAlgoName(*request.algo);
     if (!request.share_cache) out["share_cache"] = false;
+    if (request.timeout_ms > 0) {
+      out["timeout_ms"] = static_cast<uint64_t>(request.timeout_ms);
+    }
     JsonValue options = EncodeOptions(request.options);
     if (!options.as_object().empty()) out["options"] = std::move(options);
   } else if (request.op == ServiceRequest::Op::kDelta) {
@@ -378,6 +389,8 @@ JsonValue EngineStatsToJson(const EngineStats& s) {
   JsonValue::Object out;
   out["queries"] = s.queries;
   out["failed"] = s.failed;
+  out["timeouts"] = s.timeouts;
+  out["cancellations"] = s.cancellations;
   out["wall_ms"] = s.wall_ms;
   out["cache_hits"] = s.cache_hits;
   out["cache_misses"] = s.cache_misses;
@@ -461,6 +474,7 @@ std::string EncodeStatsResponse(const EngineStats& engine,
   svc["stats_requests"] = service.stats_requests;
   svc["deltas_ok"] = service.deltas_ok;
   svc["deltas_failed"] = service.deltas_failed;
+  svc["shed"] = service.shed;
   JsonValue::Object out;
   out["ok"] = true;
   out["op"] = "stats";

@@ -11,10 +11,17 @@
 /// Requests:
 ///   {"op":"query","pattern":"node xo person\n...","algo":"qmatch",
 ///    "options":{"max_isomorphisms":1000000},"share_cache":true,
-///    "tag":"req-17"}
+///    "timeout_ms":250,"tag":"req-17"}
 ///                                  — "algo" accepts any EngineAlgoName
 ///                                    including "auto" (planner picks);
-///                                    omitted = the engine's default
+///                                    omitted = the engine's default.
+///                                    "timeout_ms" (query only; omitted
+///                                    or 0 = none) is an end-to-end
+///                                    deadline measured from the moment
+///                                    the server reads the request:
+///                                    queue wait counts, and a request
+///                                    that ages out before dispatch is
+///                                    shed without touching the engine
 ///   {"op":"stats"}                 — engine + service telemetry; never
 ///                                    queues behind running queries
 ///   {"op":"delta","add_vertices":["person"],"remove_vertices":[3],
@@ -40,8 +47,12 @@
 ///   {"ok":true,"op":"stats","engine":{...},"service":{...}}
 ///
 /// Error codes are StatusCodeName strings; "Unavailable" marks an
-/// admission rejection (per-client in-flight limit) — back off and
-/// retry.
+/// admission rejection (per-client in-flight limit) or a draining
+/// server — back off and retry. "DeadlineExceeded" means the request's
+/// timeout_ms expired (in the queue or mid-evaluation); the evaluation
+/// unwound cleanly and admitted nothing into any cache, so retrying
+/// with a larger budget is safe. "Cancelled" means the server cancelled
+/// the evaluation itself (graceful drain at shutdown).
 
 #include <cstdint>
 #include <string>
@@ -67,6 +78,10 @@ struct ServiceRequest {
   std::optional<EngineAlgo> algo;
   MatchOptions options;
   bool share_cache = true;
+  /// End-to-end deadline in milliseconds, 0 = none (kQuery only). The
+  /// server arms a CancelToken from the moment it reads the request;
+  /// see the wire-spec comment above for the semantics.
+  int64_t timeout_ms = 0;
   /// Mutation batch in string labels (kDelta only); resolved against
   /// the engine's dict at apply time.
   NamedGraphDelta delta;
@@ -86,6 +101,11 @@ struct ServiceStats {
   uint64_t stats_requests = 0;  ///< stats endpoint hits
   uint64_t deltas_ok = 0;       ///< graph deltas applied successfully
   uint64_t deltas_failed = 0;   ///< graph deltas the engine rejected
+  /// Requests answered at dispatch without touching the engine because
+  /// their deadline had already passed while queued (DeadlineExceeded)
+  /// or the server began draining (Cancelled). Disjoint from
+  /// queries_failed, which counts evaluations the engine started.
+  uint64_t shed = 0;
 };
 
 /// One decoded server response (client side). Query-payload fields are

@@ -7,9 +7,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/pattern_parser.h"
 
 namespace qgp::service {
@@ -20,6 +22,10 @@ namespace {
 /// instead of a process-killing SIGPIPE. Returns false on any error
 /// (the session is then effectively write-dead; responses are dropped).
 bool WriteAll(int fd, std::string_view data) {
+  // Fault seam: an armed "service.socket_write" failpoint maps onto
+  // this writer's failure convention — the response is dropped and the
+  // session becomes write-dead, exactly like a vanished peer.
+  if (!QGP_FAILPOINT_STATUS("service.socket_write").ok()) return false;
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
@@ -276,6 +282,22 @@ void QueryService::HandleLine(const std::shared_ptr<Session>& session,
   spec.share_cache = request.share_cache;
   spec.tag = request.tag;
 
+  // Per-request cancellation token, parented to the drain token so one
+  // shutdown-time RequestCancel() reaches every request. The deadline —
+  // when the client sent timeout_ms — starts NOW, at receipt: time
+  // blocked on admission and queued counts against the budget, which is
+  // what lets dispatch shed a request that aged out before it ever
+  // reached the engine. The engine-side QuerySpec::timeout_ms is
+  // deliberately NOT set: that clock would restart at admission and
+  // double-arm the deadline.
+  auto token =
+      request.timeout_ms > 0
+          ? std::make_shared<CancelToken>(
+                CancelToken::Clock::now() +
+                    std::chrono::milliseconds(request.timeout_ms),
+                &drain_token_)
+          : std::make_shared<CancelToken>(&drain_token_);
+
   switch (admission_.Enter(session->id)) {
     case AdmissionController::Admit::kAdmitted:
       break;
@@ -297,9 +319,12 @@ void QueryService::HandleLine(const std::shared_ptr<Session>& session,
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(QueuedQuery{session, seq, std::move(spec),
-                                 /*is_delta=*/false, NamedGraphDelta{},
-                                 /*tag=*/{}});
+    QueuedQuery item;
+    item.session = session;
+    item.seq = seq;
+    item.spec = std::move(spec);
+    item.cancel = std::move(token);
+    queue_.push_back(std::move(item));
   }
   queue_cv_.notify_one();
 }
@@ -314,9 +339,33 @@ void QueryService::DispatchLoop() {
       if (queue_.empty()) return;  // stopping and drained
       next = std::move(queue_.front());
       queue_.pop_front();
+      ++active_dispatch_;
     }
+    // Fault seam: tests arm "service.dispatch_dequeue" to pin a worker
+    // right here (delay — stuck-worker simulation) or to fail the
+    // request before it reaches the engine (error).
+    const Status seam = QGP_FAILPOINT_STATUS("service.dispatch_dequeue");
     std::string line;
-    if (next.is_delta) {
+    if (!seam.ok()) {
+      if (next.is_delta) {
+        ++deltas_failed_;
+        line = EncodeErrorResponse(ServiceRequest::Op::kDelta, seam, next.tag);
+      } else {
+        ++queries_failed_;
+        line = EncodeErrorResponse(ServiceRequest::Op::kQuery, seam,
+                                   next.spec.tag);
+      }
+    } else if (!next.is_delta && next.cancel != nullptr &&
+               next.cancel->ShouldStopExact()) {
+      // Queue-age shedding: the request's deadline (or the drain token)
+      // fired while it waited — answer it without touching the engine,
+      // so a backlog of expired requests cannot occupy the evaluation
+      // pipeline. ShouldStopExact reads the clock unconditionally; the
+      // strided fast path is for evaluation-hot-path polls only.
+      ++shed_;
+      line = EncodeErrorResponse(ServiceRequest::Op::kQuery,
+                                 next.cancel->ToStatus(), next.spec.tag);
+    } else if (next.is_delta) {
       Result<DeltaOutcome> outcome = engine_->ApplyDelta(next.delta);
       if (outcome.ok()) {
         ++deltas_ok_;
@@ -333,6 +382,9 @@ void QueryService::DispatchLoop() {
                                    outcome.status(), next.tag);
       }
     } else {
+      // Thread the request token into the evaluation; the shared_ptr in
+      // `next` keeps it alive until the response is posted.
+      next.spec.options.cancel = next.cancel.get();
       Result<QueryOutcome> outcome = engine_->Submit(next.spec);
       if (outcome.ok()) {
         ++queries_ok_;
@@ -348,6 +400,12 @@ void QueryService::DispatchLoop() {
     // request/response client never sees a stale in-flight count.
     admission_.Exit(next.session->id);
     Complete(next.session, next.seq, std::move(line));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --active_dispatch_;
+    }
+    // Wakes Stop()'s natural-drain wait (and, harmlessly, idle workers).
+    queue_cv_.notify_all();
   }
 }
 
@@ -411,8 +469,29 @@ void QueryService::Stop() {
       if (session->reader.joinable()) session->reader.join();
     }
   }
-  // 3. Drain the admission queue: every admitted query is answered,
-  // then the dispatch workers exit.
+  // 3. Graceful drain: the already-admitted work gets drain_timeout_ms
+  // to finish naturally. Past the budget, the drain token fires — the
+  // in-flight evaluation unwinds cooperatively with kCancelled (still
+  // answered, as a structured error) and queued requests are shed at
+  // dispatch; the engine's delta admission turns bounded meanwhile so
+  // a mutator cannot park forever either.
+  bool drained_naturally;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    const auto budget = std::chrono::milliseconds(
+        options_.drain_timeout_ms > 0 ? options_.drain_timeout_ms : 0);
+    drained_naturally = queue_cv_.wait_for(lock, budget, [&] {
+      return queue_.empty() && active_dispatch_ == 0;
+    });
+  }
+  if (!drained_naturally) {
+    engine_->SetDraining(true);
+    drain_token_.RequestCancel();
+  }
+  // 4. Drain the admission queue: every admitted request is answered
+  // (evaluated, cancelled or shed), then the dispatch workers exit —
+  // which also means every reorder buffer flushed completely, since
+  // each pending seq slot got its response.
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_stopping_ = true;
@@ -422,7 +501,9 @@ void QueryService::Stop() {
     if (t.joinable()) t.join();
   }
   dispatch_threads_.clear();
-  // 4. Release sessions (sockets close as the last references drop).
+  // The engine outlives the service; leave it usable.
+  engine_->SetDraining(false);
+  // 5. Release sessions (sockets close as the last references drop).
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.clear();
@@ -440,6 +521,7 @@ ServiceStats QueryService::stats() const {
   s.stats_requests = stats_requests_.load();
   s.deltas_ok = deltas_ok_.load();
   s.deltas_failed = deltas_failed_.load();
+  s.shed = shed_.load();
   return s;
 }
 

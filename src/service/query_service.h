@@ -51,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "engine/query_engine.h"
 #include "graph/label_dict.h"
@@ -79,6 +80,12 @@ struct ServiceOptions {
   bool allow_shutdown = false;
   /// Reject request lines longer than this (hostile-input guard).
   size_t max_line_bytes = 1 << 20;
+  /// Graceful-drain budget of Stop(): after the readers are down, the
+  /// already-admitted work gets this long to finish naturally; past it,
+  /// the drain token fires — in-flight evaluations unwind with
+  /// kCancelled (still answered, as structured errors) and queued
+  /// requests are shed at dispatch. 0 = cancel immediately.
+  int64_t drain_timeout_ms = 2000;
 };
 
 /// A running TCP query service bound to one engine. Lifecycle:
@@ -106,10 +113,15 @@ class QueryService {
   /// if either already happened.
   void Wait();
 
-  /// Graceful stop: stops accepting, wakes blocked readers, answers
-  /// every already-admitted query, joins all threads. Idempotent; must
-  /// not be called from a reader/dispatch thread (the shutdown op
-  /// signals Wait() instead for exactly that reason).
+  /// Graceful stop: stops accepting, wakes blocked readers, then drains
+  /// — already-admitted work may finish naturally for up to
+  /// options.drain_timeout_ms, after which the drain token cancels
+  /// every in-flight evaluation (answered with kCancelled) and queued
+  /// requests are shed. Every admitted request gets SOME response
+  /// before its socket closes; reorder buffers flush fully because the
+  /// dispatch workers only exit once every seq slot is answered.
+  /// Idempotent; must not be called from a reader/dispatch thread (the
+  /// shutdown op signals Wait() instead for exactly that reason).
   void Stop();
 
   /// Service-level counters (the stats op reports the same numbers).
@@ -143,6 +155,12 @@ class QueryService {
     NamedGraphDelta delta;  // meaningful when is_delta
     /// Request tag for delta responses (queries carry theirs in spec).
     std::string tag;
+    /// Cancellation token of this request (queries only): deadline from
+    /// the request's timeout_ms measured at receipt, parent =
+    /// drain_token_. Heap-allocated so the pointer threaded into
+    /// MatchOptions stays stable while the item moves through the
+    /// queue. Checked at dispatch dequeue for queue-age shedding.
+    std::shared_ptr<CancelToken> cancel;
   };
 
   void AcceptLoop();
@@ -183,7 +201,16 @@ class QueryService {
   std::condition_variable queue_cv_;
   std::deque<QueuedQuery> queue_;
   bool queue_stopping_ = false;
+  /// Requests popped but not yet answered — Stop()'s natural-drain wait
+  /// is over (queue_ empty && active_dispatch_ == 0). Guarded by
+  /// queue_mu_; workers notify queue_cv_ when it drops to zero.
+  size_t active_dispatch_ = 0;
   std::vector<std::thread> dispatch_threads_;
+
+  /// Fires when Stop()'s natural-drain budget expires: parent of every
+  /// request token, so one RequestCancel() reaches each queued and
+  /// in-flight query. Never reset — a service is not restartable.
+  CancelToken drain_token_;
 
   std::mutex state_mu_;
   std::condition_variable stop_cv_;
@@ -200,6 +227,7 @@ class QueryService {
   std::atomic<uint64_t> stats_requests_{0};
   std::atomic<uint64_t> deltas_ok_{0};
   std::atomic<uint64_t> deltas_failed_{0};
+  std::atomic<uint64_t> shed_{0};
 };
 
 }  // namespace qgp::service

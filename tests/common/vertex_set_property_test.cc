@@ -213,6 +213,84 @@ TEST(VertexSetPropertyTest, SimdWordAndMatchesScalarOnAdversarialShapes) {
   (void)avx2;
 }
 
+// The pext decode (BMI2 tier) must agree with the ctz-loop decode on
+// every word shape: empty, full, single bits at every position, bits
+// straddling the 16-bit chunk boundaries the decoder works in, and
+// random fuzz. Then the full AVX2+BMI2 kernel must agree with the
+// scalar kernel on the same adversarial set shapes as the other SIMD
+// tiers, including ragged word counts.
+TEST(VertexSetPropertyTest, PextDecodeMatchesScalarOracle) {
+#if !defined(QGP_VERTEX_SET_HAS_BMI2)
+  GTEST_SKIP() << "no BMI2 build support on this target";
+#else
+  if (!CpuHasBmi2()) GTEST_SKIP() << "host lacks BMI2";
+  auto decode_scalar = [](uint64_t w, uint32_t base) {
+    std::vector<uint32_t> out;
+    while (w != 0) {
+      out.push_back(base + static_cast<uint32_t>(__builtin_ctzll(w)));
+      w &= w - 1;
+    }
+    return out;
+  };
+  auto check_word = [&](uint64_t w, uint32_t base) {
+    std::vector<uint32_t> got;
+    DecodeWordBmi2Into(w, base, got);
+    EXPECT_EQ(got, decode_scalar(w, base))
+        << "word 0x" << std::hex << w << " base " << std::dec << base;
+  };
+  // Directed shapes first.
+  check_word(0, 0);
+  check_word(~0ULL, 128);
+  for (int bit = 0; bit < 64; ++bit) check_word(1ULL << bit, 64);
+  for (int edge : {15, 16, 31, 32, 47, 48}) {
+    check_word((1ULL << edge) | (1ULL << (edge + 1)), 0);
+  }
+  check_word(0x8001800180018001ULL, 0);  // chunk-extreme bits, all chunks
+  check_word(0xAAAAAAAAAAAAAAAAULL, 0);  // alternating, 8 bits per chunk
+  // Random word fuzz across densities.
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ULL);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t w = rng();
+    // Vary density: sparse words come from AND-ing random words.
+    for (int d = 0; d < trial % 4; ++d) w &= rng();
+    check_word(w, static_cast<uint32_t>((trial % 64) << 6));
+  }
+#endif
+}
+
+TEST(VertexSetPropertyTest, Avx2Bmi2KernelMatchesScalarOnAdversarialShapes) {
+#if !defined(QGP_VERTEX_SET_HAS_BMI2)
+  GTEST_SKIP() << "no BMI2 build support on this target";
+#else
+  if (!CpuHasAvx2() || !CpuHasBmi2()) GTEST_SKIP() << "host lacks AVX2+BMI2";
+  size_t nonempty = 0;
+  for (uint64_t seed = 0; seed < 120; ++seed) {
+    std::mt19937 rng(seed * 2654435761u + 101);
+    auto [a, b] = MakeCase(rng, static_cast<int>(seed));
+    std::vector<uint64_t> wa = ToWords(a);
+    std::vector<uint64_t> wb = ToWords(b);
+    const size_t trim = seed % 5;
+    if (trim != 0 && wa.size() > trim) {
+      (seed % 2 == 0 ? wa : wb).resize(wa.size() - trim);
+    }
+    std::vector<uint32_t> scalar;
+    IntersectWordsScalarInto(wa, wb, scalar);
+    std::vector<uint32_t> simd;
+    IntersectWordsAvx2Bmi2Into(wa, wb, simd);
+    EXPECT_EQ(simd, scalar) << "seed " << seed;
+    // Append-without-clearing contract holds for the BMI2 tier too.
+    std::vector<uint32_t> seeded{0xfeedfaceu};
+    IntersectWordsAvx2Bmi2Into(wa, wb, seeded);
+    ASSERT_GE(seeded.size(), 1u);
+    EXPECT_EQ(seeded[0], 0xfeedfaceu);
+    EXPECT_EQ(std::vector<uint32_t>(seeded.begin() + 1, seeded.end()),
+              scalar);
+    if (!scalar.empty()) ++nonempty;
+  }
+  EXPECT_GE(nonempty, 30u);
+#endif
+}
+
 TEST(VertexSetPropertyTest, GallopLowerBoundMatchesStdLowerBound) {
   for (uint64_t seed = 0; seed < 50; ++seed) {
     std::mt19937 rng(seed * 16807 + 13);

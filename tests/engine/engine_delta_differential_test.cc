@@ -306,6 +306,65 @@ TEST(EngineDeltaDifferential, DeltaInvalidatesResultCacheExactly) {
   EXPECT_EQ(hit->answers, repeat->answers);  // no-op delta: same content
 }
 
+// A delta that fails validation is atomic: the graph, its version, the
+// candidate cache, the result cache (stored entries still hit) and the
+// delta telemetry are all byte-identical to before the attempt — a
+// rejected mutation never half-lands.
+TEST(EngineDeltaDifferential, RejectedDeltaPerturbsNothing) {
+  Graph base = MakeGraph(6);
+  const size_t n = base.num_vertices();
+  std::vector<QuerySpec> workload =
+      FilterEvaluable(MakeWorkload(base, 6), base, 2);
+  ASSERT_FALSE(workload.empty());
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.enable_result_cache = true;
+  QueryEngine engine(std::move(base), opts);
+
+  std::vector<AnswerSet> before;
+  for (const QuerySpec& spec : workload) {
+    auto r = engine.Submit(spec);
+    ASSERT_TRUE(r.ok());
+    before.push_back(r->answers);
+  }
+  const Graph pristine = engine.graph();
+  const uint64_t version = engine.graph_version();
+  const size_t cache_size = engine.cache().size();
+  const EngineStats stats = engine.stats();
+
+  // Two rejection shapes: an out-of-range endpoint, and a structurally
+  // fine batch whose ONE bad edge must poison the whole batch.
+  GraphDelta bad_endpoint;
+  bad_endpoint.add_edges.push_back(
+      {static_cast<VertexId>(n + 100), 0, engine.graph().dict().Find("el0")});
+  GraphDelta mixed = bad_endpoint;
+  mixed.add_vertices.push_back(engine.graph().dict().Find("nl0"));
+  mixed.remove_vertices.push_back(0);
+  for (const GraphDelta& delta : {bad_endpoint, mixed}) {
+    auto rejected = engine.ApplyDelta(delta);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument)
+        << rejected.status().ToString();
+  }
+
+  EXPECT_EQ(engine.graph_version(), version);
+  EXPECT_TRUE(ContentEquals(engine.graph(), pristine));
+  EXPECT_EQ(engine.cache().size(), cache_size);
+  const EngineStats after = engine.stats();
+  EXPECT_EQ(after.deltas, stats.deltas);
+  EXPECT_EQ(after.results_invalidated, stats.results_invalidated);
+  EXPECT_EQ(after.cache_evicted, stats.cache_evicted);
+
+  // Stored results survived the failed attempts: repeats still hit, and
+  // answers are unchanged.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto r = engine.Submit(workload[i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->result_cache_hit) << workload[i].tag;
+    EXPECT_EQ(r->answers, before[i]) << workload[i].tag;
+  }
+}
+
 // algo = auto through deltas: after every ApplyDelta, an auto query on
 // the mutated engine must pick the same plan — and produce the same
 // answers and work counters — as an auto query on a fresh engine over a

@@ -1,0 +1,230 @@
+// Engine deadline / cancellation differential suite. The invariant
+// under test everywhere: an evaluation that unwinds early — its own
+// timeout_ms, an external CancelToken, a drain — perturbs NOTHING. A
+// clean run submitted right after a timed-out one must be byte-
+// identical (answers, work counters, cache traffic) to a run on an
+// engine that never saw the timeout, because the failed run's partial
+// state was rolled back from every cache it touched.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "core/pattern_parser.h"
+#include "engine/query_engine.h"
+#include "gen/synthetic_gen.h"
+
+namespace qgp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The shared slow case: clean runtime is hundreds of milliseconds on
+/// any machine this suite runs on, so a 50 ms deadline provably fires
+/// mid-evaluation.
+struct SlowCase {
+  Graph graph;
+  std::string pattern_text;
+};
+
+SlowCase& Slow() {
+  static SlowCase* slow = [] {
+    SyntheticConfig gc;
+    gc.num_vertices = 8000;
+    gc.num_edges = 8000 * 8;
+    gc.num_node_labels = 2;
+    gc.num_edge_labels = 2;
+    gc.seed = 99;
+    auto* s = new SlowCase{std::move(GenerateSynthetic(gc)).value(),
+                           "node x0 nl0\nnode x1 nl0\nnode x2 nl0\n"
+                           "node x3 nl0\nedge x0 x1 el0 >=2\n"
+                           "edge x1 x2 el0\nedge x2 x3 el0\nfocus x0\n"};
+    (void)PatternParser::Parse(s->pattern_text, s->graph.mutable_dict());
+    return s;
+  }();
+  return *slow;
+}
+
+QuerySpec SlowSpec(EngineAlgo algo = EngineAlgo::kQMatch) {
+  QuerySpec spec;
+  spec.pattern = std::move(PatternParser::Parse(Slow().pattern_text,
+                                                Slow().graph.mutable_dict()))
+                     .value();
+  spec.algo = algo;
+  return spec;
+}
+
+void ExpectSameWork(const MatchStats& a, const MatchStats& b,
+                    const std::string& context) {
+  EXPECT_EQ(a.isomorphisms_enumerated, b.isomorphisms_enumerated) << context;
+  EXPECT_EQ(a.witness_searches, b.witness_searches) << context;
+  EXPECT_EQ(a.search_extensions, b.search_extensions) << context;
+  EXPECT_EQ(a.candidates_initial, b.candidates_initial) << context;
+  EXPECT_EQ(a.candidates_pruned, b.candidates_pruned) << context;
+  EXPECT_EQ(a.focus_candidates_checked, b.focus_candidates_checked) << context;
+  EXPECT_EQ(a.balls_built, b.balls_built) << context;
+}
+
+// The core differential: engine A runs the query cleanly; engine B
+// times the same query out first, then runs it cleanly. B's clean run
+// must match A's in answers, work counters AND cache traffic — the
+// timed-out attempt left no trace in the candidate or result cache.
+TEST(EngineTimeoutTest, TimedOutQueryPerturbsNothing) {
+  SlowCase& slow = Slow();
+
+  EngineOptions options;
+  options.enable_result_cache = true;
+  QueryEngine reference(&slow.graph, options);
+  auto expected = reference.Submit(SlowSpec());
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  QueryEngine engine(&slow.graph, options);
+  QuerySpec timed = SlowSpec();
+  timed.timeout_ms = 50;
+  const auto t0 = Clock::now();
+  auto aborted = engine.Submit(timed);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded)
+      << aborted.status().ToString();
+  EXPECT_LT(elapsed_ms, expected->wall_ms / 2)
+      << "the deadline did not interrupt the evaluation (clean run: "
+      << expected->wall_ms << " ms)";
+
+  // Rollback left both caches empty...
+  EXPECT_EQ(engine.cache().size(), 0u);
+  EXPECT_EQ(engine.ClearResultCache(), 0u);
+  EXPECT_EQ(engine.stats().timeouts, 1u);
+  EXPECT_EQ(engine.stats().failed, 1u);
+  EXPECT_EQ(engine.stats().queries, 0u);
+
+  // ...so the clean run is indistinguishable from the reference's.
+  auto clean = engine.Submit(SlowSpec());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->answers, expected->answers);
+  ExpectSameWork(clean->stats, expected->stats, "clean-after-timeout");
+  EXPECT_EQ(clean->cache_hits, expected->cache_hits);
+  EXPECT_EQ(clean->cache_misses, expected->cache_misses);
+  EXPECT_FALSE(clean->result_cache_hit);
+
+  auto repeat = engine.Submit(SlowSpec());
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->result_cache_hit);
+  EXPECT_EQ(repeat->answers, expected->answers);
+}
+
+// An external CancelToken fired from another thread unwinds the
+// evaluation with kCancelled (not kDeadlineExceeded — the engine
+// distinguishes whose signal it was) and counts in
+// EngineStats::cancellations.
+TEST(EngineTimeoutTest, ExternalCancelTokenUnwinds) {
+  SlowCase& slow = Slow();
+  QueryEngine engine(&slow.graph, EngineOptions{});
+
+  CancelToken token;
+  QuerySpec spec = SlowSpec();
+  spec.options.cancel = &token;
+  // A generous engine-side deadline: the external cancel must win, and
+  // the status must say so.
+  spec.timeout_ms = 60'000;
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    token.RequestCancel();
+  });
+  auto outcome = engine.Submit(spec);
+  canceller.join();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled)
+      << outcome.status().ToString();
+  EXPECT_EQ(engine.stats().cancellations, 1u);
+  EXPECT_EQ(engine.stats().timeouts, 0u);
+  EXPECT_EQ(engine.cache().size(), 0u);
+
+  // The engine is fully reusable after a cancellation.
+  auto clean = engine.Submit(SlowSpec());
+  EXPECT_TRUE(clean.ok()) << clean.status().ToString();
+}
+
+// While the engine drains, ApplyDelta stops waiting forever behind an
+// in-flight evaluation: it bounded-waits delta_drain_wait_ms and gives
+// up with kUnavailable. Once the evaluation is cancelled and draining
+// clears, the same delta applies normally.
+TEST(EngineTimeoutTest, ApplyDeltaBoundedWaitWhileDraining) {
+  SlowCase& slow = Slow();
+  EngineOptions options;
+  options.delta_drain_wait_ms = 50;
+  QueryEngine engine(Graph(slow.graph), options);  // owning: deltas legal
+
+  engine.SetDraining(true);
+  CancelToken token;
+  QuerySpec spec = SlowSpec();
+  spec.options.cancel = &token;
+  std::thread query([&engine, &spec] {
+    auto outcome = engine.Submit(spec);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled)
+        << outcome.status().ToString();
+  });
+
+  // Keep trying an empty delta until the slow query owns admission and
+  // the bounded wait gives up: each early attempt (before the query is
+  // admitted) succeeds as a harmless version-bumping no-op.
+  bool saw_unavailable = false;
+  const auto deadline = Clock::now() + std::chrono::seconds(20);
+  while (Clock::now() < deadline) {
+    auto applied = engine.ApplyDelta(NamedGraphDelta{});
+    if (!applied.ok()) {
+      EXPECT_EQ(applied.status().code(), StatusCode::kUnavailable)
+          << applied.status().ToString();
+      saw_unavailable = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_unavailable)
+      << "ApplyDelta never hit the bounded wait - the slow query "
+         "finished before it was ever parked";
+
+  token.RequestCancel();
+  query.join();
+  engine.SetDraining(false);
+  auto applied = engine.ApplyDelta(NamedGraphDelta{});
+  EXPECT_TRUE(applied.ok()) << applied.status().ToString();
+}
+
+// Under algo=auto, a timed-out query's freshly built plan is forgotten:
+// the aborted run proves nothing about the plan's quality, and a poisoned
+// plan cache would silently survive into every later query of the same
+// pattern family. The clean re-run re-plans from scratch, and only
+// after IT succeeds does the family start hitting the plan cache.
+TEST(EngineTimeoutTest, TimedOutAutoQueryForgetsItsPlan) {
+  SlowCase& slow = Slow();
+  QueryEngine engine(&slow.graph, EngineOptions{});
+
+  QuerySpec timed = SlowSpec(EngineAlgo::kAuto);
+  timed.timeout_ms = 50;
+  auto aborted = engine.Submit(timed);
+  ASSERT_FALSE(aborted.ok());
+  ASSERT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded)
+      << aborted.status().ToString();
+  EXPECT_EQ(engine.stats().plans_built, 1u);
+  EXPECT_EQ(engine.stats().plan_hits, 0u);
+
+  auto clean = engine.Submit(SlowSpec(EngineAlgo::kAuto));
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_FALSE(clean->plan_cache_hit) << "the aborted run's plan survived";
+  EXPECT_EQ(engine.stats().plans_built, 2u);
+
+  auto warm = engine.Submit(SlowSpec(EngineAlgo::kAuto));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+  EXPECT_EQ(warm->answers, clean->answers);
+  EXPECT_EQ(engine.stats().plan_hits, 1u);
+}
+
+}  // namespace
+}  // namespace qgp

@@ -1,11 +1,17 @@
 #include "tools/cli_lib.h"
 
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/pattern_parser.h"
@@ -347,8 +353,13 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   const int64_t max_per_client = args.FlagInt("max-per-client", 8);
   const int64_t fragments = args.FlagInt("n", 4);
   const int64_t depth = args.FlagInt("d", 2);
+  const int64_t drain_timeout = args.FlagInt("drain-timeout", 2000);
   if (port < 0 || port > 65535) {
     err << "--port must be in [0, 65535]\n";
+    return 2;
+  }
+  if (drain_timeout < 0) {
+    err << "--drain-timeout must be non-negative\n";
     return 2;
   }
   if (threads < 0 || dispatch < 1 || max_inflight < 0 || max_per_client < 0 ||
@@ -357,6 +368,19 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
            "non-negative, --dispatch/--n at least 1\n";
     return 2;
   }
+
+  // SIGINT/SIGTERM trigger the same graceful drain as the shutdown op.
+  // The mask must be in place BEFORE any thread exists — a process-
+  // directed signal is delivered to an arbitrary thread that does not
+  // block it, and the engine's worker pool spawns right below. Threads
+  // inherit the mask; a dedicated sigwait thread consumes the signals
+  // (a plain handler could not safely wake Wait() — condition variables
+  // are not async-signal-safe).
+  sigset_t drain_sigs;
+  sigemptyset(&drain_sigs);
+  sigaddset(&drain_sigs, SIGINT);
+  sigaddset(&drain_sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &drain_sigs, nullptr);
 
   EngineOptions engine_options;
   engine_options.num_threads = static_cast<size_t>(threads);
@@ -372,25 +396,61 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   service_options.max_inflight_per_client =
       static_cast<size_t>(max_per_client);
   service_options.allow_shutdown = args.flags.count("allow-shutdown") != 0;
+  service_options.drain_timeout_ms = drain_timeout;
+
+  // Fault-injection failpoints arm only at process entry points like
+  // this one (QGP_FAILPOINTS env); library code never arms implicitly.
+  failpoint::ArmFromEnv();
+
   service::QueryService service(&engine, service_options);
   Status started = service.Start();
   if (!started.ok()) {
+    pthread_sigmask(SIG_UNBLOCK, &drain_sigs, nullptr);
     err << started.ToString() << "\n";
     return 1;
   }
   out << "listening on 127.0.0.1:" << service.port() << std::endl;
+
+  std::atomic<int> caught_signal{0};
+  std::thread signal_thread([&service, &caught_signal, &drain_sigs] {
+    int sig = 0;
+    if (sigwait(&drain_sigs, &sig) != 0) return;
+    // -1 is the sentinel the main thread uses to release this thread
+    // when Wait() returned for another reason (client shutdown op).
+    if (caught_signal.exchange(sig) != 0) return;
+    service.Stop();
+  });
+
   service.Wait();
+  if (caught_signal.load() != 0) {
+    out << "caught signal " << caught_signal.load() << ", draining"
+        << std::endl;
+  } else {
+    // Woken by a shutdown op: release the sigwait thread with a
+    // self-directed SIGTERM it will recognize as already-handled.
+    caught_signal.store(-1);
+    pthread_kill(signal_thread.native_handle(), SIGTERM);
+  }
+  signal_thread.join();
   service.Stop();
+  // Absorb anything still pending (e.g. a second Ctrl-C during the
+  // drain) so restoring the mask cannot kill the process before the
+  // final summary below.
+  timespec no_wait{};
+  while (sigtimedwait(&drain_sigs, nullptr, &no_wait) > 0) {
+  }
+  pthread_sigmask(SIG_UNBLOCK, &drain_sigs, nullptr);
 
   const service::ServiceStats ss = service.stats();
   const EngineStats es = engine.stats();
   out << "served " << ss.requests << " requests on " << ss.connections
       << " connections: " << ss.queries_ok << " ok, " << ss.queries_failed
       << " failed, " << ss.rejected << " rejected, " << ss.malformed
-      << " malformed\n";
+      << " malformed, " << ss.shed << " shed\n";
   out << "engine: queries=" << es.queries << " cache_hits=" << es.cache_hits
       << " cache_misses=" << es.cache_misses << " hit_ratio=" << es.HitRatio()
-      << " wall_ms=" << es.wall_ms << "\n";
+      << " wall_ms=" << es.wall_ms << " timeouts=" << es.timeouts
+      << " cancellations=" << es.cancellations << "\n";
   return 0;
 }
 

@@ -99,6 +99,18 @@ r = call(json.dumps({"op": "stats"}))
 assert r["service"]["deltas_ok"] == 2, r
 assert r["service"]["deltas_failed"] == 1, r
 assert r["engine"]["deltas"] == 2, r
+# Robustness counters are on the wire (additive keys).
+assert r["service"]["shed"] == 0, r
+assert r["engine"]["timeouts"] == 0, r
+assert r["engine"]["cancellations"] == 0, r
+
+# A query with a generous end-to-end deadline succeeds normally, and
+# timeout_ms on a non-query op is a structured error.
+r = call(json.dumps({"op": "query", "pattern": pattern, "tag": "deadline-1",
+                     "timeout_ms": 30000}))
+assert r["ok"] and r["tag"] == "deadline-1", r
+r = call(json.dumps({"op": "stats", "timeout_ms": 5}))
+assert not r["ok"] and r["error"]["code"] == "InvalidArgument", r
 
 # Clean shutdown.
 r = call(json.dumps({"op": "shutdown"}))
@@ -117,4 +129,32 @@ wait "$SERVER_PID"
 trap - EXIT
 
 grep -q "^served " "$LOG" || { echo "missing final stats"; cat "$LOG"; exit 1; }
+
+# Second boot: SIGTERM must trigger the same graceful drain as the
+# shutdown op — the server announces the signal, drains, prints the
+# final summary and exits 0 (not the default signal death).
+LOG2="$WORK/serve_sigterm.log"
+"$CLI" serve "$WORK/graph.txt" --port=0 --drain-timeout=1000 \
+  >"$LOG2" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "^listening on " "$LOG2" && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG2"; exit 1; }
+  sleep 0.1
+done
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server did not exit after SIGTERM"; cat "$LOG2"; exit 1
+fi
+wait "$SERVER_PID" || { echo "non-zero exit after SIGTERM"; cat "$LOG2"; exit 1; }
+trap - EXIT
+grep -q "caught signal 15, draining" "$LOG2" \
+  || { echo "missing drain announcement"; cat "$LOG2"; exit 1; }
+grep -q "^served " "$LOG2" || { echo "missing final stats"; cat "$LOG2"; exit 1; }
+
 echo "service smoke test passed"
