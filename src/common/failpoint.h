@@ -4,9 +4,19 @@
 /// \file
 /// Named failpoints: test-armable fault hooks compiled into a handful
 /// of hot seams (service dispatch dequeue, engine submit, delta apply,
-/// socket write) so tests can deterministically force slow-query,
-/// stuck-worker and mid-response-disconnect scenarios without races or
-/// sleeps.
+/// socket write, shard scatter/gather) so tests can deterministically
+/// force slow-query, stuck-worker and mid-response-disconnect scenarios
+/// without races or sleeps.
+///
+/// Current seam catalog:
+///  * service.dispatch_dequeue — dispatch worker after dequeuing a unit
+///  * service.socket_write     — per write(2) attempt in the server
+///  * engine.submit            — QueryEngine::Submit admission
+///  * engine.apply_delta       — QueryEngine delta apply, pre-mutation
+///  * shard.scatter            — ShardedEngine per-shard fan-out, before
+///                               the shard evaluates
+///  * shard.gather             — ShardedEngine per-shard merge, before a
+///                               slice's answers join the union
 ///
 /// Cost when unarmed: QGP_FAILPOINT expands to one relaxed atomic load
 /// of a global armed counter — the registry mutex and the name lookup

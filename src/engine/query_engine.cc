@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -63,6 +64,52 @@ std::string ResultKey(EngineAlgo algo, const MatchOptions& o,
   return std::move(key).str();
 }
 
+/// Normalizes EngineOptions::focus_subset: sorted, deduplicated, ids
+/// outside the graph dropped (they could never be answers). Engaged vs
+/// disengaged is preserved — an engaged set that ends up empty still
+/// means "owns nothing", not "all foci".
+void NormalizeFocusSubset(std::optional<std::vector<VertexId>>& subset,
+                          size_t num_vertices) {
+  if (!subset.has_value()) return;
+  std::sort(subset->begin(), subset->end());
+  subset->erase(std::unique(subset->begin(), subset->end()), subset->end());
+  while (!subset->empty() && subset->back() >= num_vertices) {
+    subset->pop_back();
+  }
+}
+
+/// Enum over a focus subset: Π(Q) restricted to the subset, minus each
+/// Π(Q⁺ᵉ) re-enumerated over the same subset — the PEnum per-fragment
+/// recipe (parallel/penum.cc), here running against the engine's shared
+/// intern pool instead of a fresh per-fragment one (warm sets are equal
+/// by value, so answers and work counters match either way).
+Result<AnswerSet> EnumSubset(const Pattern& pattern, const Graph& g,
+                             std::span<const VertexId> subset,
+                             const MatchOptions& options, MatchStats* stats,
+                             CandidateCache* shared_cache) {
+  QGP_RETURN_IF_ERROR(pattern.Validate(options.max_quantified_per_path));
+  auto pi = pattern.Pi();
+  if (!pi.ok()) return pi.status();
+  std::optional<CandidateCache> local;
+  CandidateCache* cache =
+      shared_cache != nullptr ? shared_cache : &local.emplace(g);
+  QGP_ASSIGN_OR_RETURN(
+      AnswerSet answers,
+      EnumMatcher::EvaluatePositive(pi.value().first, g, options, stats,
+                                    subset, cache));
+  for (PatternEdgeId e : pattern.NegatedEdgeIds()) {
+    QGP_ASSIGN_OR_RETURN(Pattern positified, pattern.Positify(e));
+    auto pi_pos = positified.Pi();
+    if (!pi_pos.ok()) return pi_pos.status();
+    QGP_ASSIGN_OR_RETURN(
+        AnswerSet negative,
+        EnumMatcher::EvaluatePositive(pi_pos.value().first, g, options,
+                                      stats, subset, cache));
+    answers = SetDifference(answers, negative);
+  }
+  return answers;
+}
+
 }  // namespace
 
 const char* EngineAlgoName(EngineAlgo algo) {
@@ -99,6 +146,7 @@ QueryEngine::QueryEngine(Graph graph, const EngineOptions& options)
       options_(options),
       pool_(std::make_unique<ThreadPool>(ResolveThreads(options.num_threads))),
       cache_(*graph_) {
+  NormalizeFocusSubset(options_.focus_subset, graph_->num_vertices());
   version_.store(graph_->version(), std::memory_order_release);
 }
 
@@ -107,6 +155,7 @@ QueryEngine::QueryEngine(const Graph* graph, const EngineOptions& options)
       options_(options),
       pool_(std::make_unique<ThreadPool>(ResolveThreads(options.num_threads))),
       cache_(*graph_) {
+  NormalizeFocusSubset(options_.focus_subset, graph_->num_vertices());
   version_.store(graph_->version(), std::memory_order_release);
 }
 
@@ -184,6 +233,22 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   // and cache build; a caller-provided token was already there (and is
   // now this token's parent).
   if (deadline_token.has_value()) effective_options.cancel = &*deadline_token;
+  // Shard mode, engaged-but-empty subset: this engine owns no foci, so
+  // every (valid) query answers with the empty set. Short-circuited
+  // HERE because the lower-level subset entry points read an empty span
+  // as "all candidates" (EnumMatcher::EvaluatePositive) — the opposite
+  // meaning. Mirrors the parallel workers' empty-fragment skip: zero
+  // work counters, nothing admitted into any cache.
+  if (options_.focus_subset.has_value() && options_.focus_subset->empty()) {
+    const Status valid =
+        spec.pattern.Validate(effective_options.max_quantified_per_path);
+    if (!valid.ok()) {
+      AccountAndShedPressure(outcome, /*failed=*/true, valid.code());
+      return valid;
+    }
+    AccountAndShedPressure(outcome, /*failed=*/false);
+    return outcome;
+  }
   // Result-cache probe: a repeat of an answered query is served from
   // memory, replaying the original answers and work counters. Queries
   // that bypass the shared state (share_cache = false) neither probe
@@ -228,11 +293,14 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
   // repairing its candidate space and re-verifying only affected foci.
   // Negated patterns are ineligible (every positified subtrahend would
   // need re-evaluation anyway), as are cache-bypassing specs.
+  // Under a shard focus subset the repair path is disabled too: the
+  // subset entry points carry no repair artifacts, and a stored
+  // full-graph seed would repair to the UNRESTRICTED answer set.
   const bool repair_eligible =
       options_.enable_delta_repair && spec.share_cache &&
       (effective == EngineAlgo::kQMatch ||
        effective == EngineAlgo::kQMatchn) &&
-      spec.pattern.IsPositive();
+      spec.pattern.IsPositive() && !options_.focus_subset.has_value();
   QMatchArtifacts artifacts;
   QMatchArtifacts* artifacts_out = repair_eligible ? &artifacts : nullptr;
   std::string repair_key;
@@ -275,24 +343,43 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
     }
   }
   if (!repaired_now) {
+    // Shard mode: every sequential family evaluates only the owned foci
+    // via the subset entry points (the empty-subset case short-circuited
+    // above, so the span passed down here is always non-empty).
+    const bool subset = options_.focus_subset.has_value();
     switch (effective) {
       case EngineAlgo::kQMatch:
-        answers = QMatch::Evaluate(spec.pattern, *graph_, effective_options,
-                                   &outcome.stats, pool_.get(), cache,
-                                   artifacts_out);
+        answers = subset
+                      ? QMatch::EvaluateSubset(spec.pattern, *graph_,
+                                               *options_.focus_subset,
+                                               effective_options,
+                                               &outcome.stats, pool_.get(),
+                                               cache)
+                      : QMatch::Evaluate(spec.pattern, *graph_,
+                                         effective_options, &outcome.stats,
+                                         pool_.get(), cache, artifacts_out);
         break;
       case EngineAlgo::kQMatchn: {
         MatchOptions naive = effective_options;
         naive.use_incremental_negation = false;
-        answers = QMatch::Evaluate(spec.pattern, *graph_, naive,
-                                   &outcome.stats, pool_.get(), cache,
-                                   artifacts_out);
+        answers = subset
+                      ? QMatch::EvaluateSubset(spec.pattern, *graph_,
+                                               *options_.focus_subset, naive,
+                                               &outcome.stats, pool_.get(),
+                                               cache)
+                      : QMatch::Evaluate(spec.pattern, *graph_, naive,
+                                         &outcome.stats, pool_.get(), cache,
+                                         artifacts_out);
         break;
       }
       case EngineAlgo::kEnum:
-        answers = EnumMatcher::Evaluate(spec.pattern, *graph_,
-                                        effective_options, &outcome.stats,
-                                        cache);
+        answers = subset ? EnumSubset(spec.pattern, *graph_,
+                                      *options_.focus_subset,
+                                      effective_options, &outcome.stats,
+                                      cache)
+                         : EnumMatcher::Evaluate(spec.pattern, *graph_,
+                                                 effective_options,
+                                                 &outcome.stats, cache);
         break;
       case EngineAlgo::kPQMatch:
       case EngineAlgo::kPEnum: {
@@ -315,6 +402,13 @@ Result<QueryOutcome> QueryEngine::SubmitAdmitted(const QuerySpec& spec) {
         }
         outcome.stats.Add(run->stats);
         answers = std::move(run->answers);
+        if (subset) {
+          // The nested partition evaluated ALL of this shard's vertices
+          // as foci; only the owned ones are exact here (border
+          // replicas' neighborhoods are incomplete in a fragment
+          // graph), and only they belong to this shard's slice.
+          answers = SetIntersection(answers.value(), *options_.focus_subset);
+        }
         break;
       }
       case EngineAlgo::kAuto:
@@ -396,6 +490,43 @@ Result<DeltaOutcome> QueryEngine::ApplyDelta(const NamedGraphDelta& delta) {
   }
   return ApplyDeltaAdmitted(
       ResolveDelta(delta, &owned_graph_->mutable_dict()));
+}
+
+Result<DeltaOutcome> QueryEngine::ApplyDelta(
+    const NamedGraphDelta& delta, std::span<const VertexId> own_after_apply) {
+  QGP_ASSIGN_OR_RETURN(std::unique_lock<std::timed_mutex> lock, AdmitDelta());
+  if (owned_graph_ == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyDelta requires an owning engine (this engine borrows its "
+        "graph)");
+  }
+  if (!options_.focus_subset.has_value()) {
+    return Status::InvalidArgument(
+        "own_after_apply requires an engine with an engaged focus subset "
+        "(EngineOptions::focus_subset)");
+  }
+  // Validate the ownership extension against the post-apply vertex
+  // count BEFORE applying anything, so a bad own list leaves both the
+  // graph and the subset untouched (a routed delta's freshly appended
+  // vertices get ids num_vertices()..num_vertices()+adds-1).
+  const size_t post_vertices =
+      graph_->num_vertices() + delta.add_vertices.size();
+  for (VertexId v : own_after_apply) {
+    if (v >= post_vertices) {
+      return Status::InvalidArgument(
+          "own_after_apply id " + std::to_string(v) +
+          " out of range for the post-delta graph (" +
+          std::to_string(post_vertices) + " vertices)");
+    }
+  }
+  QGP_ASSIGN_OR_RETURN(
+      DeltaOutcome out,
+      ApplyDeltaAdmitted(ResolveDelta(delta, &owned_graph_->mutable_dict())));
+  std::vector<VertexId>& subset = *options_.focus_subset;
+  subset.insert(subset.end(), own_after_apply.begin(), own_after_apply.end());
+  std::sort(subset.begin(), subset.end());
+  subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+  return out;
 }
 
 Result<std::unique_lock<std::timed_mutex>> QueryEngine::AdmitDelta() {

@@ -205,6 +205,22 @@ struct EngineOptions {
   /// is non-cancellable once admitted — this bound keeps the *wait*
   /// from stalling a drain, not the apply.
   int64_t delta_drain_wait_ms = 100;
+  /// Focus restriction for shard-mode engines (src/shard/): when
+  /// engaged, every query evaluates only foci in this set — the owned
+  /// vertices of one DPar fragment — exactly like a single
+  /// PQMatch/PEnum worker, so a coordinator that unions subset answers
+  /// across shards gets each answer exactly once. nullopt (the default)
+  /// = all foci, the historical behavior. An engaged-but-EMPTY set owns
+  /// nothing and answers every query with the empty set (mirroring the
+  /// parallel workers' empty-fragment skip — NOT "all candidates",
+  /// which an empty span means in the lower-level subset APIs). The set
+  /// is sorted/deduplicated at construction and ids outside the graph
+  /// are dropped (they could never be answers). Under a subset the
+  /// delta-repair fast path is disabled (the subset entry points carry
+  /// no repair artifacts); the result cache stays valid because the
+  /// subset only changes through ApplyDelta, whose version sweep drops
+  /// every stored entry anyway.
+  std::optional<std::vector<VertexId>> focus_subset;
   /// What a QuerySpec that leaves its algo unset runs as. Set this to
   /// EngineAlgo::kAuto to hand every such query to the planner without
   /// touching the specs.
@@ -338,6 +354,16 @@ class QueryEngine {
   /// Labels interned by a delta that subsequently fails validation stay
   /// interned (dictionary growth is harmless and never reversed).
   Result<DeltaOutcome> ApplyDelta(const NamedGraphDelta& delta);
+
+  /// Shard-mode variant: applies `delta` and then extends the engine's
+  /// focus subset (EngineOptions::focus_subset, which must be engaged)
+  /// with `own_after_apply` — LOCAL vertex ids the coordinator newly
+  /// assigned to this shard, valid against the POST-apply graph (a
+  /// routed delta's freshly appended vertices may appear). The ids are
+  /// validated against the post-apply vertex count before anything is
+  /// applied; on any failure neither the graph nor the subset changes.
+  Result<DeltaOutcome> ApplyDelta(const NamedGraphDelta& delta,
+                                  std::span<const VertexId> own_after_apply);
 
   /// Current graph version (bumped by every successful ApplyDelta).
   /// Lock-free — safe from monitoring threads while queries and deltas

@@ -1,0 +1,159 @@
+#include "parallel/fragment_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_io.h"
+
+namespace qgp {
+
+namespace {
+
+constexpr char kMagic[] = "QGPFRAG1";
+
+Status ReadIdList(std::istringstream& line, const char* what, size_t limit,
+                  std::vector<VertexId>* out) {
+  size_t n = 0;
+  if (!(line >> n)) {
+    return Status::InvalidArgument(std::string("fragment meta: '") + what +
+                                   "' line needs a count");
+  }
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    if (!(line >> id)) {
+      return Status::InvalidArgument(
+          std::string("fragment meta: '") + what + "' line promises " +
+          std::to_string(n) + " ids but holds " + std::to_string(i));
+    }
+    if (id >= limit) {
+      return Status::InvalidArgument(
+          std::string("fragment meta: '") + what + "' id " +
+          std::to_string(id) + " out of range (limit " +
+          std::to_string(limit) + ")");
+    }
+    out->push_back(static_cast<VertexId>(id));
+  }
+  std::string junk;
+  if (line >> junk) {
+    return Status::InvalidArgument(std::string("fragment meta: '") + what +
+                                   "' line has trailing content '" + junk +
+                                   "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFragmentBundle(const Fragment& fragment, int d, size_t index,
+                           size_t num_fragments, const std::string& prefix) {
+  if (num_fragments == 0 || index >= num_fragments) {
+    return Status::InvalidArgument(
+        "fragment index " + std::to_string(index) +
+        " out of range for a partition of " + std::to_string(num_fragments) +
+        " fragments");
+  }
+  QGP_RETURN_IF_ERROR(
+      GraphIo::WriteBinaryFile(fragment.sub.graph, prefix + ".graph"));
+  std::ostringstream meta;
+  meta << kMagic << "\n";
+  meta << "d " << d << "\n";
+  meta << "fragment " << index << " " << num_fragments << "\n";
+  meta << "owned " << fragment.owned_local.size();
+  for (VertexId v : fragment.owned_local) meta << " " << v;
+  meta << "\n";
+  meta << "l2g " << fragment.sub.local_to_global.size();
+  for (VertexId v : fragment.sub.local_to_global) meta << " " << v;
+  meta << "\n";
+  const std::string meta_path = prefix + ".meta";
+  std::ofstream out(meta_path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + meta_path + " for writing");
+  }
+  out << meta.str();
+  out.flush();
+  if (!out) return Status::IoError("failed writing " + meta_path);
+  return Status::Ok();
+}
+
+Result<FragmentBundle> ReadFragmentBundle(const std::string& prefix) {
+  FragmentBundle bundle;
+  QGP_ASSIGN_OR_RETURN(bundle.graph,
+                       GraphIo::ReadBinaryFile(prefix + ".graph"));
+  const std::string meta_path = prefix + ".meta";
+  std::ifstream in(meta_path);
+  if (!in) return Status::IoError("cannot open " + meta_path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("fragment meta: bad magic in " + meta_path);
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("fragment meta: missing 'd' line");
+  }
+  {
+    std::istringstream s(line);
+    std::string key;
+    if (!(s >> key >> bundle.d) || key != "d" || bundle.d < 0) {
+      return Status::InvalidArgument("fragment meta: malformed 'd' line '" +
+                                     line + "'");
+    }
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("fragment meta: missing 'fragment' line");
+  }
+  {
+    std::istringstream s(line);
+    std::string key;
+    if (!(s >> key >> bundle.index >> bundle.num_fragments) ||
+        key != "fragment" || bundle.num_fragments == 0 ||
+        bundle.index >= bundle.num_fragments) {
+      return Status::InvalidArgument(
+          "fragment meta: malformed 'fragment' line '" + line + "'");
+    }
+  }
+  const size_t local_vertices = bundle.graph.num_vertices();
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("fragment meta: missing 'owned' line");
+  }
+  {
+    std::istringstream s(line);
+    std::string key;
+    if (!(s >> key) || key != "owned") {
+      return Status::InvalidArgument("fragment meta: malformed 'owned' line '" +
+                                     line + "'");
+    }
+    QGP_RETURN_IF_ERROR(
+        ReadIdList(s, "owned", local_vertices, &bundle.owned_local));
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("fragment meta: missing 'l2g' line");
+  }
+  {
+    std::istringstream s(line);
+    std::string key;
+    if (!(s >> key) || key != "l2g") {
+      return Status::InvalidArgument("fragment meta: malformed 'l2g' line '" +
+                                     line + "'");
+    }
+    // Global ids are unconstrained here (the master graph is not at
+    // hand); the coordinator validates them against its own graph.
+    QGP_RETURN_IF_ERROR(ReadIdList(s, "l2g", UINT32_MAX, &bundle.local_to_global));
+  }
+  if (bundle.local_to_global.size() != local_vertices) {
+    return Status::InvalidArgument(
+        "fragment meta: l2g maps " +
+        std::to_string(bundle.local_to_global.size()) + " vertices but " +
+        prefix + ".graph holds " + std::to_string(local_vertices));
+  }
+  std::string junk;
+  while (std::getline(in, junk)) {
+    if (!junk.empty()) {
+      return Status::InvalidArgument(
+          "fragment meta: trailing content after 'l2g' line");
+    }
+  }
+  return bundle;
+}
+
+}  // namespace qgp

@@ -1,0 +1,61 @@
+#ifndef QGP_PARALLEL_FRAGMENT_IO_H_
+#define QGP_PARALLEL_FRAGMENT_IO_H_
+
+/// \file
+/// Fragment export/import: persists one DPar fragment — its induced
+/// subgraph (base region + replicated border balls), the owned-vertex
+/// list, and the local→global id map — as a two-file bundle so a
+/// process-per-shard server (`qgp_cli shard-serve`) can load exactly the
+/// fragment a coordinator partitioned, without re-running DPar or
+/// shipping the whole graph.
+///
+/// A bundle with prefix P is:
+///   P.graph — the fragment's induced subgraph in GraphIo binary form
+///             (labels travel by name inside, so the shard's dict starts
+///             value-equal to the master's restriction);
+///   P.meta  — strict line-based text:
+///               QGPFRAG1
+///               d <hop-preservation depth>
+///               fragment <index> <num_fragments>
+///               owned <n> <local id>*
+///               l2g <n> <global id>*
+///             Any deviation (bad magic, missing field, count mismatch,
+///             trailing junk, owned/l2g ids out of range) decodes to
+///             InvalidArgument — a truncated bundle never half-loads.
+///
+/// The meta file carries LOCAL owned ids (what a shard engine's focus
+/// subset wants) plus the full local→global map (what the coordinator
+/// needs to merge answers); the global owned list is recoverable as
+/// l2g[owned[i]].
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "parallel/partition.h"
+
+namespace qgp {
+
+/// One loaded fragment bundle.
+struct FragmentBundle {
+  Graph graph;                          ///< induced subgraph of the master
+  int d = 0;                            ///< hop-preservation depth
+  size_t index = 0;                     ///< this fragment's position
+  size_t num_fragments = 0;             ///< total fragments in the partition
+  std::vector<VertexId> owned_local;    ///< owned foci, local ids, sorted
+  std::vector<VertexId> local_to_global;  ///< local id -> master id
+};
+
+/// Writes `fragment` (from a Partition with hop depth `d`, position
+/// `index` of `num_fragments`) as `<prefix>.graph` + `<prefix>.meta`.
+Status WriteFragmentBundle(const Fragment& fragment, int d, size_t index,
+                           size_t num_fragments, const std::string& prefix);
+
+/// Loads a bundle written by WriteFragmentBundle.
+Result<FragmentBundle> ReadFragmentBundle(const std::string& prefix);
+
+}  // namespace qgp
+
+#endif  // QGP_PARALLEL_FRAGMENT_IO_H_

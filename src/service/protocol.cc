@@ -270,6 +270,9 @@ Result<ServiceRequest> DecodeRequest(std::string_view line) {
       QGP_ASSIGN_OR_RETURN(request.delta.remove_edges,
                            DecodeEdgeArray(v, key));
       have_delta = true;
+    } else if (key == "own") {
+      QGP_ASSIGN_OR_RETURN(request.own, DecodeVertexArray(v, key));
+      have_delta = true;
     } else if (key == "tag") {
       if (!v.is_string()) {
         return Status::InvalidArgument("'tag' must be a string");
@@ -340,6 +343,14 @@ std::string EncodeRequest(const ServiceRequest& request) {
     }
     if (!request.delta.remove_edges.empty()) {
       out["remove_edges"] = EncodeEdgeArray(request.delta.remove_edges);
+    }
+    if (!request.own.empty()) {
+      JsonValue::Array ids;
+      ids.reserve(request.own.size());
+      for (VertexId v : request.own) {
+        ids.emplace_back(uint64_t{v});
+      }
+      out["own"] = std::move(ids);
     }
   }
   return JsonValue(std::move(out)).Dump();

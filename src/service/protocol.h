@@ -26,11 +26,16 @@
 ///                                    queues behind running queries
 ///   {"op":"delta","add_vertices":["person"],"remove_vertices":[3],
 ///    "add_edges":[{"src":0,"dst":7,"label":"follows"}],
-///    "remove_edges":[{"src":2,"dst":3,"label":"likes"}],"tag":"d-1"}
+///    "remove_edges":[{"src":2,"dst":3,"label":"likes"}],
+///    "own":[7],"tag":"d-1"}
 ///                                  — batched graph mutation (owning
 ///                                    engines only); sequences behind
 ///                                    the running query, bumps the
-///                                    graph version
+///                                    graph version. "own" is the shard
+///                                    transport extension: extend the
+///                                    serving engine's owned-focus set
+///                                    with these (post-apply, local)
+///                                    vertex ids; see ServiceRequest::own
 ///   {"op":"shutdown"}              — clean stop (only when the server
 ///                                    was started with allow_shutdown)
 ///
@@ -85,6 +90,13 @@ struct ServiceRequest {
   /// Mutation batch in string labels (kDelta only); resolved against
   /// the engine's dict at apply time.
   NamedGraphDelta delta;
+  /// Shard transport extension (kDelta only, optional): LOCAL vertex
+  /// ids, valid against the post-apply graph, that the coordinator
+  /// newly assigns to this shard's owned-focus set. Ignored by engines
+  /// without an engaged EngineOptions::focus_subset (the server rejects
+  /// it with InvalidArgument in that case, keeping the plain service
+  /// strict).
+  std::vector<VertexId> own;
   /// Echoed back verbatim in the response.
   std::string tag;
 };

@@ -252,6 +252,7 @@ void QueryService::HandleLine(const std::shared_ptr<Session>& session,
         item.seq = seq;
         item.is_delta = true;
         item.delta = std::move(request.delta);
+        item.own = std::move(request.own);
         item.tag = std::move(request.tag);
         queue_.push_back(std::move(item));
       }
@@ -366,7 +367,9 @@ void QueryService::DispatchLoop() {
       line = EncodeErrorResponse(ServiceRequest::Op::kQuery,
                                  next.cancel->ToStatus(), next.spec.tag);
     } else if (next.is_delta) {
-      Result<DeltaOutcome> outcome = engine_->ApplyDelta(next.delta);
+      Result<DeltaOutcome> outcome =
+          next.own.empty() ? engine_->ApplyDelta(next.delta)
+                           : engine_->ApplyDelta(next.delta, next.own);
       if (outcome.ok()) {
         ++deltas_ok_;
         {

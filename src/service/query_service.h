@@ -153,6 +153,9 @@ class QueryService {
     QuerySpec spec;  // meaningful when !is_delta
     bool is_delta = false;
     NamedGraphDelta delta;  // meaningful when is_delta
+    /// Shard transport: owned-focus extension riding the delta (see
+    /// ServiceRequest::own). Empty for plain clients.
+    std::vector<VertexId> own;
     /// Request tag for delta responses (queries carry theirs in spec).
     std::string tag;
     /// Cancellation token of this request (queries only): deadline from

@@ -1,0 +1,239 @@
+// EngineOptions::focus_subset — the restriction that turns a QueryEngine
+// into a shard. Contract under test, for every algo family:
+//
+//   Submit(spec) on an engine with focus_subset S ==
+//       SetIntersection(Submit(spec) on the full engine, S)
+//
+// plus the subset lifecycle: an engaged-but-EMPTY subset answers
+// nothing (it owns nothing — never "all", which is what an empty span
+// means further down the matcher stack); out-of-range ids are dropped
+// at construction; ApplyDelta(delta, own) atomically extends the subset
+// with newly-owned post-delta ids; and the own-extension overload is
+// rejected on engines it cannot apply to.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "gen/pattern_gen.h"
+#include "gen/synthetic_gen.h"
+#include "core/pattern_parser.h"
+#include "graph/graph_builder.h"
+
+namespace qgp {
+namespace {
+
+Graph MakeGraph(uint64_t seed) {
+  SyntheticConfig gc;
+  gc.num_vertices = 50;
+  gc.num_edges = 150;
+  gc.num_node_labels = 4;
+  gc.num_edge_labels = 3;
+  gc.seed = seed;
+  return std::move(GenerateSynthetic(gc)).value();
+}
+
+TEST(EngineSubsetTest, EveryAlgoRestrictsToTheSubset) {
+  Graph g = MakeGraph(61);
+  // Every other vertex: exercises both "focus in subset" and "focus
+  // outside subset" for any pattern with spread-out answers.
+  std::vector<VertexId> subset;
+  for (VertexId v = 0; v < g.num_vertices(); v += 2) subset.push_back(v);
+
+  EngineOptions full_opts;
+  full_opts.num_threads = 2;
+  QueryEngine full(&g, full_opts);
+  EngineOptions sub_opts = full_opts;
+  sub_opts.focus_subset = subset;
+  QueryEngine restricted(g, sub_opts);
+
+  PatternGenConfig pc;
+  pc.num_nodes = 4;
+  pc.num_edges = 4;
+  pc.num_quantified = 1;
+  pc.num_negated = 1;
+  std::vector<Pattern> suite = GeneratePatternSuite(g, 8, pc, 7);
+  ASSERT_FALSE(suite.empty());
+
+  const EngineAlgo algos[] = {EngineAlgo::kQMatch, EngineAlgo::kQMatchn,
+                              EngineAlgo::kEnum, EngineAlgo::kPQMatch,
+                              EngineAlgo::kPEnum, EngineAlgo::kAuto};
+  size_t compared = 0;
+  for (const Pattern& p : suite) {
+    if (p.Radius() > 2) continue;  // parallel families' partition depth
+    for (EngineAlgo algo : algos) {
+      QuerySpec spec;
+      spec.pattern = p;
+      spec.algo = algo;
+      spec.options.max_isomorphisms = 2'000'000;
+      auto want = full.Submit(spec);
+      auto got = restricted.Submit(spec);
+      ASSERT_EQ(got.ok(), want.ok()) << EngineAlgoName(algo);
+      if (!got.ok()) continue;
+      EXPECT_EQ(got->answers, SetIntersection(want->answers, subset))
+          << EngineAlgoName(algo);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+TEST(EngineSubsetTest, EngagedEmptySubsetAnswersNothing) {
+  Graph g = MakeGraph(62);
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.focus_subset.emplace();  // engaged AND empty: owns nothing
+  QueryEngine engine(g, opts);
+
+  PatternGenConfig pc;
+  pc.num_nodes = 3;
+  pc.num_edges = 2;
+  std::vector<Pattern> suite = GeneratePatternSuite(g, 4, pc, 3);
+  ASSERT_FALSE(suite.empty());
+  for (EngineAlgo algo :
+       {EngineAlgo::kQMatch, EngineAlgo::kEnum, EngineAlgo::kPQMatch}) {
+    QuerySpec spec;
+    spec.pattern = suite[0];
+    spec.algo = algo;
+    auto out = engine.Submit(spec);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(out->answers.empty()) << EngineAlgoName(algo);
+  }
+
+  // Invalid patterns still fail validation — the short-circuit answers
+  // empty only for queries that would have been accepted.
+  QuerySpec bad;
+  bad.pattern = Pattern{};  // no nodes, no focus
+  EXPECT_FALSE(engine.Submit(bad).ok());
+}
+
+TEST(EngineSubsetTest, OutOfRangeAndDuplicateIdsDropAtConstruction) {
+  Graph g = MakeGraph(63);
+  std::vector<VertexId> clean = {4, 8, 12};
+  EngineOptions messy_opts;
+  messy_opts.num_threads = 1;
+  messy_opts.focus_subset = std::vector<VertexId>{
+      12, 4, 8, 4, static_cast<VertexId>(g.num_vertices() + 100)};
+  QueryEngine messy(g, messy_opts);
+  EngineOptions clean_opts;
+  clean_opts.num_threads = 1;
+  clean_opts.focus_subset = clean;
+  QueryEngine reference(g, clean_opts);
+
+  PatternGenConfig pc;
+  pc.num_nodes = 3;
+  pc.num_edges = 2;
+  for (Pattern& p : GeneratePatternSuite(g, 4, pc, 5)) {
+    QuerySpec spec;
+    spec.pattern = std::move(p);
+    auto a = messy.Submit(spec);
+    auto b = reference.Submit(spec);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->answers, b->answers);
+    }
+  }
+}
+
+// A pinned micro-graph where ownership visibly gates answers, so the
+// own-extension of ApplyDelta is observable end to end.
+class SubsetDeltaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder b;
+    p0_ = b.AddVertex("person");
+    p1_ = b.AddVertex("person");
+    product_ = b.AddVertex("product");
+    (void)b.AddEdge(p0_, product_, "buys");
+    (void)b.AddEdge(p1_, product_, "buys");
+    graph_ = std::move(std::move(b).Build()).value();
+    pattern_text_ = "node x person\nnode y product\nedge x y buys\nfocus x\n";
+  }
+
+  // Every label the pattern names is already interned in the fixture
+  // graph, so parsing against a dict snapshot yields ids valid for the
+  // engine (nothing new is interned).
+  Pattern ParseFor(const QueryEngine& engine) {
+    LabelDict dict = engine.DictSnapshot();
+    return std::move(PatternParser::Parse(pattern_text_, dict)).value();
+  }
+
+  Graph graph_;
+  VertexId p0_ = 0, p1_ = 0, product_ = 0;
+  std::string pattern_text_;
+};
+
+TEST_F(SubsetDeltaTest, ApplyDeltaOwnExtendsTheSubset) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.focus_subset = std::vector<VertexId>{p0_};
+  QueryEngine engine(graph_, opts);
+  QuerySpec spec;
+  spec.pattern = ParseFor(engine);
+
+  auto before = engine.Submit(spec);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->answers, (AnswerSet{p0_}));  // p1 matches but is unowned
+
+  // New person buys the product; the coordinator assigns it to us.
+  NamedGraphDelta delta;
+  delta.add_vertices.push_back("person");
+  const VertexId p2 = graph_.num_vertices();  // owning engine copied graph_
+  delta.add_edges.push_back({p2, product_, "buys"});
+  auto applied = engine.ApplyDelta(delta, std::vector<VertexId>{p2});
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+  auto after = engine.Submit(spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->answers, (AnswerSet{p0_, p2}));  // p1 still unowned
+}
+
+TEST_F(SubsetDeltaTest, OwnValidationFailureIsAtomic) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.focus_subset = std::vector<VertexId>{p0_};
+  QueryEngine engine(graph_, opts);
+  const uint64_t version_before = engine.graph_version();
+
+  NamedGraphDelta delta;
+  delta.add_vertices.push_back("person");
+  // Out of range even after the one added vertex: rejected before the
+  // delta touches the graph or the subset.
+  auto applied = engine.ApplyDelta(
+      delta, std::vector<VertexId>{static_cast<VertexId>(
+                 graph_.num_vertices() + 5)});
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.graph_version(), version_before);
+
+  QuerySpec spec;
+  spec.pattern = ParseFor(engine);
+  auto out = engine.Submit(spec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers, (AnswerSet{p0_}));
+}
+
+TEST_F(SubsetDeltaTest, OwnRejectedWithoutAnEngagedSubset) {
+  QueryEngine engine(graph_);  // owning, but no focus subset
+  NamedGraphDelta delta;
+  delta.add_vertices.push_back("person");
+  auto applied = engine.ApplyDelta(delta, std::vector<VertexId>{0});
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SubsetDeltaTest, OwnRejectedOnBorrowingEngine) {
+  EngineOptions opts;
+  opts.focus_subset = std::vector<VertexId>{p0_};
+  QueryEngine engine(&graph_, opts);  // borrows: cannot mutate the graph
+  NamedGraphDelta delta;
+  delta.add_vertices.push_back("person");
+  auto applied = engine.ApplyDelta(delta, std::vector<VertexId>{0});
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgp

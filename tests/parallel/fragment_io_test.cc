@@ -1,0 +1,138 @@
+// Fragment bundle round-trip and strictness: every DPar fragment
+// survives Write→Read with its subgraph, ownership and id map intact
+// (the shard-serve loading path), and every malformed .meta variant is
+// an InvalidArgument, never a half-loaded bundle.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/synthetic_gen.h"
+#include "graph/graph_delta.h"
+#include "parallel/dpar.h"
+#include "parallel/fragment_io.h"
+
+namespace qgp {
+namespace {
+
+Graph MakeGraph(uint64_t seed) {
+  SyntheticConfig gc;
+  gc.num_vertices = 50;
+  gc.num_edges = 140;
+  gc.num_node_labels = 3;
+  gc.num_edge_labels = 2;
+  gc.seed = seed;
+  return std::move(GenerateSynthetic(gc)).value();
+}
+
+std::string Prefix(const std::string& stem) {
+  return ::testing::TempDir() + "qgp_fragment_io_" + stem;
+}
+
+TEST(FragmentIoTest, EveryFragmentRoundTrips) {
+  Graph g = MakeGraph(41);
+  DParConfig pc;
+  pc.num_fragments = 3;
+  pc.d = 2;
+  auto partition = DPar(g, pc);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  for (size_t i = 0; i < partition->fragments.size(); ++i) {
+    const Fragment& f = partition->fragments[i];
+    const std::string prefix = Prefix("rt" + std::to_string(i));
+    ASSERT_TRUE(WriteFragmentBundle(f, partition->d, i,
+                                    partition->fragments.size(), prefix)
+                    .ok());
+    auto bundle = ReadFragmentBundle(prefix);
+    ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+    EXPECT_TRUE(ContentEquals(bundle->graph, f.sub.graph));
+    EXPECT_EQ(bundle->d, partition->d);
+    EXPECT_EQ(bundle->index, i);
+    EXPECT_EQ(bundle->num_fragments, partition->fragments.size());
+    EXPECT_EQ(bundle->owned_local, f.owned_local);
+    EXPECT_EQ(bundle->local_to_global, f.sub.local_to_global);
+    // The global owned set is recoverable exactly as documented.
+    std::vector<VertexId> owned_global;
+    for (VertexId lv : bundle->owned_local) {
+      owned_global.push_back(bundle->local_to_global[lv]);
+    }
+    std::sort(owned_global.begin(), owned_global.end());
+    EXPECT_EQ(owned_global, f.owned_global);
+  }
+}
+
+TEST(FragmentIoTest, WriteRejectsInconsistentIndex) {
+  Graph g = MakeGraph(42);
+  DParConfig pc;
+  pc.num_fragments = 2;
+  auto partition = DPar(g, pc);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_FALSE(WriteFragmentBundle(partition->fragments[0], partition->d,
+                                   /*index=*/2, /*num_fragments=*/2,
+                                   Prefix("badidx"))
+                   .ok());
+}
+
+TEST(FragmentIoTest, MissingFilesAreErrors) {
+  EXPECT_FALSE(ReadFragmentBundle(Prefix("nonexistent")).ok());
+}
+
+class FragmentIoMalformedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Graph g = MakeGraph(43);
+    DParConfig pc;
+    pc.num_fragments = 2;
+    pc.d = 2;
+    auto partition = DPar(g, pc);
+    ASSERT_TRUE(partition.ok());
+    prefix_ = Prefix("malformed");
+    ASSERT_TRUE(
+        WriteFragmentBundle(partition->fragments[0], partition->d, 0, 2,
+                            prefix_)
+            .ok());
+    auto good = ReadFragmentBundle(prefix_);
+    ASSERT_TRUE(good.ok());
+    local_vertices_ = good->graph.num_vertices();
+  }
+
+  // Overwrites the .meta file and expects the read to fail structured.
+  void ExpectRejected(const std::string& meta, const std::string& why) {
+    std::ofstream out(prefix_ + ".meta", std::ios::trunc);
+    out << meta;
+    out.close();
+    auto bundle = ReadFragmentBundle(prefix_);
+    ASSERT_FALSE(bundle.ok()) << "accepted " << why;
+    EXPECT_EQ(bundle.status().code(), StatusCode::kInvalidArgument) << why;
+  }
+
+  std::string prefix_;
+  size_t local_vertices_ = 0;
+};
+
+TEST_F(FragmentIoMalformedTest, RejectsEveryMetaDeviation) {
+  const std::string n = std::to_string(local_vertices_);
+  ExpectRejected("", "empty meta");
+  ExpectRejected("QGPFRAG9\nd 2\nfragment 0 2\nowned 0\nl2g 0\n",
+                 "bad magic");
+  ExpectRejected("QGPFRAG1\n", "truncated after magic");
+  ExpectRejected("QGPFRAG1\nd -1\nfragment 0 2\nowned 0\nl2g 0\n",
+                 "negative d");
+  ExpectRejected("QGPFRAG1\nd x\nfragment 0 2\nowned 0\nl2g 0\n",
+                 "non-numeric d");
+  ExpectRejected("QGPFRAG1\nd 2\nfragment 2 2\nowned 0\nl2g 0\n",
+                 "index >= total");
+  ExpectRejected("QGPFRAG1\nd 2\nfragment 0 2\nowned 3 0 1\nl2g 0\n",
+                 "owned count mismatch");
+  ExpectRejected("QGPFRAG1\nd 2\nfragment 0 2\nowned 1 999999\nl2g " + n +
+                     "\n",
+                 "owned id out of local range");
+  ExpectRejected("QGPFRAG1\nd 2\nfragment 0 2\nowned 0\nl2g 1 7\n",
+                 "l2g size != graph vertices");
+  ExpectRejected("QGPFRAG1\nd 2\nfragment 0 2\nowned 0\nl2g 0\njunk\n",
+                 "trailing junk line");
+}
+
+}  // namespace
+}  // namespace qgp

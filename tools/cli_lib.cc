@@ -22,9 +22,11 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "parallel/dpar.h"
+#include "parallel/fragment_io.h"
 #include "qgar/miner.h"
 #include "service/client.h"
 #include "service/query_service.h"
+#include "shard/shard.h"
 
 namespace qgp::cli {
 
@@ -99,6 +101,16 @@ int Usage(std::ostream& err) {
          "        [--max-inflight=64] [--max-per-client=8] "
          "[--allow-shutdown]\n"
          "        [--result-cache] [--n=4] [--d=2]\n"
+         "  shard-export <graph> <out-prefix> [--n=4] [--d=2] "
+         "[--balance=1.6]\n"
+         "        writes <out-prefix>.<i>.graph/.meta fragment bundles\n"
+         "  shard-serve <bundle-prefix> [--port=0] [--threads=N] "
+         "[--dispatch=2]\n"
+         "        [--max-inflight=64] [--max-per-client=8] "
+         "[--allow-shutdown]\n"
+         "        [--result-cache] [--n=4]\n"
+         "        serves one exported fragment as a shard (owned foci "
+         "only)\n"
          "  delta <port> <op>... [--host=127.0.0.1] [--tag=]\n"
          "        ops: +v:LABEL  -v:ID  +e:SRC,DST,LABEL  -e:SRC,DST,LABEL\n";
   return 2;
@@ -333,70 +345,67 @@ int CmdMine(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-// `serve` exposes one QueryEngine over TCP (newline-delimited JSON;
-// src/service/protocol.h documents the wire format). The bound port is
-// printed as "listening on 127.0.0.1:<port>" — with --port=0 a script
-// reads the ephemeral port from that line. The process runs until a
-// client sends {"op":"shutdown"} (only honored with --allow-shutdown)
-// or it is killed.
-int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
-  if (args.positional.size() != 2) return Usage(err);
-  auto graph = LoadGraph(args.positional[1]);
-  if (!graph.ok()) {
-    err << graph.status().ToString() << "\n";
-    return 1;
-  }
-  const int64_t port = args.FlagInt("port", 0);
-  const int64_t threads = args.FlagInt("threads", 0);
-  const int64_t dispatch = args.FlagInt("dispatch", 2);
-  const int64_t max_inflight = args.FlagInt("max-inflight", 64);
-  const int64_t max_per_client = args.FlagInt("max-per-client", 8);
-  const int64_t fragments = args.FlagInt("n", 4);
-  const int64_t depth = args.FlagInt("d", 2);
-  const int64_t drain_timeout = args.FlagInt("drain-timeout", 2000);
-  if (port < 0 || port > 65535) {
+// Service-side flags shared by `serve` and `shard-serve`.
+struct ServeFlags {
+  int64_t port = 0;
+  int64_t dispatch = 2;
+  int64_t max_inflight = 64;
+  int64_t max_per_client = 8;
+  int64_t drain_timeout = 2000;
+  bool allow_shutdown = false;
+};
+
+int ParseServeFlags(const Args& args, ServeFlags* flags, std::ostream& err) {
+  flags->port = args.FlagInt("port", 0);
+  flags->dispatch = args.FlagInt("dispatch", 2);
+  flags->max_inflight = args.FlagInt("max-inflight", 64);
+  flags->max_per_client = args.FlagInt("max-per-client", 8);
+  flags->drain_timeout = args.FlagInt("drain-timeout", 2000);
+  flags->allow_shutdown = args.flags.count("allow-shutdown") != 0;
+  if (flags->port < 0 || flags->port > 65535) {
     err << "--port must be in [0, 65535]\n";
     return 2;
   }
-  if (drain_timeout < 0) {
+  if (flags->drain_timeout < 0) {
     err << "--drain-timeout must be non-negative\n";
     return 2;
   }
-  if (threads < 0 || dispatch < 1 || max_inflight < 0 || max_per_client < 0 ||
-      fragments < 1 || depth < 0) {
-    err << "--threads/--max-inflight/--max-per-client/--d must be "
-           "non-negative, --dispatch/--n at least 1\n";
+  if (flags->dispatch < 1 || flags->max_inflight < 0 ||
+      flags->max_per_client < 0) {
+    err << "--max-inflight/--max-per-client must be non-negative, "
+           "--dispatch at least 1\n";
     return 2;
   }
+  return 0;
+}
 
-  // SIGINT/SIGTERM trigger the same graceful drain as the shutdown op.
-  // The mask must be in place BEFORE any thread exists — a process-
-  // directed signal is delivered to an arbitrary thread that does not
-  // block it, and the engine's worker pool spawns right below. Threads
-  // inherit the mask; a dedicated sigwait thread consumes the signals
-  // (a plain handler could not safely wake Wait() — condition variables
-  // are not async-signal-safe).
-  sigset_t drain_sigs;
-  sigemptyset(&drain_sigs);
-  sigaddset(&drain_sigs, SIGINT);
-  sigaddset(&drain_sigs, SIGTERM);
-  pthread_sigmask(SIG_BLOCK, &drain_sigs, nullptr);
+// Blocks SIGINT/SIGTERM so they trigger the same graceful drain as the
+// shutdown op. The mask must be in place BEFORE any thread exists — a
+// process-directed signal is delivered to an arbitrary thread that does
+// not block it, and the engine's worker pool spawns right after this.
+// Threads inherit the mask; a dedicated sigwait thread in ServeLoop
+// consumes the signals (a plain handler could not safely wake Wait() —
+// condition variables are not async-signal-safe).
+void MaskDrainSignals(sigset_t* drain_sigs) {
+  sigemptyset(drain_sigs);
+  sigaddset(drain_sigs, SIGINT);
+  sigaddset(drain_sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, drain_sigs, nullptr);
+}
 
-  EngineOptions engine_options;
-  engine_options.num_threads = static_cast<size_t>(threads);
-  engine_options.partition_fragments = static_cast<size_t>(fragments);
-  engine_options.partition_d = static_cast<int>(depth);
-  engine_options.enable_result_cache = args.flags.count("result-cache") != 0;
-  QueryEngine engine(std::move(graph).value(), engine_options);
-
+// Runs `engine` behind a QueryService until a client shutdown op or a
+// drain signal. Shared by `serve` and `shard-serve`; `drain_sigs` must
+// already be blocked via MaskDrainSignals.
+int ServeLoop(QueryEngine& engine, const ServeFlags& flags,
+              sigset_t* drain_sigs, std::ostream& out, std::ostream& err) {
   service::ServiceOptions service_options;
-  service_options.port = static_cast<int>(port);
-  service_options.dispatch_threads = static_cast<size_t>(dispatch);
-  service_options.max_inflight = static_cast<size_t>(max_inflight);
+  service_options.port = static_cast<int>(flags.port);
+  service_options.dispatch_threads = static_cast<size_t>(flags.dispatch);
+  service_options.max_inflight = static_cast<size_t>(flags.max_inflight);
   service_options.max_inflight_per_client =
-      static_cast<size_t>(max_per_client);
-  service_options.allow_shutdown = args.flags.count("allow-shutdown") != 0;
-  service_options.drain_timeout_ms = drain_timeout;
+      static_cast<size_t>(flags.max_per_client);
+  service_options.allow_shutdown = flags.allow_shutdown;
+  service_options.drain_timeout_ms = flags.drain_timeout;
 
   // Fault-injection failpoints arm only at process entry points like
   // this one (QGP_FAILPOINTS env); library code never arms implicitly.
@@ -405,16 +414,16 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   service::QueryService service(&engine, service_options);
   Status started = service.Start();
   if (!started.ok()) {
-    pthread_sigmask(SIG_UNBLOCK, &drain_sigs, nullptr);
+    pthread_sigmask(SIG_UNBLOCK, drain_sigs, nullptr);
     err << started.ToString() << "\n";
     return 1;
   }
   out << "listening on 127.0.0.1:" << service.port() << std::endl;
 
   std::atomic<int> caught_signal{0};
-  std::thread signal_thread([&service, &caught_signal, &drain_sigs] {
+  std::thread signal_thread([&service, &caught_signal, drain_sigs] {
     int sig = 0;
-    if (sigwait(&drain_sigs, &sig) != 0) return;
+    if (sigwait(drain_sigs, &sig) != 0) return;
     // -1 is the sentinel the main thread uses to release this thread
     // when Wait() returned for another reason (client shutdown op).
     if (caught_signal.exchange(sig) != 0) return;
@@ -437,9 +446,9 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   // drain) so restoring the mask cannot kill the process before the
   // final summary below.
   timespec no_wait{};
-  while (sigtimedwait(&drain_sigs, nullptr, &no_wait) > 0) {
+  while (sigtimedwait(drain_sigs, nullptr, &no_wait) > 0) {
   }
-  pthread_sigmask(SIG_UNBLOCK, &drain_sigs, nullptr);
+  pthread_sigmask(SIG_UNBLOCK, drain_sigs, nullptr);
 
   const service::ServiceStats ss = service.stats();
   const EngineStats es = engine.stats();
@@ -452,6 +461,123 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
       << " wall_ms=" << es.wall_ms << " timeouts=" << es.timeouts
       << " cancellations=" << es.cancellations << "\n";
   return 0;
+}
+
+// `serve` exposes one QueryEngine over TCP (newline-delimited JSON;
+// src/service/protocol.h documents the wire format). The bound port is
+// printed as "listening on 127.0.0.1:<port>" — with --port=0 a script
+// reads the ephemeral port from that line. The process runs until a
+// client sends {"op":"shutdown"} (only honored with --allow-shutdown)
+// or it is killed.
+int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return Usage(err);
+  auto graph = LoadGraph(args.positional[1]);
+  if (!graph.ok()) {
+    err << graph.status().ToString() << "\n";
+    return 1;
+  }
+  ServeFlags flags;
+  if (int rc = ParseServeFlags(args, &flags, err); rc != 0) return rc;
+  const int64_t threads = args.FlagInt("threads", 0);
+  const int64_t fragments = args.FlagInt("n", 4);
+  const int64_t depth = args.FlagInt("d", 2);
+  if (threads < 0 || fragments < 1 || depth < 0) {
+    err << "--threads/--d must be non-negative, --n at least 1\n";
+    return 2;
+  }
+
+  sigset_t drain_sigs;
+  MaskDrainSignals(&drain_sigs);
+
+  EngineOptions engine_options;
+  engine_options.num_threads = static_cast<size_t>(threads);
+  engine_options.partition_fragments = static_cast<size_t>(fragments);
+  engine_options.partition_d = static_cast<int>(depth);
+  engine_options.enable_result_cache = args.flags.count("result-cache") != 0;
+  QueryEngine engine(std::move(graph).value(), engine_options);
+  return ServeLoop(engine, flags, &drain_sigs, out, err);
+}
+
+// `shard-export` partitions a graph with DPar and writes every fragment
+// as a bundle (`<prefix>.<i>.graph` + `<prefix>.<i>.meta`) that
+// `shard-serve` loads. DPar is deterministic, so a coordinator running
+// the same partition config reconstructs the identical fragment layout
+// without reading the bundles back.
+int CmdShardExport(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 3) return Usage(err);
+  auto g = LoadGraph(args.positional[1]);
+  if (!g.ok()) {
+    err << g.status().ToString() << "\n";
+    return 1;
+  }
+  const int64_t fragments = args.FlagInt("n", 4);
+  const int64_t depth = args.FlagInt("d", 2);
+  const double balance = args.FlagDouble("balance", 1.6);
+  if (fragments < 1 || depth < 0) {
+    err << "--n must be at least 1, --d non-negative\n";
+    return 2;
+  }
+  DParConfig config;
+  config.num_fragments = static_cast<size_t>(fragments);
+  config.d = static_cast<int>(depth);
+  config.balance_factor = balance;
+  auto part = DPar(*g, config);
+  if (!part.ok()) {
+    err << part.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string& prefix = args.positional[2];
+  for (size_t i = 0; i < part->fragments.size(); ++i) {
+    const Fragment& f = part->fragments[i];
+    const std::string bundle = prefix + "." + std::to_string(i);
+    Status written = WriteFragmentBundle(f, part->d, i,
+                                         part->fragments.size(), bundle);
+    if (!written.ok()) {
+      err << written.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << bundle << ".graph/.meta: |V|="
+        << f.sub.graph.num_vertices() << " |E|=" << f.sub.graph.num_edges()
+        << " owned=" << f.owned_global.size() << "\n";
+  }
+  return 0;
+}
+
+// `shard-serve` loads one exported fragment bundle and serves it as a
+// shard: a QueryEngine whose focus subset is the fragment's owned
+// vertices, behind the same TCP protocol as `serve`. A ShardedEngine
+// coordinator connects via ShardedOptions::remote_ports.
+int CmdShardServe(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return Usage(err);
+  auto bundle = ReadFragmentBundle(args.positional[1]);
+  if (!bundle.ok()) {
+    err << bundle.status().ToString() << "\n";
+    return 1;
+  }
+  ServeFlags flags;
+  if (int rc = ParseServeFlags(args, &flags, err); rc != 0) return rc;
+  const int64_t threads = args.FlagInt("threads", 0);
+  const int64_t fragments = args.FlagInt("n", 4);
+  if (threads < 0 || fragments < 1) {
+    err << "--threads must be non-negative, --n at least 1\n";
+    return 2;
+  }
+
+  sigset_t drain_sigs;
+  MaskDrainSignals(&drain_sigs);
+
+  EngineOptions engine_options;
+  engine_options.num_threads = static_cast<size_t>(threads);
+  engine_options.partition_fragments = static_cast<size_t>(fragments);
+  engine_options.enable_result_cache = args.flags.count("result-cache") != 0;
+  FragmentBundle b = std::move(bundle).value();
+  out << "shard fragment " << b.index << "/" << b.num_fragments
+      << " (d=" << b.d << "): |V|=" << b.graph.num_vertices()
+      << " |E|=" << b.graph.num_edges() << " owned=" << b.owned_local.size()
+      << "\n";
+  std::unique_ptr<QueryEngine> engine = shard::MakeShardEngine(
+      std::move(b.graph), std::move(b.owned_local), b.d, engine_options);
+  return ServeLoop(*engine, flags, &drain_sigs, out, err);
 }
 
 // One "+e:SRC,DST,LABEL" / "-e:..." operand -> a wire edge. LABEL may
@@ -566,6 +692,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (cmd == "partition") return CmdPartition(parsed, out, err);
   if (cmd == "mine") return CmdMine(parsed, out, err);
   if (cmd == "serve") return CmdServe(parsed, out, err);
+  if (cmd == "shard-export") return CmdShardExport(parsed, out, err);
+  if (cmd == "shard-serve") return CmdShardServe(parsed, out, err);
   if (cmd == "delta") return CmdDelta(parsed, out, err);
   err << "unknown command '" << cmd << "'\n";
   return Usage(err);
